@@ -1,0 +1,85 @@
+#ifndef EVOREC_BENCH_BENCH_COMMON_H_
+#define EVOREC_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the experiment harness. Every bench binary
+// prints its experiment table(s) (the "figure data" recorded in
+// EXPERIMENTS.md) from main(), then runs its google-benchmark timing
+// section.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "evorec.h"
+
+namespace evorec::bench {
+
+/// Builds a two-version synthetic KB of the given scale and returns
+/// (before, after) contexts-ready snapshots plus ground truth.
+struct TwoVersionWorkload {
+  workload::GeneratedSchema generated;
+  rdf::KnowledgeBase after;
+  workload::EvolutionOutcome outcome;
+};
+
+inline TwoVersionWorkload MakeTwoVersionWorkload(
+    size_t classes, size_t instances, size_t edges, size_t operations,
+    uint64_t seed, const workload::ChangeMix& mix = workload::ChangeMix()) {
+  workload::SchemaGenOptions schema_options;
+  schema_options.class_count = classes;
+  schema_options.property_count = classes / 3 + 5;
+  schema_options.seed = seed;
+  TwoVersionWorkload out{workload::GenerateSchema(schema_options), {}, {}};
+
+  workload::InstanceGenOptions instance_options;
+  instance_options.instance_count = instances;
+  instance_options.edge_count = edges;
+  instance_options.seed = seed + 1;
+  workload::PopulateInstances(out.generated, instance_options);
+
+  workload::EvolutionOptions evolution_options;
+  evolution_options.operations = operations;
+  evolution_options.mix = mix;
+  evolution_options.seed = seed + 2;
+  out.outcome = workload::GenerateEvolution(
+      out.generated.kb, out.generated.kb.dictionary(), evolution_options);
+
+  out.after = out.generated.kb;
+  out.after.store().AddAll(out.outcome.changes.additions);
+  for (const rdf::Triple& t : out.outcome.changes.removals) {
+    out.after.store().Remove(t);
+  }
+  out.after.store().Compact();
+  return out;
+}
+
+/// Prints the standard experiment banner.
+inline void PrintHeader(const std::string& experiment_id,
+                        const std::string& claim) {
+  std::printf("\n================================================\n");
+  std::printf("%s\n", experiment_id.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("================================================\n");
+}
+
+/// Precision@k of a report's top-k against a planted ground-truth set.
+inline double PrecisionAtK(const measures::MeasureReport& report,
+                           const std::vector<rdf::TermId>& truth, size_t k) {
+  if (k == 0) return 0.0;
+  const auto top = report.TopKTerms(k);
+  size_t hits = 0;
+  for (rdf::TermId t : top) {
+    for (rdf::TermId g : truth) {
+      if (t == g) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(std::min(k, top.size() == 0 ? k : top.size()));
+}
+
+}  // namespace evorec::bench
+
+#endif  // EVOREC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,133 @@
+// E1 — low-level delta computation and archive policies (paper §II.a).
+// Table 1: |δ+|, |δ−|, |δ| and delta-computation wall clock across KB
+// scale and change ratio. Table 2: archive policy ablation — storage
+// and snapshot reconstruction cost, full materialisation vs delta
+// chain.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace evorec::bench {
+namespace {
+
+void PrintDeltaScalingTable() {
+  PrintHeader("E1 — delta computation",
+              "|delta| = |delta+| + |delta-| quantifies change and must "
+              "scale to large KBs");
+  TablePrinter table({"classes", "triples", "ops", "|d+|", "|d-|", "|d|",
+                      "delta_ms"});
+  for (size_t classes : {50, 200, 800}) {
+    for (size_t ops : {100, 500, 2000}) {
+      TwoVersionWorkload w = MakeTwoVersionWorkload(
+          classes, classes * 20, classes * 35, ops, /*seed=*/17);
+      Stopwatch timer;
+      const delta::LowLevelDelta delta =
+          delta::ComputeLowLevelDelta(w.generated.kb, w.after);
+      const double ms = timer.ElapsedMillis();
+      table.AddRow({TablePrinter::Cell(classes),
+                    TablePrinter::Cell(w.generated.kb.size()),
+                    TablePrinter::Cell(ops),
+                    TablePrinter::Cell(delta.added.size()),
+                    TablePrinter::Cell(delta.removed.size()),
+                    TablePrinter::Cell(delta.size()),
+                    TablePrinter::Cell(ms, 2)});
+    }
+  }
+  table.Print(std::cout);
+}
+
+void PrintArchivePolicyTable() {
+  PrintHeader("E1b — archive policy ablation (cf. [13])",
+              "delta chains trade snapshot latency for storage");
+  TablePrinter table({"policy", "versions", "storage", "snapshot_head_ms",
+                      "snapshot_mid_ms"});
+  for (auto policy : {version::ArchivePolicy::kFullMaterialization,
+                      version::ArchivePolicy::kDeltaChain,
+                      version::ArchivePolicy::kHybridCheckpoint}) {
+    TwoVersionWorkload w =
+        MakeTwoVersionWorkload(200, 4000, 7000, 100, /*seed=*/23);
+    version::VersionedKnowledgeBase vkb(policy, w.generated.kb);
+    for (size_t v = 0; v < 12; ++v) {
+      workload::EvolutionOptions options;
+      options.operations = 120;
+      options.seed = 31 + v;
+      options.epoch = v + 1;
+      auto head = vkb.Snapshot(vkb.head());
+      const workload::EvolutionOutcome outcome = workload::GenerateEvolution(
+          **head, vkb.dictionary(), options);
+      (void)vkb.Commit(outcome.changes, "bench", "step");
+    }
+    vkb.EvictSnapshotCache();
+    Stopwatch head_timer;
+    auto head = vkb.MaterializeUncached(vkb.head());
+    const double head_ms = head_timer.ElapsedMillis();
+    Stopwatch mid_timer;
+    auto mid = vkb.MaterializeUncached(vkb.head() / 2);
+    const double mid_ms = mid_timer.ElapsedMillis();
+    (void)head;
+    (void)mid;
+    const char* policy_name =
+        policy == version::ArchivePolicy::kFullMaterialization
+            ? "full_materialization"
+            : policy == version::ArchivePolicy::kDeltaChain
+                  ? "delta_chain"
+                  : "hybrid_checkpoint(4)";
+    table.AddRow(
+        {policy_name, TablePrinter::Cell(vkb.version_count()),
+         HumanBytes(vkb.StorageBytes()), TablePrinter::Cell(head_ms, 2),
+         TablePrinter::Cell(mid_ms, 2)});
+  }
+  table.Print(std::cout);
+}
+
+void BM_DeltaComputation(benchmark::State& state) {
+  const size_t classes = static_cast<size_t>(state.range(0));
+  TwoVersionWorkload w = MakeTwoVersionWorkload(
+      classes, classes * 20, classes * 35, classes * 2, /*seed=*/17);
+  for (auto _ : state) {
+    auto delta = delta::ComputeLowLevelDelta(w.generated.kb, w.after);
+    benchmark::DoNotOptimize(delta.added.data());
+  }
+  state.counters["triples"] = static_cast<double>(w.generated.kb.size());
+}
+BENCHMARK(BM_DeltaComputation)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_PerTermIndex(benchmark::State& state) {
+  TwoVersionWorkload w =
+      MakeTwoVersionWorkload(200, 4000, 7000, 1000, /*seed=*/17);
+  const delta::LowLevelDelta delta =
+      delta::ComputeLowLevelDelta(w.generated.kb, w.after);
+  for (auto _ : state) {
+    auto counts = delta::PerTermChangeCounts(delta);
+    benchmark::DoNotOptimize(counts.size());
+  }
+}
+BENCHMARK(BM_PerTermIndex);
+
+void BM_CommitThroughput(benchmark::State& state) {
+  const auto policy = static_cast<version::ArchivePolicy>(state.range(0));
+  TwoVersionWorkload w =
+      MakeTwoVersionWorkload(100, 2000, 3500, 100, /*seed=*/29);
+  for (auto _ : state) {
+    state.PauseTiming();
+    version::VersionedKnowledgeBase vkb(policy, w.generated.kb);
+    state.ResumeTiming();
+    (void)vkb.Commit(w.outcome.changes, "bench", "step");
+    benchmark::DoNotOptimize(vkb.version_count());
+  }
+}
+BENCHMARK(BM_CommitThroughput)
+    ->Arg(static_cast<int>(version::ArchivePolicy::kFullMaterialization))
+    ->Arg(static_cast<int>(version::ArchivePolicy::kDeltaChain));
+
+}  // namespace
+}  // namespace evorec::bench
+
+int main(int argc, char** argv) {
+  evorec::bench::PrintDeltaScalingTable();
+  evorec::bench::PrintArchivePolicyTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

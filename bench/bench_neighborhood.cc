@@ -1,0 +1,120 @@
+// E2 — neighborhood change counts (paper §II.b).
+// Plants churn on the *neighbors* of a probe class, never on the probe
+// itself. Per-class counting scores the probe 0; the neighborhood
+// measure ranks it near the top — the topology-awareness the paper
+// argues for.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace evorec::bench {
+namespace {
+
+// Builds a KB where class 0 (probe) is property-connected to a ring of
+// neighbor classes, and all churn lands on the neighbors.
+struct ProbeWorkload {
+  rdf::KnowledgeBase before;
+  rdf::KnowledgeBase after;
+  rdf::TermId probe;
+  std::vector<rdf::TermId> neighbors;
+};
+
+ProbeWorkload MakeProbeWorkload(size_t neighbor_count, size_t churn_per_n) {
+  ProbeWorkload w;
+  w.probe = w.before.DeclareClass("http://x/Probe");
+  const rdf::Vocabulary& voc = w.before.vocabulary();
+  for (size_t i = 0; i < neighbor_count; ++i) {
+    const std::string iri = "http://x/N" + std::to_string(i);
+    const rdf::TermId n = w.before.DeclareClass(iri);
+    w.neighbors.push_back(n);
+    // Property linking probe ↔ neighbor (domain/range adjacency).
+    (void)w.before.DeclareProperty("http://x/link" + std::to_string(i),
+                                   "http://x/Probe", iri);
+  }
+  // A few decoy classes with light churn to make ranking non-trivial.
+  for (size_t i = 0; i < 10; ++i) {
+    w.before.DeclareClass("http://x/Decoy" + std::to_string(i));
+  }
+  w.after = w.before;
+  for (size_t i = 0; i < neighbor_count; ++i) {
+    for (size_t c = 0; c < churn_per_n; ++c) {
+      w.after.store().Add(
+          {w.after.dictionary().InternIri("http://x/N" + std::to_string(i) +
+                                          "/inst" + std::to_string(c)),
+           voc.rdf_type, w.neighbors[i]});
+    }
+  }
+  // Light decoy churn: one instance each.
+  for (size_t i = 0; i < 10; ++i) {
+    w.after.store().Add(
+        {w.after.dictionary().InternIri("http://x/Decoy" + std::to_string(i) +
+                                        "/inst"),
+         voc.rdf_type,
+         w.after.dictionary().InternIri("http://x/Decoy" +
+                                        std::to_string(i))});
+  }
+  return w;
+}
+
+size_t RankOf(const measures::MeasureReport& report, rdf::TermId term) {
+  const auto sorted = report.Sorted();
+  for (size_t i = 0; i < sorted.scores().size(); ++i) {
+    if (sorted.scores()[i].term == term) return i + 1;
+  }
+  return sorted.scores().size() + 1;
+}
+
+void PrintNeighborhoodTable() {
+  PrintHeader("E2 — neighborhood change counts",
+              "changes in N(n) expose topology-level churn that per-class "
+              "counting misses");
+  TablePrinter table({"neighbors", "churn/n", "probe_direct", "probe_nbhd",
+                      "rank_direct", "rank_nbhd"});
+  for (size_t neighbors : {2, 4, 8}) {
+    for (size_t churn : {5, 20}) {
+      ProbeWorkload w = MakeProbeWorkload(neighbors, churn);
+      auto ctx = measures::EvolutionContext::Build(w.before, w.after);
+      if (!ctx.ok()) continue;
+      measures::ClassChangeCountMeasure direct;
+      measures::NeighborhoodChangeCountMeasure neighborhood;
+      auto direct_report = direct.Compute(*ctx);
+      auto neighborhood_report = neighborhood.Compute(*ctx);
+      if (!direct_report.ok() || !neighborhood_report.ok()) continue;
+      table.AddRow({TablePrinter::Cell(neighbors),
+                    TablePrinter::Cell(churn),
+                    TablePrinter::Cell(direct_report->ScoreOf(w.probe), 0),
+                    TablePrinter::Cell(
+                        neighborhood_report->ScoreOf(w.probe), 0),
+                    TablePrinter::Cell(RankOf(*direct_report, w.probe)),
+                    TablePrinter::Cell(
+                        RankOf(*neighborhood_report, w.probe))});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "expected shape: probe_direct = 0 yet probe_nbhd grows with "
+      "neighbors x churn; rank_nbhd << rank_direct.\n");
+}
+
+void BM_NeighborhoodMeasure(benchmark::State& state) {
+  TwoVersionWorkload w = MakeTwoVersionWorkload(
+      static_cast<size_t>(state.range(0)), 2000, 4000, 400, /*seed=*/7);
+  auto ctx = measures::EvolutionContext::Build(w.generated.kb, w.after);
+  measures::NeighborhoodChangeCountMeasure measure;
+  for (auto _ : state) {
+    auto report = measure.Compute(*ctx);
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+BENCHMARK(BM_NeighborhoodMeasure)->Arg(100)->Arg(400);
+
+}  // namespace
+}  // namespace evorec::bench
+
+int main(int argc, char** argv) {
+  evorec::bench::PrintNeighborhoodTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Social feed: the paper's §I vision of humans who "generate data and
+// are the targets of data analysis" being notified about how *their*
+// data evolves. A feed-like KB churns through many small versions; a
+// user with narrow interests gets a fresh, novelty-aware digest after
+// every burst — repeated items stop being recommended.
+//
+//   $ ./social_feed
+
+#include <cstdio>
+#include <iostream>
+
+#include "evorec.h"
+
+int main() {
+  using namespace evorec;
+
+  workload::ScenarioScale scale;
+  scale.classes = 60;
+  scale.properties = 20;
+  scale.instances = 1000;
+  scale.edges = 2000;
+  scale.versions = 4;  // several small bursts
+  scale.operations = 150;
+  workload::Scenario scenario = workload::MakeSocialFeed(555, scale);
+  std::printf("social feed KB: %zu versions of instance churn\n",
+              scenario.vkb->version_count());
+
+  const measures::MeasureRegistry registry = measures::DefaultRegistry();
+  recommend::RecommenderOptions options;
+  options.package_size = 3;
+  options.novelty_weight = 0.5;  // §III.c novelty-based diversity
+  options.diversity = recommend::DiversityKind::kNovelty;
+  recommend::Recommender recommender(registry, options);
+
+  profile::HumanProfile& user = scenario.end_user;
+  std::printf("user '%s' follows %zu topics\n\n", user.id().c_str(),
+              user.interests().size());
+
+  for (version::VersionId v = 1; v < scenario.vkb->version_count(); ++v) {
+    auto ctx =
+        measures::EvolutionContext::FromVersions(*scenario.vkb, v - 1, v);
+    if (!ctx.ok()) continue;
+    auto digest = recommender.RecommendForUser(*ctx, user);
+    if (!digest.ok()) continue;
+
+    std::printf("--- digest after burst %u (|delta| = %zu) ---\n", v,
+                ctx->low_level_delta().size());
+    double mean_novelty = 0.0;
+    for (const auto& item : digest->items) {
+      std::printf("  %-45s rel %.2f novelty %.2f\n",
+                  item.candidate.id.c_str(), item.relatedness,
+                  item.novelty);
+      mean_novelty += item.novelty;
+    }
+    if (!digest->items.empty()) {
+      mean_novelty /= static_cast<double>(digest->items.size());
+    }
+    std::printf("  seen-history %zu terms, digest novelty %.2f\n\n",
+                user.seen_count(), mean_novelty);
+  }
+
+  std::printf(
+      "note how the seen-history grows and repeated regions lose "
+      "novelty across digests — the novelty-based diversity of "
+      "paper SIII.c in action.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "anonymity/aggregate.h"
+
+#include <map>
+
+namespace evorec::anonymity {
+
+AggregateTable::AggregateTable(std::vector<std::string> qi_columns,
+                               std::string value_column)
+    : qi_columns_(std::move(qi_columns)),
+      value_column_(std::move(value_column)) {}
+
+Status AggregateTable::AddRow(std::vector<std::string> qi, double value,
+                              size_t count) {
+  if (qi.size() != qi_columns_.size()) {
+    return InvalidArgumentError(
+        "row has " + std::to_string(qi.size()) + " QI values, table has " +
+        std::to_string(qi_columns_.size()) + " QI columns");
+  }
+  rows_.push_back({std::move(qi), value, count});
+  return OkStatus();
+}
+
+size_t AggregateTable::TotalCount() const {
+  size_t total = 0;
+  for (const AggregateRow& row : rows_) total += row.count;
+  return total;
+}
+
+AggregateTable AggregateTable::MergedGroups() const {
+  AggregateTable merged(qi_columns_, value_column_);
+  std::map<std::vector<std::string>, AggregateRow> groups;
+  for (const AggregateRow& row : rows_) {
+    auto [it, inserted] = groups.try_emplace(row.qi, row);
+    if (!inserted) {
+      it->second.value += row.value;
+      it->second.count += row.count;
+    }
+  }
+  for (auto& [qi, row] : groups) {
+    (void)qi;
+    merged.rows_.push_back(std::move(row));
+  }
+  return merged;
+}
+
+}  // namespace evorec::anonymity

@@ -1,0 +1,57 @@
+#ifndef EVOREC_ANONYMITY_AGGREGATE_H_
+#define EVOREC_ANONYMITY_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace evorec::anonymity {
+
+/// One row of an aggregate evolution report: quasi-identifier values
+/// (e.g. class, region, period), an aggregated metric (e.g. change
+/// count), and the number of underlying individuals the row
+/// aggregates.
+struct AggregateRow {
+  std::vector<std::string> qi;  ///< one value per QI column
+  double value = 0.0;           ///< aggregated metric
+  size_t count = 0;             ///< individuals contributing to the row
+};
+
+/// A typed aggregate table over evolution statistics — the
+/// "aggregations on patterns" through which sensitive data is observed
+/// (paper §III.e). This is the object k-anonymity is checked on: each
+/// distinct QI combination forms an equivalence group whose total
+/// `count` must reach k.
+class AggregateTable {
+ public:
+  AggregateTable() = default;
+
+  /// Creates a table with named QI columns and a named value column.
+  AggregateTable(std::vector<std::string> qi_columns,
+                 std::string value_column);
+
+  /// Appends a row; the QI vector must match the column count.
+  Status AddRow(std::vector<std::string> qi, double value, size_t count = 1);
+
+  const std::vector<std::string>& qi_columns() const { return qi_columns_; }
+  const std::string& value_column() const { return value_column_; }
+  const std::vector<AggregateRow>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+
+  /// Sum of `count` over all rows (number of represented individuals).
+  size_t TotalCount() const;
+
+  /// Returns a table with rows of identical QI vectors merged (values
+  /// and counts summed). Grouping is the last step of generalisation.
+  AggregateTable MergedGroups() const;
+
+ private:
+  std::vector<std::string> qi_columns_;
+  std::string value_column_;
+  std::vector<AggregateRow> rows_;
+};
+
+}  // namespace evorec::anonymity
+
+#endif  // EVOREC_ANONYMITY_AGGREGATE_H_

@@ -1,0 +1,121 @@
+#include "anonymity/anonymizer.h"
+
+#include <algorithm>
+
+namespace evorec::anonymity {
+
+Result<AggregateTable> GeneralizeTable(
+    const AggregateTable& table, const std::vector<size_t>& levels,
+    const std::vector<ValueHierarchy>& hierarchies) {
+  if (levels.size() != table.qi_columns().size() ||
+      hierarchies.size() != table.qi_columns().size()) {
+    return InvalidArgumentError(
+        "levels/hierarchies must match the table's QI column count");
+  }
+  AggregateTable out(table.qi_columns(), table.value_column());
+  for (const AggregateRow& row : table.rows()) {
+    std::vector<std::string> qi = row.qi;
+    for (size_t c = 0; c < qi.size(); ++c) {
+      qi[c] = hierarchies[c].Generalize(qi[c], levels[c]);
+    }
+    EVOREC_RETURN_IF_ERROR(out.AddRow(std::move(qi), row.value, row.count));
+  }
+  return out.MergedGroups();
+}
+
+namespace {
+
+// Total individuals in groups violating k.
+size_t ViolatingCount(const AggregateTable& table, size_t k) {
+  size_t total = 0;
+  for (const QiGroup& g : ViolatingGroups(table, k)) {
+    total += g.count;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<AnonymizationResult> Anonymize(
+    const AggregateTable& table, size_t k,
+    const std::vector<ValueHierarchy>& hierarchies) {
+  if (hierarchies.size() != table.qi_columns().size()) {
+    return InvalidArgumentError(
+        "hierarchies must match the table's QI column count");
+  }
+  const size_t columns = table.qi_columns().size();
+  std::vector<size_t> levels(columns, 0);
+  std::vector<size_t> ceilings(columns, 0);
+  for (size_t c = 0; c < columns; ++c) {
+    ceilings[c] = hierarchies[c].MaxHeight();
+  }
+
+  auto current = GeneralizeTable(table, levels, hierarchies);
+  if (!current.ok()) return current.status();
+  AggregateTable working = std::move(current).value();
+
+  // Greedy level raising: pick the column whose raise removes the most
+  // violating individuals.
+  while (ViolatingCount(working, k) > 0) {
+    size_t best_column = columns;
+    size_t best_remaining = ViolatingCount(working, k);
+    AggregateTable best_table;
+    for (size_t c = 0; c < columns; ++c) {
+      if (levels[c] >= ceilings[c]) continue;
+      std::vector<size_t> probe = levels;
+      ++probe[c];
+      auto candidate = GeneralizeTable(table, probe, hierarchies);
+      if (!candidate.ok()) return candidate.status();
+      const size_t remaining = ViolatingCount(*candidate, k);
+      if (remaining < best_remaining) {
+        best_remaining = remaining;
+        best_column = c;
+        best_table = std::move(candidate).value();
+      }
+    }
+    if (best_column == columns) break;  // no raise helps → suppress
+    ++levels[best_column];
+    working = std::move(best_table);
+  }
+
+  // Suppress residual violating groups.
+  AnonymizationResult result;
+  result.levels = levels;
+  AggregateTable cleaned(working.qi_columns(), working.value_column());
+  for (const AggregateRow& row : working.rows()) {
+    bool violating = false;
+    for (const QiGroup& g : ViolatingGroups(working, k)) {
+      if (g.qi == row.qi) {
+        violating = true;
+        break;
+      }
+    }
+    if (violating) {
+      result.suppressed_count += row.count;
+      ++result.suppressed_rows;
+    } else {
+      EVOREC_RETURN_IF_ERROR(cleaned.AddRow(row.qi, row.value, row.count));
+    }
+  }
+  result.table = std::move(cleaned);
+
+  // Information loss: generalisation height fractions + suppression
+  // fraction, equally weighted.
+  double loss = 0.0;
+  for (size_t c = 0; c < columns; ++c) {
+    loss += ceilings[c] == 0
+                ? 0.0
+                : static_cast<double>(levels[c]) /
+                      static_cast<double>(ceilings[c]);
+  }
+  const size_t total = table.TotalCount();
+  const double suppression_fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(result.suppressed_count) /
+                       static_cast<double>(total);
+  result.information_loss =
+      (loss + suppression_fraction) / static_cast<double>(columns + 1);
+  return result;
+}
+
+}  // namespace evorec::anonymity

@@ -1,0 +1,49 @@
+#ifndef EVOREC_ANONYMITY_ANONYMIZER_H_
+#define EVOREC_ANONYMITY_ANONYMIZER_H_
+
+#include <vector>
+
+#include "anonymity/aggregate.h"
+#include "anonymity/generalization.h"
+#include "anonymity/kanonymity.h"
+#include "common/result.h"
+
+namespace evorec::anonymity {
+
+/// Result of enforcing k-anonymity on an aggregate table.
+struct AnonymizationResult {
+  /// The k-anonymous output table (generalised, merged, with violating
+  /// residue suppressed).
+  AggregateTable table;
+  /// Generalisation level applied per QI column.
+  std::vector<size_t> levels;
+  /// Individuals removed by suppression.
+  size_t suppressed_count = 0;
+  /// Rows removed by suppression.
+  size_t suppressed_rows = 0;
+  /// Information loss in [0,1]: mean over columns of
+  /// level/max_height, blended with the suppressed-individual
+  /// fraction (each column and the suppression term weighted
+  /// equally).
+  double information_loss = 0.0;
+};
+
+/// Greedy Samarati-style anonymiser: repeatedly raises the
+/// generalisation level of the column that removes the most violating
+/// individuals per step, merging equal QI groups after each raise;
+/// when the lattice ceiling is reached, suppresses remaining violating
+/// groups. Guarantees the output satisfies IsKAnonymous(..., k).
+///
+/// `hierarchies` must provide one ValueHierarchy per QI column.
+Result<AnonymizationResult> Anonymize(
+    const AggregateTable& table, size_t k,
+    const std::vector<ValueHierarchy>& hierarchies);
+
+/// Applies fixed generalisation `levels` to `table` (no suppression).
+Result<AggregateTable> GeneralizeTable(
+    const AggregateTable& table, const std::vector<size_t>& levels,
+    const std::vector<ValueHierarchy>& hierarchies);
+
+}  // namespace evorec::anonymity
+
+#endif  // EVOREC_ANONYMITY_ANONYMIZER_H_

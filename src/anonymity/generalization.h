@@ -1,0 +1,51 @@
+#ifndef EVOREC_ANONYMITY_GENERALIZATION_H_
+#define EVOREC_ANONYMITY_GENERALIZATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "schema/hierarchy.h"
+
+namespace evorec::anonymity {
+
+/// A value-generalisation taxonomy for one quasi-identifier column:
+/// each value has at most one parent; repeated generalisation reaches
+/// the universal root "*". For class-valued columns the taxonomy is
+/// the KB's own subsumption hierarchy — evolution reports generalise a
+/// class to its superclass.
+class ValueHierarchy {
+ public:
+  /// The universal top value every chain ends at.
+  static constexpr const char* kRoot = "*";
+
+  ValueHierarchy() = default;
+
+  /// Declares `parent` as the generalisation of `value`.
+  void AddParent(const std::string& value, const std::string& parent);
+
+  /// Builds a taxonomy from a class hierarchy, naming values by their
+  /// IRI. Classes with several parents use the first (sorted) one, so
+  /// the taxonomy is a tree.
+  static ValueHierarchy FromClassHierarchy(
+      const schema::ClassHierarchy& hierarchy,
+      const rdf::Dictionary& dictionary);
+
+  /// Generalises `value` by `steps` levels (saturating at kRoot).
+  std::string Generalize(const std::string& value, size_t steps) const;
+
+  /// Number of generalisation steps from `value` to kRoot.
+  size_t HeightOf(const std::string& value) const;
+
+  /// Maximum height over all known values (the column's lattice
+  /// ceiling); at least 1 (any value can generalise to kRoot).
+  size_t MaxHeight() const;
+
+ private:
+  std::unordered_map<std::string, std::string> parent_;
+};
+
+}  // namespace evorec::anonymity
+
+#endif  // EVOREC_ANONYMITY_GENERALIZATION_H_

@@ -1,0 +1,50 @@
+#include "anonymity/kanonymity.h"
+
+#include <map>
+
+namespace evorec::anonymity {
+
+std::vector<QiGroup> EquivalenceGroups(const AggregateTable& table) {
+  std::map<std::vector<std::string>, QiGroup> groups;
+  for (const AggregateRow& row : table.rows()) {
+    QiGroup& g = groups[row.qi];
+    if (g.rows == 0) g.qi = row.qi;
+    g.count += row.count;
+    ++g.rows;
+  }
+  std::vector<QiGroup> out;
+  out.reserve(groups.size());
+  for (auto& [qi, group] : groups) {
+    (void)qi;
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+bool IsKAnonymous(const AggregateTable& table, size_t k) {
+  for (const QiGroup& g : EquivalenceGroups(table)) {
+    if (g.count < k) return false;
+  }
+  return true;
+}
+
+std::vector<QiGroup> ViolatingGroups(const AggregateTable& table, size_t k) {
+  std::vector<QiGroup> violating;
+  for (QiGroup& g : EquivalenceGroups(table)) {
+    if (g.count < k) violating.push_back(std::move(g));
+  }
+  return violating;
+}
+
+double ReidentificationRisk(const AggregateTable& table) {
+  const std::vector<QiGroup> groups = EquivalenceGroups(table);
+  if (groups.empty()) return 0.0;
+  size_t smallest = groups.front().count;
+  for (const QiGroup& g : groups) {
+    if (g.count < smallest) smallest = g.count;
+  }
+  if (smallest == 0) return 1.0;
+  return 1.0 / static_cast<double>(smallest);
+}
+
+}  // namespace evorec::anonymity

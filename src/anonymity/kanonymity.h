@@ -1,0 +1,35 @@
+#ifndef EVOREC_ANONYMITY_KANONYMITY_H_
+#define EVOREC_ANONYMITY_KANONYMITY_H_
+
+#include <string>
+#include <vector>
+
+#include "anonymity/aggregate.h"
+
+namespace evorec::anonymity {
+
+/// One equivalence group: rows sharing a QI vector.
+struct QiGroup {
+  std::vector<std::string> qi;
+  size_t count = 0;  ///< total individuals in the group
+  size_t rows = 0;   ///< table rows in the group
+};
+
+/// All equivalence groups of `table` (rows grouped by QI vector).
+std::vector<QiGroup> EquivalenceGroups(const AggregateTable& table);
+
+/// True iff every equivalence group aggregates at least `k`
+/// individuals (empty tables are k-anonymous).
+bool IsKAnonymous(const AggregateTable& table, size_t k);
+
+/// Groups violating k-anonymity (count < k).
+std::vector<QiGroup> ViolatingGroups(const AggregateTable& table, size_t k);
+
+/// Worst-case re-identification risk: 1 / (smallest group count);
+/// 0 for empty tables. A k-anonymous table has risk <= 1/k (§III.e:
+/// "even if data is aggregated, it is possible to re-identify").
+double ReidentificationRisk(const AggregateTable& table);
+
+}  // namespace evorec::anonymity
+
+#endif  // EVOREC_ANONYMITY_KANONYMITY_H_

@@ -1,0 +1,30 @@
+#ifndef EVOREC_COMMON_HASH_H_
+#define EVOREC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace evorec {
+
+/// 64-bit FNV-1a over an arbitrary byte string.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Combines `value`'s hash into `seed` (boost-style mixing).
+template <typename T>
+void HashCombine(size_t& seed, const T& value) {
+  seed ^= std::hash<T>{}(value) + 0x9E3779B97F4A7C15ULL + (seed << 6) +
+          (seed >> 2);
+}
+
+}  // namespace evorec
+
+#endif  // EVOREC_COMMON_HASH_H_

@@ -1,0 +1,93 @@
+#ifndef EVOREC_COMMON_RESULT_H_
+#define EVOREC_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace evorec {
+
+/// Result<T> carries either a value of type T or a non-OK Status,
+/// mirroring absl::StatusOr<T>. Accessing the value of an error Result
+/// aborts the process (the library is exception-free).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = InternalError("Result constructed from OK status");
+    }
+  }
+
+  /// Constructs a success result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(OkStatus()), value_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if !ok().
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!status_.ok()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace evorec
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status to the caller.
+#define EVOREC_ASSIGN_OR_RETURN(lhs, expr)            \
+  EVOREC_ASSIGN_OR_RETURN_IMPL_(                      \
+      EVOREC_RESULT_CONCAT_(evorec_result_, __LINE__), lhs, expr)
+
+#define EVOREC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#define EVOREC_RESULT_CONCAT_(a, b) EVOREC_RESULT_CONCAT_IMPL_(a, b)
+#define EVOREC_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // EVOREC_COMMON_RESULT_H_

@@ -1,0 +1,166 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace evorec {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double Min(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 100.0) return values.back();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double Gini(std::vector<double> values) {
+  if (values.size() < 2) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    weighted += (static_cast<double>(i) + 1.0) * values[i];
+    total += values[i];
+  }
+  if (total <= 0.0) return 0.0;
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double JaccardSimilarity(std::vector<uint32_t> a, std::vector<uint32_t> b) {
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  if (a.empty() && b.empty()) return 1.0;
+  std::vector<uint32_t> inter;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(inter));
+  const double union_size =
+      static_cast<double>(a.size() + b.size() - inter.size());
+  if (union_size <= 0.0) return 1.0;
+  return static_cast<double>(inter.size()) / union_size;
+}
+
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  // O(n^2) tau-a: fine for the ranking sizes evorec compares (<= a few
+  // thousand classes).
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0.0) {
+        ++concordant;
+      } else if (prod < 0.0) {
+        ++discordant;
+      }
+    }
+  }
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+namespace {
+
+// Average ranks (1-based) with ties sharing the mean rank.
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return values[x] < values[y]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = avg;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanRho(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  std::vector<double> ra =
+      AverageRanks(std::vector<double>(a.begin(), a.begin() + n));
+  std::vector<double> rb =
+      AverageRanks(std::vector<double>(b.begin(), b.begin() + n));
+  const double mean_a = Mean(ra);
+  const double mean_b = Mean(rb);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = ra[i] - mean_a;
+    const double db = rb[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double NdcgAtK(const std::vector<double>& relevance, size_t k) {
+  if (relevance.empty() || k == 0) return 0.0;
+  const size_t cutoff = std::min(k, relevance.size());
+  double dcg = 0.0;
+  for (size_t i = 0; i < cutoff; ++i) {
+    dcg += relevance[i] / std::log2(static_cast<double>(i) + 2.0);
+  }
+  std::vector<double> ideal = relevance;
+  std::sort(ideal.begin(), ideal.end(), std::greater<double>());
+  double idcg = 0.0;
+  for (size_t i = 0; i < cutoff; ++i) {
+    idcg += ideal[i] / std::log2(static_cast<double>(i) + 2.0);
+  }
+  if (idcg <= 0.0) return 0.0;
+  return dcg / idcg;
+}
+
+}  // namespace evorec

@@ -1,0 +1,84 @@
+#ifndef EVOREC_COMMON_STATUS_H_
+#define EVOREC_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace evorec {
+
+/// Canonical error space for the library. evorec is built without C++
+/// exceptions; every fallible operation reports through Status or
+/// Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kPermissionDenied,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NOT_FOUND").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value type carrying success or an error code plus message. Cheap to
+/// copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "CODE: message" (or "OK").
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Factory helpers mirroring absl::*Error.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+}  // namespace evorec
+
+/// Propagates a non-OK Status to the caller.
+#define EVOREC_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::evorec::Status evorec_status_tmp_ = (expr);   \
+    if (!evorec_status_tmp_.ok()) {                 \
+      return evorec_status_tmp_;                    \
+    }                                               \
+  } while (false)
+
+#endif  // EVOREC_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef EVOREC_COMMON_STOPWATCH_H_
+#define EVOREC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace evorec {
+
+/// Wall-clock stopwatch used by benches and examples to report stage
+/// latencies.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace evorec
+
+#endif  // EVOREC_COMMON_STOPWATCH_H_

@@ -1,0 +1,41 @@
+#ifndef EVOREC_COMMON_STRINGS_H_
+#define EVOREC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evorec {
+
+/// Splits `input` on `delimiter`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char delimiter);
+
+/// Joins `pieces` with `separator`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view separator);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view input);
+
+/// True iff `input` begins with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// True iff `input` ends with `suffix`.
+bool EndsWith(std::string_view input, std::string_view suffix);
+
+/// Formats a double with `precision` fractional digits (fixed notation).
+std::string FormatDouble(double value, int precision = 3);
+
+/// Renders a byte count as a human-readable string ("1.5 MiB").
+std::string HumanBytes(size_t bytes);
+
+/// Escapes a string for embedding in an N-Triples literal: backslash,
+/// quote, newline, carriage return and tab are escaped.
+std::string EscapeNTriples(std::string_view input);
+
+/// Reverses EscapeNTriples. Unknown escapes are passed through verbatim.
+std::string UnescapeNTriples(std::string_view input);
+
+}  // namespace evorec
+
+#endif  // EVOREC_COMMON_STRINGS_H_

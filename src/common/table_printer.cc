@@ -1,0 +1,87 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace evorec {
+
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  size_t digits = 0;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++digits;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != '%' &&
+               c != 'x') {
+      return false;
+    }
+  }
+  return digits > 0;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Cell(double value, int precision) {
+  return FormatDouble(value, precision);
+}
+
+std::string TablePrinter::Cell(size_t value) { return std::to_string(value); }
+
+std::string TablePrinter::Cell(int64_t value) { return std::to_string(value); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t columns = headers_.size();
+  for (const auto& row : rows_) {
+    columns = std::max(columns, row.size());
+  }
+  std::vector<size_t> widths(columns, 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < columns; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      os << "  ";
+      if (LooksNumeric(cell)) {
+        os << std::string(widths[c] - cell.size(), ' ') << cell;
+      } else {
+        os << cell << std::string(widths[c] - cell.size(), ' ');
+      }
+    }
+    os << "\n";
+  };
+
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+}  // namespace evorec

@@ -1,0 +1,43 @@
+#ifndef EVOREC_COMMON_TABLE_PRINTER_H_
+#define EVOREC_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace evorec {
+
+/// Fixed-width console table used by the benchmark harness to print the
+/// rows each experiment reports (the "figure data" of EXPERIMENTS.md).
+/// Columns auto-size to their widest cell; numeric cells are
+/// right-aligned.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; missing cells render empty, extra cells are kept
+  /// and widen the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits.
+  static std::string Cell(double value, int precision = 3);
+  static std::string Cell(size_t value);
+  static std::string Cell(int64_t value);
+
+  /// Renders the table (with a rule under the header) to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string.
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace evorec
+
+#endif  // EVOREC_COMMON_TABLE_PRINTER_H_

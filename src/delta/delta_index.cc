@@ -1,0 +1,91 @@
+#include "delta/delta_index.h"
+
+#include <algorithm>
+
+namespace evorec::delta {
+
+namespace {
+
+std::vector<rdf::TermId> SortedUnion(const std::vector<rdf::TermId>& a,
+                                     const std::vector<rdf::TermId>& b) {
+  std::vector<rdf::TermId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+DeltaIndex DeltaIndex::Build(const LowLevelDelta& delta,
+                             const schema::SchemaView& before,
+                             const schema::SchemaView& after,
+                             const rdf::Vocabulary& vocabulary) {
+  DeltaIndex index;
+  index.total_changes_ = delta.size();
+  index.direct_ = PerTermChangeCounts(delta);
+  index.union_classes_ = SortedUnion(before.classes(), after.classes());
+  index.union_properties_ =
+      SortedUnion(before.properties(), after.properties());
+
+  // Extended attribution starts from direct counts.
+  index.extended_ = index.direct_;
+
+  auto class_of_instance = [&](rdf::TermId instance) -> rdf::TermId {
+    rdf::TermId cls = after.TypeOf(instance);
+    if (cls == rdf::kAnyTerm) cls = before.TypeOf(instance);
+    return cls;
+  };
+
+  auto attribute = [&](const rdf::Triple& t) {
+    if (t.predicate == vocabulary.rdf_type) {
+      // (x type C): direct counting already credited C; also credit the
+      // previous/other class of x on retyping via class_of_instance of
+      // the subject if it differs.
+      return;
+    }
+    if (vocabulary.IsSchemaPredicate(t.predicate)) return;
+    // Instance edge (x p y): credit the classes of x and y.
+    const rdf::TermId cs = class_of_instance(t.subject);
+    const rdf::TermId co = class_of_instance(t.object);
+    if (cs != rdf::kAnyTerm) ++index.extended_[cs];
+    if (co != rdf::kAnyTerm && co != cs) ++index.extended_[co];
+  };
+  for (const rdf::Triple& t : delta.added) attribute(t);
+  for (const rdf::Triple& t : delta.removed) attribute(t);
+
+  // Union neighborhoods for all classes of either version.
+  for (rdf::TermId cls : index.union_classes_) {
+    index.neighborhoods_[cls] =
+        SortedUnion(before.Neighborhood(cls), after.Neighborhood(cls));
+  }
+  return index;
+}
+
+size_t DeltaIndex::DirectChanges(rdf::TermId term) const {
+  auto it = direct_.find(term);
+  return it == direct_.end() ? 0 : it->second;
+}
+
+size_t DeltaIndex::ExtendedChanges(rdf::TermId term) const {
+  auto it = extended_.find(term);
+  return it == extended_.end() ? 0 : it->second;
+}
+
+size_t DeltaIndex::NeighborhoodChanges(rdf::TermId cls) const {
+  auto it = neighborhoods_.find(cls);
+  if (it == neighborhoods_.end()) return 0;
+  size_t total = 0;
+  for (rdf::TermId neighbor : it->second) {
+    total += ExtendedChanges(neighbor);
+  }
+  return total;
+}
+
+std::vector<rdf::TermId> DeltaIndex::UnionNeighborhood(rdf::TermId cls) const {
+  auto it = neighborhoods_.find(cls);
+  if (it == neighborhoods_.end()) return {};
+  return it->second;
+}
+
+}  // namespace evorec::delta

@@ -1,0 +1,71 @@
+#ifndef EVOREC_DELTA_DELTA_INDEX_H_
+#define EVOREC_DELTA_DELTA_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "delta/low_level_delta.h"
+#include "schema/schema_view.h"
+
+namespace evorec::delta {
+
+/// Class- and property-attributed change statistics for one version
+/// pair. Two attribution modes are provided:
+///
+///  - *direct*: δ(n) counts changed triples mentioning n itself —
+///    the literal reading of the paper's δ_{V1,V2}(n);
+///  - *extended*: additionally attributes instance-level changes
+///    (type assertions, instance property edges) to the instance's
+///    class in either version, so that "the Person part of the KB
+///    churned" is visible at the class level.
+///
+/// The neighborhood aggregate implements §II.b:
+///   |δN(n)| = Σ_{c ∈ N_{V1,V2}(n)} δ(c),
+/// with N taken as the union of the per-version neighborhoods.
+class DeltaIndex {
+ public:
+  /// Builds the index from a computed delta and the schema views of the
+  /// two snapshots it connects.
+  static DeltaIndex Build(const LowLevelDelta& delta,
+                          const schema::SchemaView& before,
+                          const schema::SchemaView& after,
+                          const rdf::Vocabulary& vocabulary);
+
+  /// δ(n), direct attribution.
+  size_t DirectChanges(rdf::TermId term) const;
+
+  /// δ(n), extended attribution (classes only; falls back to direct
+  /// for other terms).
+  size_t ExtendedChanges(rdf::TermId term) const;
+
+  /// |δN(n)| over the union neighborhood, using extended attribution.
+  size_t NeighborhoodChanges(rdf::TermId cls) const;
+
+  /// Union neighborhood N_{V1,V2}(n).
+  std::vector<rdf::TermId> UnionNeighborhood(rdf::TermId cls) const;
+
+  /// All classes present in either version, sorted.
+  const std::vector<rdf::TermId>& union_classes() const {
+    return union_classes_;
+  }
+
+  /// All properties present in either version, sorted.
+  const std::vector<rdf::TermId>& union_properties() const {
+    return union_properties_;
+  }
+
+  /// Total |δ|.
+  size_t total_changes() const { return total_changes_; }
+
+ private:
+  std::unordered_map<rdf::TermId, size_t> direct_;
+  std::unordered_map<rdf::TermId, size_t> extended_;
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> neighborhoods_;
+  std::vector<rdf::TermId> union_classes_;
+  std::vector<rdf::TermId> union_properties_;
+  size_t total_changes_ = 0;
+};
+
+}  // namespace evorec::delta
+
+#endif  // EVOREC_DELTA_DELTA_INDEX_H_

@@ -1,0 +1,36 @@
+#ifndef EVOREC_DELTA_DELTA_IO_H_
+#define EVOREC_DELTA_DELTA_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "rdf/dictionary.h"
+#include "version/version.h"
+
+namespace evorec::delta {
+
+/// Text exchange format for change sets, after the "transmitting RDF
+/// graph deltas" use case the paper cites ([2]): one statement per
+/// line, prefixed with `A` (added) or `D` (deleted), followed by the
+/// triple in N-Triples syntax:
+///
+///   A <http://x/alice> <.../type> <http://x/Person> .
+///   D <http://x/bob> <.../type> <http://x/Person> .
+///
+/// Comments (`#`) and blank lines are permitted. The format makes a
+/// delta self-contained: a consumer sharing no state with the producer
+/// can synchronise its replica by applying the lines in order.
+
+/// Serialises `changes` (ids resolved against `dictionary`).
+std::string WriteChangeSet(const version::ChangeSet& changes,
+                           const rdf::Dictionary& dictionary);
+
+/// Parses a change-set document, interning terms into `dictionary`.
+/// Fails on the first malformed line with its line number.
+Result<version::ChangeSet> ParseChangeSet(std::string_view text,
+                                          rdf::Dictionary& dictionary);
+
+}  // namespace evorec::delta
+
+#endif  // EVOREC_DELTA_DELTA_IO_H_

@@ -1,0 +1,313 @@
+#include "delta/high_level_delta.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace evorec::delta {
+
+std::string HighLevelChangeKindName(HighLevelChangeKind kind) {
+  switch (kind) {
+    case HighLevelChangeKind::kAddClass:
+      return "AddClass";
+    case HighLevelChangeKind::kDeleteClass:
+      return "DeleteClass";
+    case HighLevelChangeKind::kAddProperty:
+      return "AddProperty";
+    case HighLevelChangeKind::kDeleteProperty:
+      return "DeleteProperty";
+    case HighLevelChangeKind::kAttachSubclass:
+      return "AttachSubclass";
+    case HighLevelChangeKind::kDetachSubclass:
+      return "DetachSubclass";
+    case HighLevelChangeKind::kMoveClass:
+      return "MoveClass";
+    case HighLevelChangeKind::kChangeDomain:
+      return "ChangeDomain";
+    case HighLevelChangeKind::kChangeRange:
+      return "ChangeRange";
+    case HighLevelChangeKind::kAddDomain:
+      return "AddDomain";
+    case HighLevelChangeKind::kDeleteDomain:
+      return "DeleteDomain";
+    case HighLevelChangeKind::kAddRange:
+      return "AddRange";
+    case HighLevelChangeKind::kDeleteRange:
+      return "DeleteRange";
+    case HighLevelChangeKind::kAddInstance:
+      return "AddInstance";
+    case HighLevelChangeKind::kDeleteInstance:
+      return "DeleteInstance";
+    case HighLevelChangeKind::kRetypeInstance:
+      return "RetypeInstance";
+    case HighLevelChangeKind::kAddInstanceEdge:
+      return "AddInstanceEdge";
+    case HighLevelChangeKind::kDeleteInstanceEdge:
+      return "DeleteInstanceEdge";
+    case HighLevelChangeKind::kChangeLabel:
+      return "ChangeLabel";
+    case HighLevelChangeKind::kAddLabel:
+      return "AddLabel";
+    case HighLevelChangeKind::kDeleteLabel:
+      return "DeleteLabel";
+    case HighLevelChangeKind::kRenameResource:
+      return "RenameResource";
+  }
+  return "Unknown";
+}
+
+std::map<HighLevelChangeKind, size_t> HighLevelDelta::CountsByKind() const {
+  std::map<HighLevelChangeKind, size_t> counts;
+  for (const HighLevelChange& c : changes) {
+    ++counts[c.kind];
+  }
+  return counts;
+}
+
+namespace {
+
+// One unmatched edit left after same-subject pairing.
+struct LeftoverEdit {
+  rdf::TermId subject;
+  rdf::TermId object;
+};
+
+// Pairs removed (subject → old object) with added (subject → new
+// object) triples of one predicate into "change" events; leftovers
+// become standalone add/delete events (or feed cross-subject pairing,
+// see the label handling in DetectHighLevelChanges).
+struct PairedEdits {
+  // subject → (old objects, new objects)
+  std::unordered_map<rdf::TermId, std::pair<std::vector<rdf::TermId>,
+                                            std::vector<rdf::TermId>>>
+      by_subject;
+
+  void AddRemoved(rdf::TermId subject, rdf::TermId object) {
+    by_subject[subject].first.push_back(object);
+  }
+  void AddAdded(rdf::TermId subject, rdf::TermId object) {
+    by_subject[subject].second.push_back(object);
+  }
+
+  // Emits change events for same-subject pairs and collects unmatched
+  // edits.
+  void EmitChanges(std::vector<HighLevelChange>& out,
+                   HighLevelChangeKind change,
+                   std::vector<LeftoverEdit>& removed_leftovers,
+                   std::vector<LeftoverEdit>& added_leftovers) {
+    for (auto& [subject, edits] : by_subject) {
+      auto& removed = edits.first;
+      auto& added = edits.second;
+      const size_t paired = std::min(removed.size(), added.size());
+      for (size_t i = 0; i < paired; ++i) {
+        HighLevelChange c;
+        c.kind = change;
+        c.focus = subject;
+        c.before_value = removed[i];
+        c.after_value = added[i];
+        c.consumed = 2;
+        out.push_back(c);
+      }
+      for (size_t i = paired; i < removed.size(); ++i) {
+        removed_leftovers.push_back({subject, removed[i]});
+      }
+      for (size_t i = paired; i < added.size(); ++i) {
+        added_leftovers.push_back({subject, added[i]});
+      }
+    }
+  }
+
+  // Emits change / add / delete events.
+  void Emit(std::vector<HighLevelChange>& out, HighLevelChangeKind change,
+            HighLevelChangeKind add, HighLevelChangeKind del) {
+    std::vector<LeftoverEdit> removed_leftovers;
+    std::vector<LeftoverEdit> added_leftovers;
+    EmitChanges(out, change, removed_leftovers, added_leftovers);
+    for (const LeftoverEdit& edit : removed_leftovers) {
+      HighLevelChange c;
+      c.kind = del;
+      c.focus = edit.subject;
+      c.before_value = edit.object;
+      c.consumed = 1;
+      out.push_back(c);
+    }
+    for (const LeftoverEdit& edit : added_leftovers) {
+      HighLevelChange c;
+      c.kind = add;
+      c.focus = edit.subject;
+      c.after_value = edit.object;
+      c.consumed = 1;
+      out.push_back(c);
+    }
+  }
+};
+
+}  // namespace
+
+HighLevelDelta DetectHighLevelChanges(const LowLevelDelta& delta,
+                                      const schema::SchemaView& before,
+                                      const schema::SchemaView& after,
+                                      const rdf::Vocabulary& voc) {
+  HighLevelDelta result;
+  PairedEdits subclass_edits;
+  PairedEdits domain_edits;
+  PairedEdits range_edits;
+  PairedEdits type_edits;
+  PairedEdits label_edits;
+
+  auto classify = [&](const rdf::Triple& t, bool is_add) {
+    if (t.predicate == voc.rdf_type) {
+      if (t.object == voc.rdfs_class || t.object == voc.owl_class) {
+        HighLevelChange c;
+        c.kind = is_add ? HighLevelChangeKind::kAddClass
+                        : HighLevelChangeKind::kDeleteClass;
+        c.focus = t.subject;
+        c.consumed = 1;
+        result.changes.push_back(c);
+        return;
+      }
+      if (t.object == voc.rdf_property) {
+        HighLevelChange c;
+        c.kind = is_add ? HighLevelChangeKind::kAddProperty
+                        : HighLevelChangeKind::kDeleteProperty;
+        c.focus = t.subject;
+        c.consumed = 1;
+        result.changes.push_back(c);
+        return;
+      }
+      // Instance typing.
+      if (is_add) {
+        type_edits.AddAdded(t.subject, t.object);
+      } else {
+        type_edits.AddRemoved(t.subject, t.object);
+      }
+      return;
+    }
+    if (t.predicate == voc.rdfs_subclass_of) {
+      if (is_add) {
+        subclass_edits.AddAdded(t.subject, t.object);
+      } else {
+        subclass_edits.AddRemoved(t.subject, t.object);
+      }
+      return;
+    }
+    if (t.predicate == voc.rdfs_domain) {
+      if (is_add) {
+        domain_edits.AddAdded(t.subject, t.object);
+      } else {
+        domain_edits.AddRemoved(t.subject, t.object);
+      }
+      return;
+    }
+    if (t.predicate == voc.rdfs_range) {
+      if (is_add) {
+        range_edits.AddAdded(t.subject, t.object);
+      } else {
+        range_edits.AddRemoved(t.subject, t.object);
+      }
+      return;
+    }
+    if (t.predicate == voc.rdfs_label) {
+      if (is_add) {
+        label_edits.AddAdded(t.subject, t.object);
+      } else {
+        label_edits.AddRemoved(t.subject, t.object);
+      }
+      return;
+    }
+    // Instance-level edge. A deleted instance (type removed) drags its
+    // edges with it; we still report the edge events — they are the
+    // low-level facts a curator drills into.
+    HighLevelChange c;
+    c.kind = is_add ? HighLevelChangeKind::kAddInstanceEdge
+                    : HighLevelChangeKind::kDeleteInstanceEdge;
+    c.focus = t.subject;
+    c.after_value = is_add ? t.object : rdf::kAnyTerm;
+    c.before_value = is_add ? rdf::kAnyTerm : t.object;
+    c.consumed = 1;
+    result.changes.push_back(c);
+  };
+
+  for (const rdf::Triple& t : delta.removed) classify(t, /*is_add=*/false);
+  for (const rdf::Triple& t : delta.added) classify(t, /*is_add=*/true);
+
+  subclass_edits.Emit(result.changes, HighLevelChangeKind::kMoveClass,
+                      HighLevelChangeKind::kAttachSubclass,
+                      HighLevelChangeKind::kDetachSubclass);
+  domain_edits.Emit(result.changes, HighLevelChangeKind::kChangeDomain,
+                    HighLevelChangeKind::kAddDomain,
+                    HighLevelChangeKind::kDeleteDomain);
+  range_edits.Emit(result.changes, HighLevelChangeKind::kChangeRange,
+                   HighLevelChangeKind::kAddRange,
+                   HighLevelChangeKind::kDeleteRange);
+  type_edits.Emit(result.changes, HighLevelChangeKind::kRetypeInstance,
+                  HighLevelChangeKind::kAddInstance,
+                  HighLevelChangeKind::kDeleteInstance);
+  // Labels: same-subject pairs are ChangeLabel; a label value moving
+  // verbatim between two different subjects is a rename.
+  {
+    std::vector<LeftoverEdit> removed_labels;
+    std::vector<LeftoverEdit> added_labels;
+    label_edits.EmitChanges(result.changes,
+                            HighLevelChangeKind::kChangeLabel,
+                            removed_labels, added_labels);
+    // Cross-subject pairing by label value (literal TermIds are
+    // interned, so equal labels share one id).
+    std::unordered_map<rdf::TermId, std::vector<size_t>> added_by_value;
+    for (size_t i = 0; i < added_labels.size(); ++i) {
+      added_by_value[added_labels[i].object].push_back(i);
+    }
+    std::vector<bool> added_used(added_labels.size(), false);
+    for (const LeftoverEdit& removed : removed_labels) {
+      bool renamed = false;
+      auto it = added_by_value.find(removed.object);
+      if (it != added_by_value.end()) {
+        for (size_t index : it->second) {
+          if (added_used[index] ||
+              added_labels[index].subject == removed.subject) {
+            continue;
+          }
+          HighLevelChange c;
+          c.kind = HighLevelChangeKind::kRenameResource;
+          c.focus = added_labels[index].subject;
+          c.before_value = removed.subject;
+          c.after_value = removed.object;  // the label value
+          c.consumed = 2;
+          result.changes.push_back(c);
+          added_used[index] = true;
+          renamed = true;
+          break;
+        }
+      }
+      if (!renamed) {
+        HighLevelChange c;
+        c.kind = HighLevelChangeKind::kDeleteLabel;
+        c.focus = removed.subject;
+        c.before_value = removed.object;
+        c.consumed = 1;
+        result.changes.push_back(c);
+      }
+    }
+    for (size_t i = 0; i < added_labels.size(); ++i) {
+      if (added_used[i]) continue;
+      HighLevelChange c;
+      c.kind = HighLevelChangeKind::kAddLabel;
+      c.focus = added_labels[i].subject;
+      c.after_value = added_labels[i].object;
+      c.consumed = 1;
+      result.changes.push_back(c);
+    }
+  }
+
+  (void)before;
+  (void)after;
+
+  size_t consumed = 0;
+  for (const HighLevelChange& c : result.changes) consumed += c.consumed;
+  result.coverage = delta.size() == 0
+                        ? 1.0
+                        : static_cast<double>(consumed) /
+                              static_cast<double>(delta.size());
+  return result;
+}
+
+}  // namespace evorec::delta

@@ -1,0 +1,93 @@
+#ifndef EVOREC_DELTA_HIGH_LEVEL_DELTA_H_
+#define EVOREC_DELTA_HIGH_LEVEL_DELTA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "delta/low_level_delta.h"
+#include "schema/schema_view.h"
+
+namespace evorec::delta {
+
+/// The change-pattern language of the high-level delta detector,
+/// following the taxonomy of Roussakis et al. [11]: complex updates
+/// explain groups of low-level additions/deletions.
+enum class HighLevelChangeKind {
+  kAddClass,
+  kDeleteClass,
+  kAddProperty,
+  kDeleteProperty,
+  kAttachSubclass,    ///< new rdfs:subClassOf edge
+  kDetachSubclass,    ///< removed rdfs:subClassOf edge
+  kMoveClass,         ///< detach + attach of the same child (reparent)
+  kChangeDomain,      ///< property domain replaced
+  kChangeRange,       ///< property range replaced
+  kAddDomain,         ///< new domain declaration
+  kDeleteDomain,      ///< removed domain declaration
+  kAddRange,          ///< new range declaration
+  kDeleteRange,       ///< removed range declaration
+  kAddInstance,       ///< new rdf:type assertion
+  kDeleteInstance,    ///< removed rdf:type assertion
+  kRetypeInstance,    ///< instance moved between classes
+  kAddInstanceEdge,   ///< new instance-level property edge
+  kDeleteInstanceEdge,
+  kChangeLabel,
+  kAddLabel,
+  kDeleteLabel,
+  /// A label moved verbatim from one (deleted) resource to another
+  /// (added) one — the classic rename pattern: focus is the new
+  /// resource, before_value the old one, after_value the label.
+  kRenameResource,
+};
+
+/// Stable display name of a change kind (e.g. "MoveClass").
+std::string HighLevelChangeKindName(HighLevelChangeKind kind);
+
+/// One detected high-level change. `focus` is the primary affected
+/// term (class, property or instance); `before_value`/`after_value`
+/// carry the replaced component where applicable (old/new parent, old/
+/// new domain, ...). `consumed` is the number of low-level triples this
+/// change explains.
+struct HighLevelChange {
+  HighLevelChangeKind kind = HighLevelChangeKind::kAddInstanceEdge;
+  rdf::TermId focus = rdf::kAnyTerm;
+  rdf::TermId before_value = rdf::kAnyTerm;
+  rdf::TermId after_value = rdf::kAnyTerm;
+  size_t consumed = 0;
+};
+
+/// The result of high-level change detection.
+struct HighLevelDelta {
+  std::vector<HighLevelChange> changes;
+
+  /// Count of changes per kind.
+  std::map<HighLevelChangeKind, size_t> CountsByKind() const;
+
+  /// Fraction of low-level triples explained by detected patterns
+  /// (1.0 means every added/removed triple belongs to some high-level
+  /// change).
+  double coverage = 0.0;
+};
+
+/// Detects high-level change patterns that explain `delta`, given the
+/// schema views of both snapshots. Pairing rules (executed in order):
+///  1. class/property declarations → Add/Delete Class/Property;
+///  2. subclass edge removed + added for the same child → MoveClass;
+///     unpaired edges → Attach/Detach;
+///  3. domain (range) removed + added for the same property →
+///     ChangeDomain (ChangeRange);
+///  4. rdf:type removed + added for the same instance →
+///     RetypeInstance; unpaired → Add/DeleteInstance;
+///  5. rdfs:label removed + added for the same subject → ChangeLabel;
+///     the same label value removed from one subject and added to
+///     another → RenameResource;
+///  6. all other predicates → Add/DeleteInstanceEdge.
+HighLevelDelta DetectHighLevelChanges(const LowLevelDelta& delta,
+                                      const schema::SchemaView& before,
+                                      const schema::SchemaView& after,
+                                      const rdf::Vocabulary& vocabulary);
+
+}  // namespace evorec::delta
+
+#endif  // EVOREC_DELTA_HIGH_LEVEL_DELTA_H_

@@ -1,0 +1,110 @@
+#include "graph/betweenness.h"
+
+#include <deque>
+
+namespace evorec::graph {
+
+namespace {
+
+// One Brandes single-source accumulation pass from `source`.
+// `scale` multiplies the dependency contribution (used by sampling).
+void BrandesPass(const Graph& g, NodeId source, double scale,
+                 std::vector<double>& centrality,
+                 std::vector<int64_t>& distance, std::vector<double>& sigma,
+                 std::vector<double>& dependency,
+                 std::vector<std::vector<NodeId>>& predecessors,
+                 std::vector<NodeId>& order) {
+  const size_t n = g.node_count();
+  distance.assign(n, -1);
+  sigma.assign(n, 0.0);
+  dependency.assign(n, 0.0);
+  for (auto& preds : predecessors) preds.clear();
+  order.clear();
+
+  distance[source] = 0;
+  sigma[source] = 1.0;
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    for (NodeId w : g.Neighbors(v)) {
+      if (distance[w] < 0) {
+        distance[w] = distance[v] + 1;
+        queue.push_back(w);
+      }
+      if (distance[w] == distance[v] + 1) {
+        sigma[w] += sigma[v];
+        predecessors[w].push_back(v);
+      }
+    }
+  }
+  // Back-propagate dependencies in reverse BFS order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId w = *it;
+    for (NodeId v : predecessors[w]) {
+      dependency[v] += sigma[v] / sigma[w] * (1.0 + dependency[w]);
+    }
+    if (w != source) {
+      centrality[w] += scale * dependency[w];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> BetweennessExact(const Graph& g) {
+  const size_t n = g.node_count();
+  std::vector<double> centrality(n, 0.0);
+  std::vector<int64_t> distance;
+  std::vector<double> sigma;
+  std::vector<double> dependency;
+  std::vector<std::vector<NodeId>> predecessors(n);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    BrandesPass(g, s, 1.0, centrality, distance, sigma, dependency,
+                predecessors, order);
+  }
+  // Each undirected pair is counted twice (once per endpoint as
+  // source).
+  for (double& c : centrality) c /= 2.0;
+  return centrality;
+}
+
+std::vector<double> BetweennessSampled(const Graph& g, size_t pivots,
+                                       Rng& rng) {
+  const size_t n = g.node_count();
+  std::vector<double> centrality(n, 0.0);
+  if (n == 0 || pivots == 0) return centrality;
+  if (pivots >= n) return BetweennessExact(g);
+
+  std::vector<size_t> sources = rng.SampleWithoutReplacement(n, pivots);
+  const double scale = static_cast<double>(n) / static_cast<double>(pivots);
+  std::vector<int64_t> distance;
+  std::vector<double> sigma;
+  std::vector<double> dependency;
+  std::vector<std::vector<NodeId>> predecessors(n);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (size_t s : sources) {
+    BrandesPass(g, static_cast<NodeId>(s), scale, centrality, distance, sigma,
+                dependency, predecessors, order);
+  }
+  for (double& c : centrality) c /= 2.0;
+  return centrality;
+}
+
+std::vector<double> NormalizeBetweenness(std::vector<double> scores) {
+  const size_t n = scores.size();
+  if (n < 3) {
+    for (double& s : scores) s = 0.0;
+    return scores;
+  }
+  const double max_pairs =
+      static_cast<double>(n - 1) * static_cast<double>(n - 2) / 2.0;
+  for (double& s : scores) s /= max_pairs;
+  return scores;
+}
+
+}  // namespace evorec::graph

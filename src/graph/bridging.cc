@@ -1,0 +1,33 @@
+#include "graph/bridging.h"
+
+namespace evorec::graph {
+
+std::vector<double> BridgingCoefficient(const Graph& g) {
+  const size_t n = g.node_count();
+  std::vector<double> coeff(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const size_t deg = g.Degree(v);
+    if (deg == 0) continue;
+    double inv_neighbor_sum = 0.0;
+    for (NodeId w : g.Neighbors(v)) {
+      const size_t dw = g.Degree(w);
+      if (dw > 0) inv_neighbor_sum += 1.0 / static_cast<double>(dw);
+    }
+    if (inv_neighbor_sum <= 0.0) continue;
+    coeff[v] = (1.0 / static_cast<double>(deg)) / inv_neighbor_sum;
+  }
+  return coeff;
+}
+
+std::vector<double> BridgingCentrality(
+    const Graph& g, const std::vector<double>& betweenness) {
+  std::vector<double> coeff = BridgingCoefficient(g);
+  const size_t n = std::min(coeff.size(), betweenness.size());
+  std::vector<double> out(coeff.size(), 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    out[v] = coeff[v] * betweenness[v];
+  }
+  return out;
+}
+
+}  // namespace evorec::graph

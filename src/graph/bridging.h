@@ -1,0 +1,26 @@
+#ifndef EVOREC_GRAPH_BRIDGING_H_
+#define EVOREC_GRAPH_BRIDGING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace evorec::graph {
+
+/// Bridging coefficient of each node (Hwang et al.):
+///   BC(v) = (1/deg(v)) / Σ_{i ∈ N(v)} 1/deg(i).
+/// High values mark nodes whose neighbors are themselves
+/// well-connected — nodes sitting *between* densely connected regions.
+/// Isolated nodes get 0.
+std::vector<double> BridgingCoefficient(const Graph& g);
+
+/// Bridging centrality (paper §II.c): the product of betweenness and
+/// the bridging coefficient. `betweenness` must be indexed like `g`'s
+/// nodes (exact or sampled, normalised or raw — the product preserves
+/// ranking either way).
+std::vector<double> BridgingCentrality(const Graph& g,
+                                       const std::vector<double>& betweenness);
+
+}  // namespace evorec::graph
+
+#endif  // EVOREC_GRAPH_BRIDGING_H_

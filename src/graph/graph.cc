@@ -1,0 +1,39 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace evorec::graph {
+
+Graph Graph::FromEdges(size_t node_count,
+                       std::vector<std::pair<NodeId, NodeId>> edges) {
+  // Normalise: drop self-loops and out-of-range, symmetrise, dedupe.
+  std::vector<std::pair<NodeId, NodeId>> directed;
+  directed.reserve(edges.size() * 2);
+  for (const auto& [a, b] : edges) {
+    if (a == b) continue;
+    if (a >= node_count || b >= node_count) continue;
+    directed.emplace_back(a, b);
+    directed.emplace_back(b, a);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  Graph g;
+  g.offsets_.assign(node_count + 1, 0);
+  for (const auto& [a, b] : directed) {
+    (void)b;
+    ++g.offsets_[a + 1];
+  }
+  for (size_t i = 1; i <= node_count; ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(directed.size());
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [a, b] : directed) {
+    g.adjacency_[cursor[a]++] = b;
+  }
+  return g;
+}
+
+}  // namespace evorec::graph

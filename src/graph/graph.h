@@ -1,0 +1,53 @@
+#ifndef EVOREC_GRAPH_GRAPH_H_
+#define EVOREC_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace evorec::graph {
+
+/// Dense node index within a Graph.
+using NodeId = uint32_t;
+
+/// An immutable undirected graph in CSR (compressed sparse row)
+/// layout. Parallel edges are collapsed; self-loops are dropped.
+/// Built once from an edge list, then read by the centrality
+/// algorithms.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph with `node_count` nodes from an undirected edge
+  /// list (pairs may appear in any order/duplication).
+  static Graph FromEdges(size_t node_count,
+                         std::vector<std::pair<NodeId, NodeId>> edges);
+
+  /// Number of nodes.
+  size_t node_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Number of undirected edges.
+  size_t edge_count() const { return adjacency_.size() / 2; }
+
+  /// Neighbors of `node`, sorted ascending.
+  std::span<const NodeId> Neighbors(NodeId node) const {
+    return {adjacency_.data() + offsets_[node],
+            adjacency_.data() + offsets_[node + 1]};
+  }
+
+  /// Degree of `node`.
+  size_t Degree(NodeId node) const {
+    return offsets_[node + 1] - offsets_[node];
+  }
+
+ private:
+  std::vector<size_t> offsets_;    // node_count + 1
+  std::vector<NodeId> adjacency_;  // concatenated sorted neighbor lists
+};
+
+}  // namespace evorec::graph
+
+#endif  // EVOREC_GRAPH_GRAPH_H_

@@ -1,0 +1,69 @@
+#include "graph/graph_metrics.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace evorec::graph {
+
+std::vector<NodeId> ConnectedComponents(const Graph& g) {
+  const size_t n = g.node_count();
+  std::vector<NodeId> label(n, UINT32_MAX);
+  NodeId next_label = 0;
+  for (NodeId start = 0; start < n; ++start) {
+    if (label[start] != UINT32_MAX) continue;
+    label[start] = next_label;
+    std::deque<NodeId> queue{start};
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (NodeId w : g.Neighbors(v)) {
+        if (label[w] == UINT32_MAX) {
+          label[w] = next_label;
+          queue.push_back(w);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+size_t ComponentCount(const Graph& g) {
+  std::vector<NodeId> labels = ConnectedComponents(g);
+  if (labels.empty()) return 0;
+  return static_cast<size_t>(*std::max_element(labels.begin(), labels.end())) +
+         1;
+}
+
+std::vector<double> LocalClusteringCoefficient(const Graph& g) {
+  const size_t n = g.node_count();
+  std::vector<double> coeff(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto neighbors = g.Neighbors(v);
+    const size_t deg = neighbors.size();
+    if (deg < 2) continue;
+    size_t triangles = 0;
+    for (size_t i = 0; i < deg; ++i) {
+      const auto wi = g.Neighbors(neighbors[i]);
+      for (size_t j = i + 1; j < deg; ++j) {
+        // Neighbor lists are sorted: binary search.
+        if (std::binary_search(wi.begin(), wi.end(), neighbors[j])) {
+          ++triangles;
+        }
+      }
+    }
+    coeff[v] = 2.0 * static_cast<double>(triangles) /
+               (static_cast<double>(deg) * static_cast<double>(deg - 1));
+  }
+  return coeff;
+}
+
+std::vector<double> Degrees(const Graph& g) {
+  std::vector<double> out(g.node_count(), 0.0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out[v] = static_cast<double>(g.Degree(v));
+  }
+  return out;
+}
+
+}  // namespace evorec::graph

@@ -1,0 +1,25 @@
+#ifndef EVOREC_GRAPH_GRAPH_METRICS_H_
+#define EVOREC_GRAPH_GRAPH_METRICS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace evorec::graph {
+
+/// Connected-component label per node (labels are 0-based and dense).
+std::vector<NodeId> ConnectedComponents(const Graph& g);
+
+/// Number of connected components.
+size_t ComponentCount(const Graph& g);
+
+/// Local clustering coefficient per node: triangles(v) /
+/// (deg(v) choose 2); 0 for degree < 2.
+std::vector<double> LocalClusteringCoefficient(const Graph& g);
+
+/// Degree of every node as doubles (handy for report plumbing).
+std::vector<double> Degrees(const Graph& g);
+
+}  // namespace evorec::graph
+
+#endif  // EVOREC_GRAPH_GRAPH_METRICS_H_

@@ -1,0 +1,35 @@
+#include "graph/schema_graph.h"
+
+namespace evorec::graph {
+
+SchemaGraph SchemaGraph::Build(const schema::SchemaView& view,
+                               const std::vector<rdf::TermId>& classes) {
+  SchemaGraph sg;
+  sg.classes_ = classes;
+  sg.node_of_.reserve(classes.size());
+  for (size_t i = 0; i < classes.size(); ++i) {
+    sg.node_of_.emplace(classes[i], static_cast<NodeId>(i));
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (rdf::TermId cls : classes) {
+    const NodeId a = sg.NodeOf(cls);
+    for (rdf::TermId parent : view.hierarchy().Parents(cls)) {
+      const NodeId b = sg.NodeOf(parent);
+      if (b != UINT32_MAX) edges.emplace_back(a, b);
+    }
+    for (rdf::TermId neighbor : view.PropertyNeighbors(cls)) {
+      const NodeId b = sg.NodeOf(neighbor);
+      if (b != UINT32_MAX) edges.emplace_back(a, b);
+    }
+  }
+  sg.graph_ = Graph::FromEdges(classes.size(), std::move(edges));
+  return sg;
+}
+
+NodeId SchemaGraph::NodeOf(rdf::TermId cls) const {
+  auto it = node_of_.find(cls);
+  return it == node_of_.end() ? UINT32_MAX : it->second;
+}
+
+}  // namespace evorec::graph

@@ -1,0 +1,47 @@
+#ifndef EVOREC_GRAPH_SCHEMA_GRAPH_H_
+#define EVOREC_GRAPH_SCHEMA_GRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rdf/term.h"
+#include "schema/schema_view.h"
+
+namespace evorec::graph {
+
+/// A schema graph: classes as nodes, undirected edges wherever two
+/// classes are related by subsumption or by a property (declared
+/// domain/range pair or observed instance connection). This is the
+/// topology on which the paper's structural measures (§II.c) operate.
+///
+/// The node table is the caller-supplied class universe so that graphs
+/// of two versions are index-aligned (node i means the same class in
+/// both) — a requirement for computing centrality *shifts*.
+class SchemaGraph {
+ public:
+  /// Builds the graph for `view` over the class universe `classes`
+  /// (sorted TermIds; typically the union of both versions' classes).
+  static SchemaGraph Build(const schema::SchemaView& view,
+                           const std::vector<rdf::TermId>& classes);
+
+  const Graph& graph() const { return graph_; }
+
+  /// Node index of `cls`, or UINT32_MAX when not in the universe.
+  NodeId NodeOf(rdf::TermId cls) const;
+
+  /// TermId of node `node`.
+  rdf::TermId ClassOf(NodeId node) const { return classes_[node]; }
+
+  /// The class universe, sorted; index i ↔ node i.
+  const std::vector<rdf::TermId>& classes() const { return classes_; }
+
+ private:
+  Graph graph_;
+  std::vector<rdf::TermId> classes_;
+  std::unordered_map<rdf::TermId, NodeId> node_of_;
+};
+
+}  // namespace evorec::graph
+
+#endif  // EVOREC_GRAPH_SCHEMA_GRAPH_H_

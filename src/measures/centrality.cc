@@ -1,0 +1,97 @@
+#include "measures/centrality.h"
+
+#include <cmath>
+
+namespace evorec::measures {
+
+double RelativeCardinality(const schema::SchemaView& view,
+                           rdf::TermId property, rdf::TermId from,
+                           rdf::TermId to) {
+  const size_t conn = view.ConnectionCount(property, from, to);
+  if (conn == 0) return 0.0;
+  const size_t denom =
+      view.TotalConnectionsOf(from) +
+      (from == to ? 0 : view.TotalConnectionsOf(to));
+  if (denom == 0) return 0.0;
+  return static_cast<double>(conn) / static_cast<double>(denom);
+}
+
+std::unordered_map<rdf::TermId, double> ComputeCentrality(
+    const schema::SchemaView& view, CentralityDirection direction) {
+  std::unordered_map<rdf::TermId, double> centrality;
+  for (rdf::TermId cls : view.classes()) {
+    centrality[cls] = 0.0;
+  }
+  // Per-property edge totals, used as connection weights: a connection
+  // that carries most of a property's instances matters more to the
+  // classes it links.
+  std::unordered_map<rdf::TermId, size_t> property_totals;
+  for (const schema::PropertyConnection& conn : view.connections()) {
+    property_totals[conn.property] += conn.instance_count;
+  }
+  for (const schema::PropertyConnection& conn : view.connections()) {
+    const double rc = RelativeCardinality(view, conn.property,
+                                          conn.classes.from, conn.classes.to);
+    if (rc <= 0.0) continue;
+    const size_t prop_total = property_totals[conn.property];
+    const double weight =
+        prop_total == 0 ? 0.0
+                        : static_cast<double>(conn.instance_count) /
+                              static_cast<double>(prop_total);
+    const double contribution = rc * weight;
+    // Outgoing for the subject class, incoming for the object class.
+    if (direction == CentralityDirection::kOut ||
+        direction == CentralityDirection::kTotal) {
+      centrality[conn.classes.from] += contribution;
+    }
+    if (direction == CentralityDirection::kIn ||
+        direction == CentralityDirection::kTotal) {
+      centrality[conn.classes.to] += contribution;
+    }
+  }
+  return centrality;
+}
+
+namespace {
+
+const char* DirectionName(CentralityDirection direction) {
+  switch (direction) {
+    case CentralityDirection::kIn:
+      return "in";
+    case CentralityDirection::kOut:
+      return "out";
+    case CentralityDirection::kTotal:
+      return "total";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+CentralityShiftMeasure::CentralityShiftMeasure(CentralityDirection direction)
+    : direction_(direction) {
+  info_.name = std::string(DirectionName(direction)) + "_centrality_shift";
+  info_.description =
+      std::string("absolute change of ") + DirectionName(direction) +
+      "-centrality (weighted relative cardinalities of instance "
+      "connections) between the two versions";
+  info_.category = MeasureCategory::kSemantic;
+  info_.scope = MeasureScope::kClass;
+}
+
+Result<MeasureReport> CentralityShiftMeasure::Compute(
+    const EvolutionContext& ctx) const {
+  const auto before = ComputeCentrality(ctx.view_before(), direction_);
+  const auto after = ComputeCentrality(ctx.view_after(), direction_);
+  MeasureReport report;
+  for (rdf::TermId cls : ctx.union_classes()) {
+    auto b = before.find(cls);
+    auto a = after.find(cls);
+    const double vb = b == before.end() ? 0.0 : b->second;
+    const double va = a == after.end() ? 0.0 : a->second;
+    report.Add(cls, std::abs(va - vb));
+  }
+  return report;
+}
+
+}  // namespace evorec::measures

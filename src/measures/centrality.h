@@ -1,0 +1,57 @@
+#ifndef EVOREC_MEASURES_CENTRALITY_H_
+#define EVOREC_MEASURES_CENTRALITY_H_
+
+#include <unordered_map>
+
+#include "measures/measure.h"
+#include "schema/schema_view.h"
+
+namespace evorec::measures {
+
+/// Which direction of instance connections a centrality sums.
+enum class CentralityDirection {
+  kIn,     ///< incoming properties only
+  kOut,    ///< outgoing properties only
+  kTotal,  ///< both
+};
+
+/// §II.d — relative cardinality of a property e connecting classes
+/// (n, ni):
+///   RC(e(n, ni)) = conn(e, n → ni) /
+///                  (totalConn(n) + totalConn(ni)),
+/// where conn counts instance-level edges of e between the two classes
+/// and totalConn(c) counts all instance connections (in + out, any
+/// property) that instances of c participate in. Returns 0 when the
+/// denominator is 0.
+double RelativeCardinality(const schema::SchemaView& view,
+                           rdf::TermId property, rdf::TermId from,
+                           rdf::TermId to);
+
+/// §II.d — in/out-centrality of every class in `view`: the sum of the
+/// relative cardinalities of its incoming/outgoing property
+/// connections, each weighted by the fraction of the property's
+/// instance edges that the connection carries. Classes without
+/// connections score 0.
+std::unordered_map<rdf::TermId, double> ComputeCentrality(
+    const schema::SchemaView& view, CentralityDirection direction);
+
+/// §II.d — importance-shift measure on semantic centrality:
+/// |C_{V2}(n) − C_{V1}(n)| per class, for the configured direction.
+/// Captures how the evolution redistributed instance-level data around
+/// each class — the paper's "cumulative effect" of changes.
+class CentralityShiftMeasure final : public EvolutionMeasure {
+ public:
+  explicit CentralityShiftMeasure(
+      CentralityDirection direction = CentralityDirection::kTotal);
+
+  const MeasureInfo& info() const override { return info_; }
+  Result<MeasureReport> Compute(const EvolutionContext& ctx) const override;
+
+ private:
+  MeasureInfo info_;
+  CentralityDirection direction_;
+};
+
+}  // namespace evorec::measures
+
+#endif  // EVOREC_MEASURES_CENTRALITY_H_

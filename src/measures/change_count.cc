@@ -1,0 +1,47 @@
+#include "measures/change_count.h"
+
+namespace evorec::measures {
+
+ClassChangeCountMeasure::ClassChangeCountMeasure(bool extended)
+    : extended_(extended) {
+  info_.name = extended ? "class_change_count" : "class_change_count_direct";
+  info_.description =
+      extended ? "number of changed triples attributed to each class, "
+                 "including instance-level churn of its instances"
+               : "number of changed triples mentioning each class directly";
+  info_.category = MeasureCategory::kCount;
+  info_.scope = MeasureScope::kClass;
+}
+
+Result<MeasureReport> ClassChangeCountMeasure::Compute(
+    const EvolutionContext& ctx) const {
+  MeasureReport report;
+  const delta::DeltaIndex& index = ctx.delta_index();
+  for (rdf::TermId cls : ctx.union_classes()) {
+    const size_t count =
+        extended_ ? index.ExtendedChanges(cls) : index.DirectChanges(cls);
+    report.Add(cls, static_cast<double>(count));
+  }
+  return report;
+}
+
+PropertyChangeCountMeasure::PropertyChangeCountMeasure() {
+  info_.name = "property_change_count";
+  info_.description =
+      "number of changed triples using or mentioning each property";
+  info_.category = MeasureCategory::kCount;
+  info_.scope = MeasureScope::kProperty;
+}
+
+Result<MeasureReport> PropertyChangeCountMeasure::Compute(
+    const EvolutionContext& ctx) const {
+  MeasureReport report;
+  const delta::DeltaIndex& index = ctx.delta_index();
+  for (rdf::TermId property : ctx.union_properties()) {
+    report.Add(property,
+               static_cast<double>(index.DirectChanges(property)));
+  }
+  return report;
+}
+
+}  // namespace evorec::measures

@@ -1,0 +1,40 @@
+#ifndef EVOREC_MEASURES_CHANGE_COUNT_H_
+#define EVOREC_MEASURES_CHANGE_COUNT_H_
+
+#include "measures/measure.h"
+
+namespace evorec::measures {
+
+/// §II.a — number of class changes δ(n). Scores every class of either
+/// version by the number of changed triples attributed to it.
+/// `extended` additionally attributes instance-edge churn to the
+/// instances' classes (see delta::DeltaIndex); the paper's literal
+/// δ(n) is the direct variant.
+class ClassChangeCountMeasure final : public EvolutionMeasure {
+ public:
+  explicit ClassChangeCountMeasure(bool extended = true);
+
+  const MeasureInfo& info() const override { return info_; }
+  Result<MeasureReport> Compute(const EvolutionContext& ctx) const override;
+
+ private:
+  MeasureInfo info_;
+  bool extended_;
+};
+
+/// §II.a — number of property changes δ(p): changed triples using `p`
+/// as predicate or mentioning it (domain/range/type declarations).
+class PropertyChangeCountMeasure final : public EvolutionMeasure {
+ public:
+  PropertyChangeCountMeasure();
+
+  const MeasureInfo& info() const override { return info_; }
+  Result<MeasureReport> Compute(const EvolutionContext& ctx) const override;
+
+ private:
+  MeasureInfo info_;
+};
+
+}  // namespace evorec::measures
+
+#endif  // EVOREC_MEASURES_CHANGE_COUNT_H_

@@ -1,0 +1,17 @@
+#include "measures/measure.h"
+
+namespace evorec::measures {
+
+std::string MeasureCategoryName(MeasureCategory category) {
+  switch (category) {
+    case MeasureCategory::kCount:
+      return "count";
+    case MeasureCategory::kStructural:
+      return "structural";
+    case MeasureCategory::kSemantic:
+      return "semantic";
+  }
+  return "unknown";
+}
+
+}  // namespace evorec::measures

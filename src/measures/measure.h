@@ -1,0 +1,62 @@
+#ifndef EVOREC_MEASURES_MEASURE_H_
+#define EVOREC_MEASURES_MEASURE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "measures/measure_context.h"
+#include "measures/report.h"
+
+namespace evorec::measures {
+
+/// The paper's three measure families (§II): plain change counting,
+/// structural (topology-based) importance shifts, and semantic
+/// (instance-distribution-based) importance shifts. The recommender's
+/// semantic-diversity distance treats measures of different categories
+/// as maximally complementary.
+enum class MeasureCategory {
+  kCount,
+  kStructural,
+  kSemantic,
+};
+
+/// What a measure scores: classes or properties.
+enum class MeasureScope {
+  kClass,
+  kProperty,
+};
+
+/// Stable display name of a category ("count" / "structural" /
+/// "semantic").
+std::string MeasureCategoryName(MeasureCategory category);
+
+/// Static metadata describing a measure to humans and to the
+/// recommender.
+struct MeasureInfo {
+  /// Unique registry key, e.g. "class_change_count".
+  std::string name;
+  /// One-sentence human-readable description (surfaced in
+  /// explanations).
+  std::string description;
+  MeasureCategory category = MeasureCategory::kCount;
+  MeasureScope scope = MeasureScope::kClass;
+};
+
+/// Interface of an evolution measure: given the context of a version
+/// pair, produce a score per class (or property) quantifying how
+/// intensely the evolution affected it.
+class EvolutionMeasure {
+ public:
+  virtual ~EvolutionMeasure() = default;
+
+  /// Metadata (name, description, category, scope).
+  virtual const MeasureInfo& info() const = 0;
+
+  /// Computes the report for `ctx`. Implementations must be pure
+  /// (no state mutation) so one instance can serve many contexts.
+  virtual Result<MeasureReport> Compute(const EvolutionContext& ctx) const = 0;
+};
+
+}  // namespace evorec::measures
+
+#endif  // EVOREC_MEASURES_MEASURE_H_

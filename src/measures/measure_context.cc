@@ -1,0 +1,67 @@
+#include "measures/measure_context.h"
+
+#include "graph/betweenness.h"
+
+namespace evorec::measures {
+
+Result<EvolutionContext> EvolutionContext::Build(
+    const rdf::KnowledgeBase& before, const rdf::KnowledgeBase& after,
+    ContextOptions options) {
+  if (before.shared_dictionary() != after.shared_dictionary()) {
+    return InvalidArgumentError(
+        "EvolutionContext requires snapshots sharing one dictionary");
+  }
+  EvolutionContext ctx;
+  ctx.options_ = options;
+  ctx.before_ = std::make_shared<rdf::KnowledgeBase>(before);
+  ctx.after_ = std::make_shared<rdf::KnowledgeBase>(after);
+  ctx.view_before_ = schema::SchemaView::Build(*ctx.before_);
+  ctx.view_after_ = schema::SchemaView::Build(*ctx.after_);
+  ctx.delta_ = delta::ComputeLowLevelDelta(*ctx.before_, *ctx.after_);
+  ctx.delta_index_ = delta::DeltaIndex::Build(
+      ctx.delta_, ctx.view_before_, ctx.view_after_, before.vocabulary());
+  ctx.graph_before_ = graph::SchemaGraph::Build(
+      ctx.view_before_, ctx.delta_index_.union_classes());
+  ctx.graph_after_ = graph::SchemaGraph::Build(
+      ctx.view_after_, ctx.delta_index_.union_classes());
+  return ctx;
+}
+
+Result<EvolutionContext> EvolutionContext::FromVersions(
+    const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+    version::VersionId v2, ContextOptions options) {
+  auto before = vkb.Snapshot(v1);
+  if (!before.ok()) return before.status();
+  auto after = vkb.Snapshot(v2);
+  if (!after.ok()) return after.status();
+  return Build(**before, **after, options);
+}
+
+namespace {
+
+std::vector<double> ComputeBetweenness(const graph::Graph& g,
+                                       const ContextOptions& options) {
+  if (options.betweenness_mode == BetweennessMode::kExact) {
+    return graph::BetweennessExact(g);
+  }
+  Rng rng(options.seed);
+  return graph::BetweennessSampled(g, options.betweenness_pivots, rng);
+}
+
+}  // namespace
+
+const std::vector<double>& EvolutionContext::betweenness_before() const {
+  if (!betweenness_before_.has_value()) {
+    betweenness_before_ = ComputeBetweenness(graph_before_.graph(), options_);
+  }
+  return *betweenness_before_;
+}
+
+const std::vector<double>& EvolutionContext::betweenness_after() const {
+  if (!betweenness_after_.has_value()) {
+    betweenness_after_ = ComputeBetweenness(graph_after_.graph(), options_);
+  }
+  return *betweenness_after_;
+}
+
+}  // namespace evorec::measures

@@ -1,0 +1,104 @@
+#ifndef EVOREC_MEASURES_MEASURE_CONTEXT_H_
+#define EVOREC_MEASURES_MEASURE_CONTEXT_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "delta/delta_index.h"
+#include "delta/low_level_delta.h"
+#include "graph/schema_graph.h"
+#include "rdf/knowledge_base.h"
+#include "schema/schema_view.h"
+#include "version/versioned_kb.h"
+
+namespace evorec::measures {
+
+/// How structural centrality is computed inside a context.
+enum class BetweennessMode {
+  kExact,    ///< Brandes over all sources.
+  kSampled,  ///< Pivot-sampled approximation (see pivots).
+};
+
+/// Options for EvolutionContext construction.
+struct ContextOptions {
+  BetweennessMode betweenness_mode = BetweennessMode::kExact;
+  /// Number of pivots when betweenness_mode == kSampled.
+  size_t betweenness_pivots = 64;
+  /// Seed for the sampling RNG (determinism).
+  uint64_t seed = 1;
+};
+
+/// Everything an evolution measure needs about one version pair
+/// (V1 → V2), computed once and shared by all measures:
+/// both snapshots, their schema views, the low-level delta and its
+/// index, index-aligned schema graphs over the union class universe,
+/// and cached betweenness vectors for both versions.
+///
+/// Contexts are immutable after Build and cheap to pass by const
+/// reference; expensive artefacts (betweenness) are computed lazily on
+/// first access.
+class EvolutionContext {
+ public:
+  /// Builds a context from two snapshots that share a dictionary.
+  static Result<EvolutionContext> Build(const rdf::KnowledgeBase& before,
+                                        const rdf::KnowledgeBase& after,
+                                        ContextOptions options = {});
+
+  /// Builds a context for versions (v1, v2) of `vkb`.
+  static Result<EvolutionContext> FromVersions(
+      const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      version::VersionId v2, ContextOptions options = {});
+
+  const rdf::KnowledgeBase& before() const { return *before_; }
+  const rdf::KnowledgeBase& after() const { return *after_; }
+  const rdf::Vocabulary& vocabulary() const { return before_->vocabulary(); }
+
+  const schema::SchemaView& view_before() const { return view_before_; }
+  const schema::SchemaView& view_after() const { return view_after_; }
+
+  const delta::LowLevelDelta& low_level_delta() const { return delta_; }
+  const delta::DeltaIndex& delta_index() const { return delta_index_; }
+
+  /// Union class universe (sorted); node i of both schema graphs is
+  /// classes()[i].
+  const std::vector<rdf::TermId>& union_classes() const {
+    return delta_index_.union_classes();
+  }
+  const std::vector<rdf::TermId>& union_properties() const {
+    return delta_index_.union_properties();
+  }
+
+  const graph::SchemaGraph& graph_before() const { return graph_before_; }
+  const graph::SchemaGraph& graph_after() const { return graph_after_; }
+
+  /// Betweenness per node of graph_before()/graph_after(), per the
+  /// configured mode. Computed on first call, then cached.
+  const std::vector<double>& betweenness_before() const;
+  const std::vector<double>& betweenness_after() const;
+
+  const ContextOptions& options() const { return options_; }
+
+ private:
+  EvolutionContext() = default;
+
+  ContextOptions options_;
+  // Snapshots are held by shared_ptr so that contexts remain cheap to
+  // copy and valid independent of the VersionedKnowledgeBase cache.
+  std::shared_ptr<const rdf::KnowledgeBase> before_;
+  std::shared_ptr<const rdf::KnowledgeBase> after_;
+  schema::SchemaView view_before_;
+  schema::SchemaView view_after_;
+  delta::LowLevelDelta delta_;
+  delta::DeltaIndex delta_index_;
+  graph::SchemaGraph graph_before_;
+  graph::SchemaGraph graph_after_;
+  mutable std::optional<std::vector<double>> betweenness_before_;
+  mutable std::optional<std::vector<double>> betweenness_after_;
+};
+
+}  // namespace evorec::measures
+
+#endif  // EVOREC_MEASURES_MEASURE_CONTEXT_H_

@@ -1,0 +1,24 @@
+#include "measures/neighborhood_change.h"
+
+namespace evorec::measures {
+
+NeighborhoodChangeCountMeasure::NeighborhoodChangeCountMeasure() {
+  info_.name = "neighborhood_change_count";
+  info_.description =
+      "sum of change counts over each class's subsumption- and "
+      "property-neighborhood";
+  info_.category = MeasureCategory::kCount;
+  info_.scope = MeasureScope::kClass;
+}
+
+Result<MeasureReport> NeighborhoodChangeCountMeasure::Compute(
+    const EvolutionContext& ctx) const {
+  MeasureReport report;
+  const delta::DeltaIndex& index = ctx.delta_index();
+  for (rdf::TermId cls : ctx.union_classes()) {
+    report.Add(cls, static_cast<double>(index.NeighborhoodChanges(cls)));
+  }
+  return report;
+}
+
+}  // namespace evorec::measures

@@ -1,0 +1,27 @@
+#ifndef EVOREC_MEASURES_NEIGHBORHOOD_CHANGE_H_
+#define EVOREC_MEASURES_NEIGHBORHOOD_CHANGE_H_
+
+#include "measures/measure.h"
+
+namespace evorec::measures {
+
+/// §II.b — number of changes in a class's neighborhood:
+///   |δN_{V1,V2}(n)| = Σ_{c ∈ N_{V1,V2}(n)} |δ_{V1,V2}(c)|,
+/// where N(n) is the set of classes related to n via subsumption or a
+/// property's domain/range in either version. High scores mark classes
+/// whose *surroundings* changed, exposing topology-level churn that
+/// per-class counting misses (experiment E2).
+class NeighborhoodChangeCountMeasure final : public EvolutionMeasure {
+ public:
+  NeighborhoodChangeCountMeasure();
+
+  const MeasureInfo& info() const override { return info_; }
+  Result<MeasureReport> Compute(const EvolutionContext& ctx) const override;
+
+ private:
+  MeasureInfo info_;
+};
+
+}  // namespace evorec::measures
+
+#endif  // EVOREC_MEASURES_NEIGHBORHOOD_CHANGE_H_

@@ -1,0 +1,115 @@
+#include "measures/property_measures.h"
+
+#include <cmath>
+
+#include "measures/centrality.h"
+#include "measures/change_count.h"
+#include "measures/registry.h"
+
+namespace evorec::measures {
+
+std::unordered_map<rdf::TermId, double> ComputePropertyImportance(
+    const schema::SchemaView& view) {
+  std::unordered_map<rdf::TermId, double> importance;
+  for (rdf::TermId property : view.properties()) {
+    importance[property] = 0.0;
+  }
+  std::unordered_map<rdf::TermId, size_t> property_totals;
+  for (const schema::PropertyConnection& conn : view.connections()) {
+    property_totals[conn.property] += conn.instance_count;
+  }
+  for (const schema::PropertyConnection& conn : view.connections()) {
+    const double rc = RelativeCardinality(view, conn.property,
+                                          conn.classes.from, conn.classes.to);
+    if (rc <= 0.0) continue;
+    const size_t total = property_totals[conn.property];
+    const double weight =
+        total == 0 ? 0.0
+                   : static_cast<double>(conn.instance_count) /
+                         static_cast<double>(total);
+    importance[conn.property] += rc * weight;
+  }
+  return importance;
+}
+
+PropertyCardinalityShiftMeasure::PropertyCardinalityShiftMeasure() {
+  info_.name = "property_cardinality_shift";
+  info_.description =
+      "absolute change of a property's summed weighted relative "
+      "cardinalities between the two versions";
+  info_.category = MeasureCategory::kSemantic;
+  info_.scope = MeasureScope::kProperty;
+}
+
+Result<MeasureReport> PropertyCardinalityShiftMeasure::Compute(
+    const EvolutionContext& ctx) const {
+  const auto before = ComputePropertyImportance(ctx.view_before());
+  const auto after = ComputePropertyImportance(ctx.view_after());
+  MeasureReport report;
+  for (rdf::TermId property : ctx.union_properties()) {
+    auto b = before.find(property);
+    auto a = after.find(property);
+    const double vb = b == before.end() ? 0.0 : b->second;
+    const double va = a == after.end() ? 0.0 : a->second;
+    report.Add(property, std::abs(va - vb));
+  }
+  return report;
+}
+
+PropertyEndpointShiftMeasure::PropertyEndpointShiftMeasure() {
+  info_.name = "property_endpoint_shift";
+  info_.description =
+      "absolute change of the betweenness of a property's domain/range "
+      "classes between the two versions";
+  info_.category = MeasureCategory::kStructural;
+  info_.scope = MeasureScope::kProperty;
+}
+
+namespace {
+
+double EndpointBetweenness(const schema::SchemaView& view,
+                           const graph::SchemaGraph& sg,
+                           const std::vector<double>& betweenness,
+                           rdf::TermId property) {
+  double total = 0.0;
+  for (rdf::TermId domain : view.DomainsOf(property)) {
+    const graph::NodeId node = sg.NodeOf(domain);
+    if (node != UINT32_MAX) total += betweenness[node];
+  }
+  for (rdf::TermId range : view.RangesOf(property)) {
+    const graph::NodeId node = sg.NodeOf(range);
+    if (node != UINT32_MAX) total += betweenness[node];
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<MeasureReport> PropertyEndpointShiftMeasure::Compute(
+    const EvolutionContext& ctx) const {
+  MeasureReport report;
+  for (rdf::TermId property : ctx.union_properties()) {
+    const double before =
+        EndpointBetweenness(ctx.view_before(), ctx.graph_before(),
+                            ctx.betweenness_before(), property);
+    const double after =
+        EndpointBetweenness(ctx.view_after(), ctx.graph_after(),
+                            ctx.betweenness_after(), property);
+    report.Add(property, std::abs(after - before));
+  }
+  return report;
+}
+
+MeasureRegistry ExtendedRegistry() {
+  MeasureRegistry registry = DefaultRegistry();
+  (void)registry.Register(
+      [] { return std::make_unique<PropertyCardinalityShiftMeasure>(); });
+  (void)registry.Register(
+      [] { return std::make_unique<PropertyEndpointShiftMeasure>(); });
+  (void)registry.Register([] {
+    return std::make_unique<ClassChangeCountMeasure>(/*extended=*/false);
+  });
+  return registry;
+}
+
+}  // namespace evorec::measures

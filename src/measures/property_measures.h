@@ -1,0 +1,64 @@
+#ifndef EVOREC_MEASURES_PROPERTY_MEASURES_H_
+#define EVOREC_MEASURES_PROPERTY_MEASURES_H_
+
+#include <unordered_map>
+
+#include "measures/measure.h"
+#include "measures/registry.h"
+#include "schema/schema_view.h"
+
+namespace evorec::measures {
+
+// The paper (§II.d) notes: "Extensions on the above definitions can be
+// given, so as to define the corresponding structural or semantic
+// importance measures for properties as well." This header provides
+// those extensions.
+
+/// Semantic importance of a property in one snapshot: the sum of the
+/// relative cardinalities of its class-pair connections, each weighted
+/// by the fraction of the property's instance edges the connection
+/// carries — the property-side analogue of class centrality.
+std::unordered_map<rdf::TermId, double> ComputePropertyImportance(
+    const schema::SchemaView& view);
+
+/// Importance-shift measure on property semantic importance:
+/// |PI_{V2}(p) − PI_{V1}(p)| per property. Captures how the evolution
+/// redistributed data across properties (e.g. a property that used to
+/// carry most connections between two hub classes losing its role).
+class PropertyCardinalityShiftMeasure final : public EvolutionMeasure {
+ public:
+  PropertyCardinalityShiftMeasure();
+
+  const MeasureInfo& info() const override { return info_; }
+  Result<MeasureReport> Compute(const EvolutionContext& ctx) const override;
+
+ private:
+  MeasureInfo info_;
+};
+
+/// Structural importance of a property: how central the classes it
+/// connects are. Defined as the sum of the betweenness of its declared
+/// domain and range classes (aligned to the context's union schema
+/// graph); the shift of this value marks properties whose *endpoints*
+/// moved in the topology even when the property's own triples did not
+/// change.
+class PropertyEndpointShiftMeasure final : public EvolutionMeasure {
+ public:
+  PropertyEndpointShiftMeasure();
+
+  const MeasureInfo& info() const override { return info_; }
+  Result<MeasureReport> Compute(const EvolutionContext& ctx) const override;
+
+ private:
+  MeasureInfo info_;
+};
+
+/// A registry containing the default eight measures plus the property
+/// extensions (property_cardinality_shift, property_endpoint_shift)
+/// and the direct class-count variant — the "additional evolution
+/// measures" pool the paper's processing model is meant to draw from.
+MeasureRegistry ExtendedRegistry();
+
+}  // namespace evorec::measures
+
+#endif  // EVOREC_MEASURES_PROPERTY_MEASURES_H_

@@ -1,0 +1,83 @@
+#include "measures/registry.h"
+
+#include "measures/centrality.h"
+#include "measures/change_count.h"
+#include "measures/neighborhood_change.h"
+#include "measures/relevance.h"
+#include "measures/structural_shift.h"
+
+namespace evorec::measures {
+
+Status MeasureRegistry::Register(Factory factory) {
+  std::unique_ptr<EvolutionMeasure> probe = factory();
+  if (probe == nullptr) {
+    return InvalidArgumentError("measure factory produced nullptr");
+  }
+  const MeasureInfo info = probe->info();
+  for (const Entry& e : entries_) {
+    if (e.info.name == info.name) {
+      return AlreadyExistsError("measure '" + info.name +
+                                "' already registered");
+    }
+  }
+  entries_.push_back({info, std::move(factory)});
+  return OkStatus();
+}
+
+Result<std::unique_ptr<EvolutionMeasure>> MeasureRegistry::Create(
+    std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.info.name == name) {
+      return e.factory();
+    }
+  }
+  return NotFoundError("no measure registered as '" + std::string(name) +
+                       "'");
+}
+
+std::vector<std::unique_ptr<EvolutionMeasure>> MeasureRegistry::CreateAll()
+    const {
+  std::vector<std::unique_ptr<EvolutionMeasure>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    out.push_back(e.factory());
+  }
+  return out;
+}
+
+std::vector<MeasureInfo> MeasureRegistry::List() const {
+  std::vector<MeasureInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    out.push_back(e.info);
+  }
+  return out;
+}
+
+MeasureRegistry DefaultRegistry() {
+  MeasureRegistry registry;
+  // Registration cannot fail here (names are distinct by
+  // construction); statuses are asserted in tests.
+  (void)registry.Register(
+      [] { return std::make_unique<ClassChangeCountMeasure>(); });
+  (void)registry.Register(
+      [] { return std::make_unique<PropertyChangeCountMeasure>(); });
+  (void)registry.Register(
+      [] { return std::make_unique<NeighborhoodChangeCountMeasure>(); });
+  (void)registry.Register(
+      [] { return std::make_unique<BetweennessShiftMeasure>(); });
+  (void)registry.Register(
+      [] { return std::make_unique<BridgingShiftMeasure>(); });
+  (void)registry.Register([] {
+    return std::make_unique<CentralityShiftMeasure>(CentralityDirection::kIn);
+  });
+  (void)registry.Register([] {
+    return std::make_unique<CentralityShiftMeasure>(
+        CentralityDirection::kOut);
+  });
+  (void)registry.Register(
+      [] { return std::make_unique<RelevanceShiftMeasure>(); });
+  return registry;
+}
+
+}  // namespace evorec::measures

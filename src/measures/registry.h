@@ -1,0 +1,58 @@
+#ifndef EVOREC_MEASURES_REGISTRY_H_
+#define EVOREC_MEASURES_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "measures/measure.h"
+
+namespace evorec::measures {
+
+/// A registry of evolution-measure factories. The recommender draws
+/// its candidate pool from a registry; applications can register
+/// custom measures next to the built-in ones.
+class MeasureRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<EvolutionMeasure>()>;
+
+  MeasureRegistry() = default;
+
+  /// Registers `factory` under the name its product reports. Fails on
+  /// duplicate names.
+  Status Register(Factory factory);
+
+  /// Instantiates the measure registered as `name`.
+  Result<std::unique_ptr<EvolutionMeasure>> Create(
+      std::string_view name) const;
+
+  /// Instantiates every registered measure (registration order).
+  std::vector<std::unique_ptr<EvolutionMeasure>> CreateAll() const;
+
+  /// Metadata of every registered measure (registration order).
+  std::vector<MeasureInfo> List() const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    MeasureInfo info;
+    Factory factory;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// A registry pre-loaded with the paper's eight exemplar measures:
+///   count      — class_change_count, property_change_count,
+///                neighborhood_change_count          (§II.a, §II.b)
+///   structural — betweenness_shift, bridging_shift   (§II.c)
+///   semantic   — in_centrality_shift, out_centrality_shift,
+///                relevance_shift                     (§II.d)
+MeasureRegistry DefaultRegistry();
+
+}  // namespace evorec::measures
+
+#endif  // EVOREC_MEASURES_REGISTRY_H_

@@ -1,0 +1,58 @@
+#include "measures/relevance.h"
+
+#include <cmath>
+
+#include "measures/centrality.h"
+
+namespace evorec::measures {
+
+std::unordered_map<rdf::TermId, double> ComputeRelevance(
+    const schema::SchemaView& view) {
+  const std::unordered_map<rdf::TermId, double> centrality =
+      ComputeCentrality(view, CentralityDirection::kTotal);
+
+  auto centrality_of = [&](rdf::TermId cls) {
+    auto it = centrality.find(cls);
+    return it == centrality.end() ? 0.0 : it->second;
+  };
+
+  std::unordered_map<rdf::TermId, double> relevance;
+  for (rdf::TermId cls : view.classes()) {
+    double acc = centrality_of(cls);
+    for (rdf::TermId neighbor : view.Neighborhood(cls)) {
+      const size_t neighbor_degree = view.Neighborhood(neighbor).size();
+      acc += centrality_of(neighbor) /
+             (1.0 + static_cast<double>(neighbor_degree));
+    }
+    const double data_factor =
+        std::log2(2.0 + static_cast<double>(view.InstanceCount(cls)));
+    relevance[cls] = acc * data_factor;
+  }
+  return relevance;
+}
+
+RelevanceShiftMeasure::RelevanceShiftMeasure() {
+  info_.name = "relevance_shift";
+  info_.description =
+      "absolute change of neighborhood-extended semantic relevance "
+      "between the two versions";
+  info_.category = MeasureCategory::kSemantic;
+  info_.scope = MeasureScope::kClass;
+}
+
+Result<MeasureReport> RelevanceShiftMeasure::Compute(
+    const EvolutionContext& ctx) const {
+  const auto before = ComputeRelevance(ctx.view_before());
+  const auto after = ComputeRelevance(ctx.view_after());
+  MeasureReport report;
+  for (rdf::TermId cls : ctx.union_classes()) {
+    auto b = before.find(cls);
+    auto a = after.find(cls);
+    const double vb = b == before.end() ? 0.0 : b->second;
+    const double va = a == after.end() ? 0.0 : a->second;
+    report.Add(cls, std::abs(va - vb));
+  }
+  return report;
+}
+
+}  // namespace evorec::measures

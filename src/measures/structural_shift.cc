@@ -1,0 +1,53 @@
+#include "measures/structural_shift.h"
+
+#include <cmath>
+
+#include "graph/bridging.h"
+
+namespace evorec::measures {
+
+BetweennessShiftMeasure::BetweennessShiftMeasure() {
+  info_.name = "betweenness_shift";
+  info_.description =
+      "absolute change of shortest-path betweenness centrality between "
+      "the two versions";
+  info_.category = MeasureCategory::kStructural;
+  info_.scope = MeasureScope::kClass;
+}
+
+Result<MeasureReport> BetweennessShiftMeasure::Compute(
+    const EvolutionContext& ctx) const {
+  const std::vector<double>& before = ctx.betweenness_before();
+  const std::vector<double>& after = ctx.betweenness_after();
+  const std::vector<rdf::TermId>& classes = ctx.union_classes();
+  MeasureReport report;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    report.Add(classes[i], std::abs(after[i] - before[i]));
+  }
+  return report;
+}
+
+BridgingShiftMeasure::BridgingShiftMeasure() {
+  info_.name = "bridging_shift";
+  info_.description =
+      "absolute change of bridging centrality (betweenness x bridging "
+      "coefficient) between the two versions";
+  info_.category = MeasureCategory::kStructural;
+  info_.scope = MeasureScope::kClass;
+}
+
+Result<MeasureReport> BridgingShiftMeasure::Compute(
+    const EvolutionContext& ctx) const {
+  const std::vector<double> before = graph::BridgingCentrality(
+      ctx.graph_before().graph(), ctx.betweenness_before());
+  const std::vector<double> after = graph::BridgingCentrality(
+      ctx.graph_after().graph(), ctx.betweenness_after());
+  const std::vector<rdf::TermId>& classes = ctx.union_classes();
+  MeasureReport report;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    report.Add(classes[i], std::abs(after[i] - before[i]));
+  }
+  return report;
+}
+
+}  // namespace evorec::measures

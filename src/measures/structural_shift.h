@@ -1,0 +1,39 @@
+#ifndef EVOREC_MEASURES_STRUCTURAL_SHIFT_H_
+#define EVOREC_MEASURES_STRUCTURAL_SHIFT_H_
+
+#include "measures/measure.h"
+
+namespace evorec::measures {
+
+/// §II.c — shift in Betweenness: |B_{V2}(n) − B_{V1}(n)| per class,
+/// computed on index-aligned schema graphs over the union class
+/// universe. Captures how the evolution rewired shortest-path
+/// structure around each class.
+class BetweennessShiftMeasure final : public EvolutionMeasure {
+ public:
+  BetweennessShiftMeasure();
+
+  const MeasureInfo& info() const override { return info_; }
+  Result<MeasureReport> Compute(const EvolutionContext& ctx) const override;
+
+ private:
+  MeasureInfo info_;
+};
+
+/// §II.c — shift in Bridging Centrality (betweenness × bridging
+/// coefficient): marks classes that started or stopped connecting
+/// densely connected regions of the schema.
+class BridgingShiftMeasure final : public EvolutionMeasure {
+ public:
+  BridgingShiftMeasure();
+
+  const MeasureInfo& info() const override { return info_; }
+  Result<MeasureReport> Compute(const EvolutionContext& ctx) const override;
+
+ private:
+  MeasureInfo info_;
+};
+
+}  // namespace evorec::measures
+
+#endif  // EVOREC_MEASURES_STRUCTURAL_SHIFT_H_

@@ -1,0 +1,28 @@
+#include "profile/group.h"
+
+namespace evorec::profile {
+
+void Group::AddMember(HumanProfile member) {
+  members_.push_back(std::move(member));
+}
+
+void Group::RecordSeen(const std::vector<rdf::TermId>& terms) {
+  for (HumanProfile& member : members_) {
+    member.RecordSeen(terms);
+  }
+}
+
+double Group::Cohesion() const {
+  if (members_.size() < 2) return 1.0;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    for (size_t j = i + 1; j < members_.size(); ++j) {
+      total += InterestSimilarity(members_[i], members_[j]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace evorec::profile

@@ -1,0 +1,42 @@
+#ifndef EVOREC_PROVENANCE_RECORD_H_
+#define EVOREC_PROVENANCE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evorec::provenance {
+
+/// Identifier of a provenance record within one store.
+using RecordId = uint64_t;
+
+/// How a data item came to be (paper §III.b): the three sources used
+/// to assess correctness and reliability of provenance data.
+enum class SourceKind {
+  kObservation,     ///< directly observed / measured
+  kInference,       ///< derived by a computation from inputs
+  kBeliefAdoption,  ///< adopted from another agent's assertion
+};
+
+/// Stable display name ("observation" / "inference" /
+/// "belief_adoption").
+std::string SourceKindName(SourceKind kind);
+
+/// One provenance assertion: `agent` performed `activity` producing
+/// `entity` at `timestamp`, deriving it from `inputs` (earlier
+/// records). The who/when/how triple of the paper's transparency
+/// questions maps to agent/timestamp/(activity, inputs).
+struct ProvRecord {
+  RecordId id = 0;
+  std::string entity;    ///< what was produced (stable entity key)
+  std::string activity;  ///< the process used
+  std::string agent;     ///< who ran it
+  uint64_t timestamp = 0;
+  SourceKind source = SourceKind::kObservation;
+  std::vector<RecordId> inputs;  ///< derivation inputs (must pre-exist)
+  std::string note;              ///< free-form detail
+};
+
+}  // namespace evorec::provenance
+
+#endif  // EVOREC_PROVENANCE_RECORD_H_

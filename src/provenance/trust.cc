@@ -1,0 +1,42 @@
+#include "provenance/trust.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace evorec::provenance {
+
+Result<double> TrustOf(const ProvenanceStore& store, RecordId id,
+                       const TrustModel& model) {
+  if (id >= store.size()) {
+    return NotFoundError("no provenance record " + std::to_string(id));
+  }
+  // ids are topologically ordered (inputs < id): evaluate the subgraph
+  // below `id` in ascending order.
+  std::vector<RecordId> nodes{id};
+  std::unordered_set<RecordId> seen{id};
+  const auto& records = store.records();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (RecordId input : records[nodes[i]].inputs) {
+      if (seen.insert(input).second) nodes.push_back(input);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  std::unordered_map<RecordId, double> trust;
+  for (RecordId node : nodes) {
+    const ProvRecord& r = records[node];
+    double value = model.BaseTrust(r.source);
+    if (!r.inputs.empty()) {
+      double weakest = 1.0;
+      for (RecordId input : r.inputs) {
+        weakest = std::min(weakest, trust[input]);
+      }
+      value *= model.chain_decay * weakest;
+    }
+    trust[node] = value;
+  }
+  return trust[id];
+}
+
+}  // namespace evorec::provenance

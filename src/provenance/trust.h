@@ -1,0 +1,44 @@
+#ifndef EVOREC_PROVENANCE_TRUST_H_
+#define EVOREC_PROVENANCE_TRUST_H_
+
+#include "common/result.h"
+#include "provenance/store.h"
+
+namespace evorec::provenance {
+
+/// Base trust per source kind plus decay along derivation chains
+/// (§III.b: "we care about the truth of the provenance data").
+/// Observations are trusted most, inferences inherit the weakest
+/// input's trust discounted by `chain_decay`, belief adoption is
+/// trusted least.
+struct TrustModel {
+  double observation_trust = 0.9;
+  double inference_trust = 0.8;
+  double belief_adoption_trust = 0.5;
+  /// Multiplicative discount applied once per derivation step.
+  double chain_decay = 0.95;
+
+  double BaseTrust(SourceKind kind) const {
+    switch (kind) {
+      case SourceKind::kObservation:
+        return observation_trust;
+      case SourceKind::kInference:
+        return inference_trust;
+      case SourceKind::kBeliefAdoption:
+        return belief_adoption_trust;
+    }
+    return 0.0;
+  }
+};
+
+/// Trust score of record `id` in [0,1]:
+///   trust(r) = base(r)                              if r has no inputs
+///   trust(r) = base(r) · decay · min_i trust(input_i) otherwise.
+/// The min aggregation makes a chain only as trustworthy as its
+/// weakest link.
+Result<double> TrustOf(const ProvenanceStore& store, RecordId id,
+                       const TrustModel& model = {});
+
+}  // namespace evorec::provenance
+
+#endif  // EVOREC_PROVENANCE_TRUST_H_

@@ -1,0 +1,48 @@
+#include "provenance/workflow.h"
+
+namespace evorec::provenance {
+
+Workflow::Workflow(std::string name, std::string agent,
+                   ProvenanceStore& store, uint64_t start_time)
+    : name_(std::move(name)),
+      agent_(std::move(agent)),
+      store_(store),
+      clock_(start_time) {}
+
+Result<RecordId> Workflow::RunStage(
+    const std::string& stage, const std::string& output_entity,
+    SourceKind source, const std::vector<RecordId>& inputs,
+    const std::function<std::string()>& stage_fn) {
+  const std::string note = stage_fn();
+  ProvRecord record;
+  record.entity = output_entity;
+  record.activity = name_ + "/" + stage;
+  record.agent = agent_;
+  record.timestamp = clock_++;
+  record.source = source;
+  record.inputs = inputs;
+  record.note = note;
+  auto id = store_.Append(std::move(record));
+  if (id.ok()) {
+    stage_records_.push_back(*id);
+  }
+  return id;
+}
+
+Result<RecordId> Workflow::RecordInput(const std::string& entity,
+                                       const std::string& note) {
+  ProvRecord record;
+  record.entity = entity;
+  record.activity = name_ + "/input";
+  record.agent = agent_;
+  record.timestamp = clock_++;
+  record.source = SourceKind::kObservation;
+  record.note = note;
+  auto id = store_.Append(std::move(record));
+  if (id.ok()) {
+    stage_records_.push_back(*id);
+  }
+  return id;
+}
+
+}  // namespace evorec::provenance

@@ -1,0 +1,58 @@
+#ifndef EVOREC_PROVENANCE_WORKFLOW_H_
+#define EVOREC_PROVENANCE_WORKFLOW_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/store.h"
+
+namespace evorec::provenance {
+
+/// A named multi-stage process that records one provenance record per
+/// stage — the "workflow system" of §III.b that systematically captures
+/// provenance for derived items. The recommender pipeline runs inside
+/// a Workflow so every recommendation can answer who/when/how.
+class Workflow {
+ public:
+  /// `agent` is recorded as the actor of every stage; timestamps are a
+  /// logical clock starting at `start_time`.
+  Workflow(std::string name, std::string agent, ProvenanceStore& store,
+           uint64_t start_time = 0);
+
+  Workflow(const Workflow&) = delete;
+  Workflow& operator=(const Workflow&) = delete;
+
+  /// Runs `stage_fn` as stage `stage`, producing `output_entity`
+  /// derived from `inputs`. The callable returns a human-readable note
+  /// stored on the record. Returns the stage's record id.
+  Result<RecordId> RunStage(const std::string& stage,
+                            const std::string& output_entity,
+                            SourceKind source,
+                            const std::vector<RecordId>& inputs,
+                            const std::function<std::string()>& stage_fn);
+
+  /// Records an externally produced input artefact (observation) so
+  /// later stages can derive from it.
+  Result<RecordId> RecordInput(const std::string& entity,
+                               const std::string& note);
+
+  /// Record ids of all stages run so far, in order.
+  const std::vector<RecordId>& stage_records() const {
+    return stage_records_;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::string agent_;
+  ProvenanceStore& store_;
+  uint64_t clock_;
+  std::vector<RecordId> stage_records_;
+};
+
+}  // namespace evorec::provenance
+
+#endif  // EVOREC_PROVENANCE_WORKFLOW_H_

@@ -1,0 +1,41 @@
+#include "rdf/dictionary.h"
+
+namespace evorec::rdf {
+
+TermId Dictionary::Intern(const Term& term) {
+  const std::string key = term.ToNTriples();
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(key, id);
+  return id;
+}
+
+TermId Dictionary::InternIri(std::string_view iri) {
+  return Intern(Term::Iri(iri));
+}
+
+TermId Dictionary::InternLiteral(std::string_view value,
+                                 std::string_view datatype,
+                                 std::string_view language) {
+  return Intern(Term::Literal(value, datatype, language));
+}
+
+TermId Dictionary::Find(const Term& term) const {
+  auto it = index_.find(term.ToNTriples());
+  if (it == index_.end()) return kAnyTerm;
+  return it->second;
+}
+
+Result<Term> Dictionary::Lookup(TermId id) const {
+  if (id >= terms_.size()) {
+    return NotFoundError("term id " + std::to_string(id) +
+                         " not present in dictionary");
+  }
+  return terms_[id];
+}
+
+}  // namespace evorec::rdf

@@ -1,0 +1,62 @@
+#ifndef EVOREC_RDF_DICTIONARY_H_
+#define EVOREC_RDF_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/term.h"
+
+namespace evorec::rdf {
+
+/// Bidirectional term ↔ id interning table. All snapshots of one
+/// versioned knowledge base share a Dictionary so that TermIds are
+/// stable across versions — the property every evolution measure relies
+/// on when comparing V1 and V2.
+///
+/// Not thread-safe for concurrent interning.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Dictionaries are shared by pointer between versions; copying one
+  // accidentally would silently fork the id space.
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Interns `term`, returning its stable id (existing id if already
+  /// present).
+  TermId Intern(const Term& term);
+
+  /// Shorthand for Intern(Term::Iri(iri)).
+  TermId InternIri(std::string_view iri);
+
+  /// Shorthand for Intern(Term::Literal(...)).
+  TermId InternLiteral(std::string_view value, std::string_view datatype = "",
+                       std::string_view language = "");
+
+  /// Looks up an already-interned term without inserting. Returns
+  /// kAnyTerm when absent.
+  TermId Find(const Term& term) const;
+
+  /// Returns the term for `id`; error if the id was never issued.
+  Result<Term> Lookup(TermId id) const;
+
+  /// Unchecked lookup; `id` must have been issued by this dictionary.
+  const Term& term(TermId id) const { return terms_[id]; }
+
+  /// Number of interned terms (ids are dense in [0, size())).
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<std::string, TermId> index_;  // keyed on ToNTriples()
+};
+
+}  // namespace evorec::rdf
+
+#endif  // EVOREC_RDF_DICTIONARY_H_

@@ -1,0 +1,48 @@
+#include "rdf/knowledge_base.h"
+
+namespace evorec::rdf {
+
+KnowledgeBase::KnowledgeBase()
+    : dictionary_(std::make_shared<Dictionary>()),
+      vocabulary_(Vocabulary::Intern(*dictionary_)) {}
+
+KnowledgeBase::KnowledgeBase(std::shared_ptr<Dictionary> dictionary)
+    : dictionary_(std::move(dictionary)),
+      vocabulary_(Vocabulary::Intern(*dictionary_)) {}
+
+void KnowledgeBase::AddIriTriple(std::string_view s, std::string_view p,
+                                 std::string_view o) {
+  store_.Add(Triple(dictionary_->InternIri(s), dictionary_->InternIri(p),
+                    dictionary_->InternIri(o)));
+}
+
+void KnowledgeBase::AddLiteralTriple(std::string_view s, std::string_view p,
+                                     std::string_view value,
+                                     std::string_view datatype) {
+  store_.Add(Triple(dictionary_->InternIri(s), dictionary_->InternIri(p),
+                    dictionary_->InternLiteral(value, datatype)));
+}
+
+TermId KnowledgeBase::DeclareClass(std::string_view cls) {
+  const TermId id = dictionary_->InternIri(cls);
+  store_.Add(Triple(id, vocabulary_.rdf_type, vocabulary_.rdfs_class));
+  return id;
+}
+
+TermId KnowledgeBase::DeclareProperty(std::string_view property,
+                                      std::string_view domain,
+                                      std::string_view range) {
+  const TermId id = dictionary_->InternIri(property);
+  store_.Add(Triple(id, vocabulary_.rdf_type, vocabulary_.rdf_property));
+  if (!domain.empty()) {
+    store_.Add(
+        Triple(id, vocabulary_.rdfs_domain, dictionary_->InternIri(domain)));
+  }
+  if (!range.empty()) {
+    store_.Add(
+        Triple(id, vocabulary_.rdfs_range, dictionary_->InternIri(range)));
+  }
+  return id;
+}
+
+}  // namespace evorec::rdf

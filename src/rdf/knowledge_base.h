@@ -1,0 +1,71 @@
+#ifndef EVOREC_RDF_KNOWLEDGE_BASE_H_
+#define EVOREC_RDF_KNOWLEDGE_BASE_H_
+
+#include <memory>
+#include <string_view>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "rdf/vocabulary.h"
+
+namespace evorec::rdf {
+
+/// One snapshot of a knowledge base: a triple store plus the shared
+/// dictionary it is encoded against. Versions of the same KB share one
+/// Dictionary (and therefore stable TermIds); copying a KnowledgeBase
+/// copies the triples but aliases the dictionary.
+class KnowledgeBase {
+ public:
+  /// Creates an empty KB with a fresh dictionary.
+  KnowledgeBase();
+
+  /// Creates an empty KB encoded against an existing dictionary.
+  explicit KnowledgeBase(std::shared_ptr<Dictionary> dictionary);
+
+  KnowledgeBase(const KnowledgeBase&) = default;
+  KnowledgeBase& operator=(const KnowledgeBase&) = default;
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+
+  Dictionary& dictionary() { return *dictionary_; }
+  const Dictionary& dictionary() const { return *dictionary_; }
+  const std::shared_ptr<Dictionary>& shared_dictionary() const {
+    return dictionary_;
+  }
+
+  TripleStore& store() { return store_; }
+  const TripleStore& store() const { return store_; }
+
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  /// Convenience: interns three IRIs and adds the triple.
+  void AddIriTriple(std::string_view s, std::string_view p,
+                    std::string_view o);
+
+  /// Convenience: interns subject/predicate IRIs and a literal object.
+  void AddLiteralTriple(std::string_view s, std::string_view p,
+                        std::string_view value,
+                        std::string_view datatype = "");
+
+  /// Convenience: declares `cls` as a class (rdf:type rdfs:Class) and
+  /// returns its id.
+  TermId DeclareClass(std::string_view cls);
+
+  /// Convenience: declares `property` with optional domain/range and
+  /// returns its id.
+  TermId DeclareProperty(std::string_view property,
+                         std::string_view domain = "",
+                         std::string_view range = "");
+
+  /// Number of triples.
+  size_t size() const { return store_.size(); }
+
+ private:
+  std::shared_ptr<Dictionary> dictionary_;
+  Vocabulary vocabulary_;
+  TripleStore store_;
+};
+
+}  // namespace evorec::rdf
+
+#endif  // EVOREC_RDF_KNOWLEDGE_BASE_H_

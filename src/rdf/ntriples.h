@@ -1,0 +1,27 @@
+#ifndef EVOREC_RDF_NTRIPLES_H_
+#define EVOREC_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace evorec::rdf {
+
+/// Parses N-Triples text into `store`, interning terms into
+/// `dictionary`. Supports IRIs, blank nodes, plain / typed /
+/// language-tagged literals, comments (# ...) and blank lines.
+/// Fails on the first malformed line with its line number.
+Status ParseNTriples(std::string_view text, Dictionary& dictionary,
+                     TripleStore& store);
+
+/// Serialises `store` to canonical N-Triples (SPO order, one statement
+/// per line). `dictionary` must be the one the store's ids refer to.
+std::string WriteNTriples(const TripleStore& store,
+                          const Dictionary& dictionary);
+
+}  // namespace evorec::rdf
+
+#endif  // EVOREC_RDF_NTRIPLES_H_

@@ -1,0 +1,50 @@
+#include "rdf/term.h"
+
+#include "common/strings.h"
+
+namespace evorec::rdf {
+
+Term Term::Iri(std::string_view iri) {
+  Term t;
+  t.kind = TermKind::kIri;
+  t.lexical = std::string(iri);
+  return t;
+}
+
+Term Term::Literal(std::string_view value, std::string_view datatype,
+                   std::string_view language) {
+  Term t;
+  t.kind = TermKind::kLiteral;
+  t.lexical = std::string(value);
+  t.datatype = std::string(datatype);
+  t.language = std::string(language);
+  return t;
+}
+
+Term Term::Blank(std::string_view label) {
+  Term t;
+  t.kind = TermKind::kBlank;
+  t.lexical = std::string(label);
+  return t;
+}
+
+std::string Term::ToNTriples() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + lexical + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeNTriples(lexical) + "\"";
+      if (!language.empty()) {
+        out += "@" + language;
+      } else if (!datatype.empty()) {
+        out += "^^<" + datatype + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+}  // namespace evorec::rdf

@@ -1,0 +1,59 @@
+#ifndef EVOREC_RDF_TERM_H_
+#define EVOREC_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace evorec::rdf {
+
+/// Dense identifier assigned by a Dictionary to an interned Term.
+using TermId = uint32_t;
+
+/// Sentinel meaning "no term" / "any term" (pattern wildcard).
+inline constexpr TermId kAnyTerm = UINT32_MAX;
+
+/// RDF term kinds. Blank nodes are carried with a local label; literal
+/// language tags and datatypes are kept verbatim.
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+/// An RDF term value. Terms are immutable once interned into a
+/// Dictionary; the struct itself is a plain value type.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  /// IRI string, literal lexical form, or blank node label.
+  std::string lexical;
+  /// Datatype IRI for typed literals; empty otherwise.
+  std::string datatype;
+  /// Language tag for language-tagged literals; empty otherwise.
+  std::string language;
+
+  /// Factory for an IRI term.
+  static Term Iri(std::string_view iri);
+  /// Factory for a plain / typed / language-tagged literal.
+  static Term Literal(std::string_view value, std::string_view datatype = "",
+                      std::string_view language = "");
+  /// Factory for a blank node with a local label.
+  static Term Blank(std::string_view label);
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+
+  /// Canonical N-Triples serialisation; also the dictionary
+  /// deduplication key.
+  std::string ToNTriples() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.lexical == b.lexical &&
+           a.datatype == b.datatype && a.language == b.language;
+  }
+};
+
+}  // namespace evorec::rdf
+
+#endif  // EVOREC_RDF_TERM_H_

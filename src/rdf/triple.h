@@ -1,0 +1,57 @@
+#ifndef EVOREC_RDF_TRIPLE_H_
+#define EVOREC_RDF_TRIPLE_H_
+
+#include <compare>
+#include <cstddef>
+
+#include "common/hash.h"
+#include "rdf/term.h"
+
+namespace evorec::rdf {
+
+/// A dictionary-encoded RDF triple. Ordering is lexicographic on
+/// (subject, predicate, object), which is the canonical SPO index
+/// order.
+struct Triple {
+  TermId subject = kAnyTerm;
+  TermId predicate = kAnyTerm;
+  TermId object = kAnyTerm;
+
+  Triple() = default;
+  Triple(TermId s, TermId p, TermId o)
+      : subject(s), predicate(p), object(o) {}
+
+  friend auto operator<=>(const Triple&, const Triple&) = default;
+};
+
+/// A triple pattern; kAnyTerm components act as wildcards.
+struct TriplePattern {
+  TermId subject = kAnyTerm;
+  TermId predicate = kAnyTerm;
+  TermId object = kAnyTerm;
+
+  TriplePattern() = default;
+  TriplePattern(TermId s, TermId p, TermId o)
+      : subject(s), predicate(p), object(o) {}
+
+  /// True iff `t` unifies with this pattern.
+  bool Matches(const Triple& t) const {
+    return (subject == kAnyTerm || subject == t.subject) &&
+           (predicate == kAnyTerm || predicate == t.predicate) &&
+           (object == kAnyTerm || object == t.object);
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    size_t seed = 0;
+    HashCombine(seed, t.subject);
+    HashCombine(seed, t.predicate);
+    HashCombine(seed, t.object);
+    return seed;
+  }
+};
+
+}  // namespace evorec::rdf
+
+#endif  // EVOREC_RDF_TRIPLE_H_

@@ -1,0 +1,176 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+namespace evorec::rdf {
+
+namespace {
+
+bool PosLess(const Triple& a, const Triple& b) {
+  if (a.predicate != b.predicate) return a.predicate < b.predicate;
+  if (a.object != b.object) return a.object < b.object;
+  return a.subject < b.subject;
+}
+
+bool OspLess(const Triple& a, const Triple& b) {
+  if (a.object != b.object) return a.object < b.object;
+  if (a.subject != b.subject) return a.subject < b.subject;
+  return a.predicate < b.predicate;
+}
+
+void SortUnique(std::vector<Triple>& triples) {
+  std::sort(triples.begin(), triples.end());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+}
+
+}  // namespace
+
+void TripleStore::Add(const Triple& t) {
+  pending_removes_.erase(t);
+  pending_adds_.insert(t);
+  dirty_ = true;
+}
+
+void TripleStore::Remove(const Triple& t) {
+  pending_adds_.erase(t);
+  pending_removes_.insert(t);
+  dirty_ = true;
+}
+
+void TripleStore::AddAll(const std::vector<Triple>& triples) {
+  for (const Triple& t : triples) {
+    pending_removes_.erase(t);
+    pending_adds_.insert(t);
+  }
+  dirty_ = true;
+}
+
+void TripleStore::Compact() const {
+  if (!dirty_) return;
+  if (!pending_adds_.empty() || !pending_removes_.empty()) {
+    // The buffers are disjoint (Add/Remove keep a triple in the set of
+    // its most recent operation), so adds and removes can be applied
+    // in either order here.
+    std::vector<Triple> adds(pending_adds_.begin(), pending_adds_.end());
+    std::vector<Triple> removes(pending_removes_.begin(),
+                                pending_removes_.end());
+    SortUnique(adds);
+    SortUnique(removes);
+    std::vector<Triple> merged;
+    merged.reserve(spo_.size() + adds.size());
+    std::set_union(spo_.begin(), spo_.end(), adds.begin(), adds.end(),
+                   std::back_inserter(merged));
+    if (!removes.empty()) {
+      std::vector<Triple> remaining;
+      remaining.reserve(merged.size());
+      std::set_difference(merged.begin(), merged.end(), removes.begin(),
+                          removes.end(), std::back_inserter(remaining));
+      merged.swap(remaining);
+    }
+    spo_.swap(merged);
+    pending_adds_.clear();
+    pending_removes_.clear();
+  }
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), PosLess);
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OspLess);
+  dirty_ = false;
+}
+
+bool TripleStore::Contains(const Triple& t) const {
+  Compact();
+  return std::binary_search(spo_.begin(), spo_.end(), t);
+}
+
+size_t TripleStore::size() const {
+  Compact();
+  return spo_.size();
+}
+
+const std::vector<Triple>& TripleStore::triples() const {
+  Compact();
+  return spo_;
+}
+
+void TripleStore::Scan(const TriplePattern& pattern,
+                       const std::function<bool(const Triple&)>& fn) const {
+  Compact();
+  const bool has_s = pattern.subject != kAnyTerm;
+  const bool has_p = pattern.predicate != kAnyTerm;
+  const bool has_o = pattern.object != kAnyTerm;
+
+  if (has_s) {
+    // (s,*,*), (s,p,*), (s,p,o), (s,*,o): SPO prefix on s (and p).
+    ScanSpo(pattern, fn);
+    return;
+  }
+  if (has_p) {
+    // (*,p,*), (*,p,o): POS prefix.
+    Triple lo{0, pattern.predicate, has_o ? pattern.object : 0};
+    auto begin = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess);
+    for (auto it = begin; it != pos_.end(); ++it) {
+      if (it->predicate != pattern.predicate) break;
+      if (has_o && it->object != pattern.object) {
+        if (it->object > pattern.object) break;
+        continue;
+      }
+      if (!fn(*it)) return;
+    }
+    return;
+  }
+  if (has_o) {
+    // (*,*,o): OSP prefix.
+    Triple lo{0, 0, pattern.object};
+    auto begin = std::lower_bound(osp_.begin(), osp_.end(), lo, OspLess);
+    for (auto it = begin; it != osp_.end(); ++it) {
+      if (it->object != pattern.object) break;
+      if (!fn(*it)) return;
+    }
+    return;
+  }
+  // (*,*,*): full scan.
+  for (const Triple& t : spo_) {
+    if (!fn(t)) return;
+  }
+}
+
+void TripleStore::ScanSpo(const TriplePattern& pattern,
+                          const std::function<bool(const Triple&)>& fn) const {
+  const bool has_p = pattern.predicate != kAnyTerm;
+  const bool has_o = pattern.object != kAnyTerm;
+  Triple lo{pattern.subject, has_p ? pattern.predicate : 0,
+            (has_p && has_o) ? pattern.object : 0};
+  auto begin = std::lower_bound(spo_.begin(), spo_.end(), lo);
+  for (auto it = begin; it != spo_.end(); ++it) {
+    if (it->subject != pattern.subject) break;
+    if (has_p) {
+      if (it->predicate > pattern.predicate) break;
+      if (it->predicate != pattern.predicate) continue;
+    }
+    if (has_o && it->object != pattern.object) continue;
+    if (!fn(*it)) return;
+  }
+}
+
+std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  Scan(pattern, [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Triple> TripleStore::Difference(const TripleStore& a,
+                                            const TripleStore& b) {
+  a.Compact();
+  b.Compact();
+  std::vector<Triple> out;
+  std::set_difference(a.spo_.begin(), a.spo_.end(), b.spo_.begin(),
+                      b.spo_.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace evorec::rdf

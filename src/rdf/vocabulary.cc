@@ -1,0 +1,25 @@
+#include "rdf/vocabulary.h"
+
+namespace evorec::rdf {
+
+Vocabulary Vocabulary::Intern(Dictionary& dictionary) {
+  Vocabulary v;
+  v.rdf_type = dictionary.InternIri(iri::kRdfType);
+  v.rdf_property = dictionary.InternIri(iri::kRdfProperty);
+  v.rdfs_subclass_of = dictionary.InternIri(iri::kRdfsSubClassOf);
+  v.rdfs_subproperty_of = dictionary.InternIri(iri::kRdfsSubPropertyOf);
+  v.rdfs_domain = dictionary.InternIri(iri::kRdfsDomain);
+  v.rdfs_range = dictionary.InternIri(iri::kRdfsRange);
+  v.rdfs_class = dictionary.InternIri(iri::kRdfsClass);
+  v.rdfs_label = dictionary.InternIri(iri::kRdfsLabel);
+  v.owl_class = dictionary.InternIri(iri::kOwlClass);
+  return v;
+}
+
+bool Vocabulary::IsSchemaPredicate(TermId predicate) const {
+  return predicate == rdf_type || predicate == rdfs_subclass_of ||
+         predicate == rdfs_subproperty_of || predicate == rdfs_domain ||
+         predicate == rdfs_range || predicate == rdfs_label;
+}
+
+}  // namespace evorec::rdf

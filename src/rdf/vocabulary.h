@@ -1,0 +1,60 @@
+#ifndef EVOREC_RDF_VOCABULARY_H_
+#define EVOREC_RDF_VOCABULARY_H_
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace evorec::rdf {
+
+/// Well-known IRI strings used by the schema extractor and the
+/// high-level change detector.
+namespace iri {
+inline constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr const char* kRdfProperty =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+inline constexpr const char* kRdfsSubClassOf =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr const char* kRdfsSubPropertyOf =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr const char* kRdfsDomain =
+    "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr const char* kRdfsRange =
+    "http://www.w3.org/2000/01/rdf-schema#range";
+inline constexpr const char* kRdfsClass =
+    "http://www.w3.org/2000/01/rdf-schema#Class";
+inline constexpr const char* kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+inline constexpr const char* kOwlClass =
+    "http://www.w3.org/2002/07/owl#Class";
+inline constexpr const char* kXsdString =
+    "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr const char* kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+}  // namespace iri
+
+/// The RDF/RDFS/OWL vocabulary interned into a specific Dictionary.
+/// Each versioned knowledge base interns one Vocabulary up front so all
+/// modules compare TermIds instead of strings.
+struct Vocabulary {
+  TermId rdf_type = kAnyTerm;
+  TermId rdf_property = kAnyTerm;
+  TermId rdfs_subclass_of = kAnyTerm;
+  TermId rdfs_subproperty_of = kAnyTerm;
+  TermId rdfs_domain = kAnyTerm;
+  TermId rdfs_range = kAnyTerm;
+  TermId rdfs_class = kAnyTerm;
+  TermId rdfs_label = kAnyTerm;
+  TermId owl_class = kAnyTerm;
+
+  /// Interns all vocabulary terms into `dictionary`.
+  static Vocabulary Intern(Dictionary& dictionary);
+
+  /// True iff `predicate` is one of the schema-level predicates
+  /// (type / subclass / subproperty / domain / range / label).
+  bool IsSchemaPredicate(TermId predicate) const;
+};
+
+}  // namespace evorec::rdf
+
+#endif  // EVOREC_RDF_VOCABULARY_H_

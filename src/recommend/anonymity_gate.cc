@@ -1,0 +1,35 @@
+#include "recommend/anonymity_gate.h"
+
+namespace evorec::recommend {
+
+GateOutcome ApplyAccessGate(const anonymity::AccessPolicy* policy,
+                            const std::string& agent,
+                            std::vector<MeasureCandidate> candidates,
+                            size_t top_k) {
+  GateOutcome outcome;
+  if (policy == nullptr) {
+    outcome.candidates = std::move(candidates);
+    return outcome;
+  }
+  for (MeasureCandidate& candidate : candidates) {
+    size_t redacted = 0;
+    measures::MeasureReport filtered =
+        policy->FilterReport(agent, candidate.report, &redacted);
+    outcome.redacted_terms += redacted;
+    // Candidates focused on a sensitive class the agent cannot see are
+    // dropped regardless of report content.
+    const bool focus_denied =
+        candidate.focus != rdf::kAnyTerm &&
+        !policy->CheckAccess(agent, candidate.focus).ok();
+    if (focus_denied || filtered.empty() || filtered.TotalScore() <= 0.0) {
+      ++outcome.dropped_candidates;
+      continue;
+    }
+    candidate.report = std::move(filtered);
+    candidate.top_terms = candidate.report.TopKTerms(top_k);
+    outcome.candidates.push_back(std::move(candidate));
+  }
+  return outcome;
+}
+
+}  // namespace evorec::recommend

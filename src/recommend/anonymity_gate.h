@@ -1,0 +1,31 @@
+#ifndef EVOREC_RECOMMEND_ANONYMITY_GATE_H_
+#define EVOREC_RECOMMEND_ANONYMITY_GATE_H_
+
+#include <string>
+#include <vector>
+
+#include "anonymity/access_policy.h"
+#include "recommend/candidate.h"
+
+namespace evorec::recommend {
+
+/// Outcome of passing a candidate pool through the anonymity gate.
+struct GateOutcome {
+  std::vector<MeasureCandidate> candidates;  ///< surviving candidates
+  size_t redacted_terms = 0;     ///< report entries removed by policy
+  size_t dropped_candidates = 0; ///< candidates fully emptied and dropped
+};
+
+/// Applies strict access rules (paper §III.e) to a candidate pool
+/// before any scoring happens: sensitive terms the agent may not see
+/// are removed from every report and top-term list; candidates whose
+/// visible content becomes empty are dropped entirely. A null policy
+/// passes everything through.
+GateOutcome ApplyAccessGate(const anonymity::AccessPolicy* policy,
+                            const std::string& agent,
+                            std::vector<MeasureCandidate> candidates,
+                            size_t top_k);
+
+}  // namespace evorec::recommend
+
+#endif  // EVOREC_RECOMMEND_ANONYMITY_GATE_H_

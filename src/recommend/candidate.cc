@@ -1,0 +1,86 @@
+#include "recommend/candidate.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace evorec::recommend {
+
+namespace {
+
+// Restricts `report` to `region` (focus + union neighborhood).
+measures::MeasureReport RestrictReport(
+    const measures::MeasureReport& report,
+    const std::unordered_set<rdf::TermId>& region) {
+  measures::MeasureReport out;
+  for (const measures::ScoredTerm& s : report.scores()) {
+    if (region.count(s.term)) out.Add(s.term, s.score);
+  }
+  return out;
+}
+
+MeasureCandidate MakeCandidate(const measures::MeasureInfo& info,
+                               rdf::TermId focus, std::string region_label,
+                               measures::MeasureReport report,
+                               size_t top_k) {
+  MeasureCandidate c;
+  c.measure = info;
+  c.focus = focus;
+  c.region_label = std::move(region_label);
+  c.id = info.name + "@" + c.region_label;
+  c.top_terms = report.TopKTerms(top_k);
+  c.report = std::move(report);
+  return c;
+}
+
+}  // namespace
+
+Result<std::vector<MeasureCandidate>> GenerateCandidates(
+    const measures::MeasureRegistry& registry,
+    const measures::EvolutionContext& ctx, const CandidateOptions& options) {
+  std::vector<MeasureCandidate> candidates;
+  const auto measures_list = registry.CreateAll();
+
+  // Whole-KB candidates: every measure once.
+  std::vector<measures::MeasureReport> full_reports;
+  full_reports.reserve(measures_list.size());
+  for (const auto& measure : measures_list) {
+    auto report = measure->Compute(ctx);
+    if (!report.ok()) return report.status();
+    full_reports.push_back(*report);
+    candidates.push_back(MakeCandidate(measure->info(), rdf::kAnyTerm, "all",
+                                       std::move(report).value(),
+                                       options.top_k));
+  }
+  if (!options.per_region) return candidates;
+
+  // Hot regions: most-changed classes by extended attribution.
+  measures::MeasureReport heat;
+  for (rdf::TermId cls : ctx.union_classes()) {
+    heat.Add(cls, static_cast<double>(
+                      ctx.delta_index().ExtendedChanges(cls)));
+  }
+  const std::vector<rdf::TermId> hot =
+      heat.TopKTerms(options.max_regions);
+
+  for (rdf::TermId focus : hot) {
+    if (heat.ScoreOf(focus) <= 0.0) continue;  // untouched class
+    std::unordered_set<rdf::TermId> region{focus};
+    for (rdf::TermId n : ctx.delta_index().UnionNeighborhood(focus)) {
+      region.insert(n);
+    }
+    const std::string label = ctx.before().dictionary().term(focus).lexical;
+    for (size_t m = 0; m < measures_list.size(); ++m) {
+      const measures::MeasureInfo& info = measures_list[m]->info();
+      if (info.scope != measures::MeasureScope::kClass) continue;
+      measures::MeasureReport restricted =
+          RestrictReport(full_reports[m], region);
+      if (restricted.empty() || restricted.TotalScore() <= 0.0) continue;
+      candidates.push_back(MakeCandidate(info, focus, label,
+                                         std::move(restricted),
+                                         options.top_k));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace evorec::recommend

@@ -1,0 +1,55 @@
+#ifndef EVOREC_RECOMMEND_CANDIDATE_H_
+#define EVOREC_RECOMMEND_CANDIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "measures/measure_context.h"
+#include "measures/registry.h"
+#include "measures/report.h"
+
+namespace evorec::recommend {
+
+/// One recommendable item: an evolution measure applied to a focus
+/// region of the KB. The recommender ranks and packages candidates;
+/// the paper's "evolution measures or their mix" are exactly sets of
+/// these.
+struct MeasureCandidate {
+  /// Unique id: "<measure>@<region>" (region "all" for whole-KB).
+  std::string id;
+  /// Metadata of the producing measure.
+  measures::MeasureInfo measure;
+  /// Focus class of the region; kAnyTerm for whole-KB candidates.
+  rdf::TermId focus = rdf::kAnyTerm;
+  /// Human-readable region label ("all" or the focus IRI).
+  std::string region_label;
+  /// The (raw) measure report restricted to the region.
+  measures::MeasureReport report;
+  /// Cached top terms of `report` (size candidate_top_k), used by
+  /// relatedness, diversity and novelty scoring.
+  std::vector<rdf::TermId> top_terms;
+};
+
+/// Options for candidate generation.
+struct CandidateOptions {
+  /// How many top terms represent each candidate downstream.
+  size_t top_k = 10;
+  /// Also emit region-focused candidates around the most-changed
+  /// classes (in addition to whole-KB candidates).
+  bool per_region = true;
+  /// How many hot regions to focus (by extended change count).
+  size_t max_regions = 6;
+};
+
+/// Generates the candidate pool for one evolution context: every
+/// registered measure over the whole KB, plus — when per_region —
+/// each class-scoped measure restricted to the neighborhoods of the
+/// most-changed classes. Fails if any measure computation fails.
+Result<std::vector<MeasureCandidate>> GenerateCandidates(
+    const measures::MeasureRegistry& registry,
+    const measures::EvolutionContext& ctx, const CandidateOptions& options);
+
+}  // namespace evorec::recommend
+
+#endif  // EVOREC_RECOMMEND_CANDIDATE_H_

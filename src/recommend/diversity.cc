@@ -1,0 +1,177 @@
+#include "recommend/diversity.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/statistics.h"
+
+namespace evorec::recommend {
+
+double CandidateDistance(const MeasureCandidate& a, const MeasureCandidate& b,
+                         DiversityKind kind) {
+  std::vector<uint32_t> ta(a.top_terms.begin(), a.top_terms.end());
+  std::vector<uint32_t> tb(b.top_terms.begin(), b.top_terms.end());
+  const double content = 1.0 - JaccardSimilarity(std::move(ta), std::move(tb));
+  switch (kind) {
+    case DiversityKind::kContent:
+    case DiversityKind::kNovelty:
+      return content;
+    case DiversityKind::kSemantic: {
+      const double category_diff =
+          a.measure.category != b.measure.category ? 1.0 : 0.0;
+      const double scope_diff = a.measure.scope != b.measure.scope ? 1.0 : 0.0;
+      return 0.5 * category_diff + 0.2 * scope_diff + 0.3 * content;
+    }
+  }
+  return content;
+}
+
+double NoveltyScore(const profile::HumanProfile& profile,
+                    const MeasureCandidate& candidate) {
+  return profile.NoveltyOf(candidate.top_terms);
+}
+
+double SetDiversity(const std::vector<MeasureCandidate>& candidates,
+                    const std::vector<size_t>& selection,
+                    DiversityKind kind) {
+  if (selection.size() < 2) return 1.0;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < selection.size(); ++i) {
+    for (size_t j = i + 1; j < selection.size(); ++j) {
+      total +=
+          CandidateDistance(candidates[selection[i]], candidates[selection[j]],
+                            kind);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+double CategoryCoverage(const std::vector<MeasureCandidate>& candidates,
+                        const std::vector<size_t>& selection) {
+  std::unordered_set<int> covered;
+  for (size_t index : selection) {
+    covered.insert(static_cast<int>(candidates[index].measure.category));
+  }
+  return static_cast<double>(covered.size()) / 3.0;
+}
+
+std::vector<size_t> SelectMmr(const std::vector<MeasureCandidate>& candidates,
+                              const std::vector<double>& relevance, size_t k,
+                              double lambda, DiversityKind kind) {
+  const size_t n = candidates.size();
+  std::vector<size_t> selected;
+  std::vector<bool> used(n, false);
+  // Min distance from each candidate to the selected set, updated
+  // incrementally (O(n·k) distance evaluations).
+  std::vector<double> min_distance(n, 1.0);
+  while (selected.size() < std::min(k, n)) {
+    size_t best = n;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const double score = selected.empty()
+                               ? relevance[i]
+                               : lambda * relevance[i] +
+                                     (1.0 - lambda) * min_distance[i];
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == n) break;
+    used[best] = true;
+    selected.push_back(best);
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      min_distance[i] = std::min(
+          min_distance[i],
+          CandidateDistance(candidates[i], candidates[best], kind));
+    }
+  }
+  return selected;
+}
+
+std::vector<size_t> SelectMaxMin(
+    const std::vector<MeasureCandidate>& candidates,
+    const std::vector<double>& relevance, size_t k, DiversityKind kind) {
+  const size_t n = candidates.size();
+  std::vector<size_t> selected;
+  std::vector<bool> used(n, false);
+  std::vector<double> min_distance(n, 1.0);
+  while (selected.size() < std::min(k, n)) {
+    size_t best = n;
+    double best_primary = -1.0;
+    double best_tie = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const double primary = selected.empty() ? relevance[i] : min_distance[i];
+      const double tie = relevance[i];
+      if (primary > best_primary ||
+          (primary == best_primary && tie > best_tie)) {
+        best_primary = primary;
+        best_tie = tie;
+        best = i;
+      }
+    }
+    if (best == n) break;
+    used[best] = true;
+    selected.push_back(best);
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      min_distance[i] = std::min(
+          min_distance[i],
+          CandidateDistance(candidates[i], candidates[best], kind));
+    }
+  }
+  return selected;
+}
+
+double MmrObjective(const std::vector<MeasureCandidate>& candidates,
+                    const std::vector<double>& relevance,
+                    const std::vector<size_t>& selection, double lambda,
+                    DiversityKind kind) {
+  if (selection.empty()) return 0.0;
+  double mean_relevance = 0.0;
+  for (size_t index : selection) mean_relevance += relevance[index];
+  mean_relevance /= static_cast<double>(selection.size());
+  const double diversity = SetDiversity(candidates, selection, kind);
+  return lambda * mean_relevance + (1.0 - lambda) * diversity;
+}
+
+std::vector<size_t> ImproveBySwaps(
+    const std::vector<MeasureCandidate>& candidates,
+    const std::vector<double>& relevance, std::vector<size_t> selection,
+    double lambda, DiversityKind kind, size_t max_rounds) {
+  const size_t n = candidates.size();
+  std::vector<bool> used(n, false);
+  for (size_t index : selection) used[index] = true;
+  double current =
+      MmrObjective(candidates, relevance, selection, lambda, kind);
+  for (size_t round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    for (size_t pos = 0; pos < selection.size(); ++pos) {
+      for (size_t i = 0; i < n; ++i) {
+        if (used[i]) continue;
+        const size_t old_index = selection[pos];
+        selection[pos] = i;
+        const double candidate_objective =
+            MmrObjective(candidates, relevance, selection, lambda, kind);
+        if (candidate_objective > current + 1e-12) {
+          current = candidate_objective;
+          used[old_index] = false;
+          used[i] = true;
+          improved = true;
+        } else {
+          selection[pos] = old_index;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return selection;
+}
+
+}  // namespace evorec::recommend

@@ -1,0 +1,56 @@
+#include "recommend/explanation.h"
+
+#include "common/strings.h"
+#include "measures/measure.h"
+#include "recommend/diversity.h"
+
+namespace evorec::recommend {
+
+Explanation BuildExplanation(const MeasureCandidate& candidate,
+                             const profile::HumanProfile& profile,
+                             const RelatednessScorer& scorer,
+                             const rdf::Dictionary& dictionary) {
+  Explanation e;
+  e.candidate_id = candidate.id;
+  e.measure_name = candidate.measure.name;
+  e.measure_description = candidate.measure.description;
+  e.category = measures::MeasureCategoryName(candidate.measure.category);
+  e.region_label = candidate.region_label;
+  e.relatedness = scorer.Score(profile, candidate);
+  e.novelty = NoveltyScore(profile, candidate);
+
+  const auto interests = scorer.ExpandInterests(profile);
+  for (rdf::TermId term : candidate.top_terms) {
+    auto looked_up = dictionary.Lookup(term);
+    const std::string label =
+        looked_up.ok() ? looked_up->lexical : std::to_string(term);
+    e.top_affected.push_back(label);
+    auto it = interests.find(term);
+    if (it != interests.end() && it->second > 0.0) {
+      e.matched_interests.push_back(label);
+    }
+  }
+  return e;
+}
+
+std::string Explanation::ToText() const {
+  std::string out;
+  out += "measure '" + measure_name + "' (" + category + ") on region '" +
+         region_label + "'\n";
+  out += "  why: " + measure_description + "\n";
+  out += "  relatedness " + FormatDouble(relatedness, 2) + ", novelty " +
+         FormatDouble(novelty, 2) + "\n";
+  if (!matched_interests.empty()) {
+    out += "  matches your interests: " + StrJoin(matched_interests, ", ") +
+           "\n";
+  }
+  if (!top_affected.empty()) {
+    out += "  most affected: " + StrJoin(top_affected, ", ") + "\n";
+  }
+  if (has_provenance) {
+    out += "  provenance record #" + std::to_string(provenance_record) + "\n";
+  }
+  return out;
+}
+
+}  // namespace evorec::recommend

@@ -1,0 +1,137 @@
+#include "recommend/fairness.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/statistics.h"
+
+namespace evorec::recommend {
+
+double AggregateUtility(const std::vector<double>& member_utilities,
+                        GroupAggregation aggregation) {
+  if (member_utilities.empty()) return 0.0;
+  switch (aggregation) {
+    case GroupAggregation::kAverage:
+      return Mean(member_utilities);
+    case GroupAggregation::kLeastMisery:
+      return *std::min_element(member_utilities.begin(),
+                               member_utilities.end());
+    case GroupAggregation::kMostPleasure:
+      return *std::max_element(member_utilities.begin(),
+                               member_utilities.end());
+  }
+  return 0.0;
+}
+
+double MemberSatisfaction(const UtilityMatrix& utilities, size_t member,
+                          const std::vector<size_t>& selection) {
+  double best = 0.0;
+  for (size_t index : selection) {
+    best = std::max(best, utilities[member][index]);
+  }
+  return best;
+}
+
+FairnessDiagnostics EvaluatePackage(const UtilityMatrix& utilities,
+                                    const std::vector<size_t>& selection) {
+  FairnessDiagnostics diag;
+  const size_t members = utilities.size();
+  diag.satisfaction.resize(members, 0.0);
+  for (size_t m = 0; m < members; ++m) {
+    diag.satisfaction[m] = MemberSatisfaction(utilities, m, selection);
+  }
+  diag.mean_satisfaction = Mean(diag.satisfaction);
+  diag.min_satisfaction = Min(diag.satisfaction);
+  diag.gini = Gini(diag.satisfaction);
+
+  // Always-least-satisfied detection: member m such that for every
+  // selected item, m's utility is strictly below every other member's.
+  if (members >= 2 && !selection.empty()) {
+    for (size_t m = 0; m < members; ++m) {
+      bool always_least = true;
+      for (size_t index : selection) {
+        for (size_t other = 0; other < members && always_least; ++other) {
+          if (other == m) continue;
+          if (utilities[m][index] >= utilities[other][index]) {
+            always_least = false;
+          }
+        }
+        if (!always_least) break;
+      }
+      if (always_least) {
+        diag.has_always_least_satisfied_member = true;
+        diag.always_least_satisfied_member = m;
+        break;
+      }
+    }
+  }
+  return diag;
+}
+
+std::vector<size_t> SelectByAggregation(const UtilityMatrix& utilities,
+                                        size_t k,
+                                        GroupAggregation aggregation) {
+  if (utilities.empty()) return {};
+  const size_t candidates = utilities[0].size();
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(candidates);
+  std::vector<double> member_utilities(utilities.size());
+  for (size_t c = 0; c < candidates; ++c) {
+    for (size_t m = 0; m < utilities.size(); ++m) {
+      member_utilities[m] = utilities[m][c];
+    }
+    scored.emplace_back(AggregateUtility(member_utilities, aggregation), c);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<size_t> selection;
+  for (size_t i = 0; i < std::min(k, scored.size()); ++i) {
+    selection.push_back(scored[i].second);
+  }
+  return selection;
+}
+
+std::vector<size_t> SelectFairPackage(const UtilityMatrix& utilities,
+                                      size_t k) {
+  if (utilities.empty()) return {};
+  const size_t candidates = utilities[0].size();
+  const size_t members = utilities.size();
+  std::vector<size_t> selection;
+  std::vector<bool> used(candidates, false);
+  // Running per-member satisfaction (max utility over selection).
+  std::vector<double> satisfaction(members, 0.0);
+
+  while (selection.size() < std::min(k, candidates)) {
+    size_t best = candidates;
+    double best_min = -std::numeric_limits<double>::infinity();
+    double best_mean = -std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < candidates; ++c) {
+      if (used[c]) continue;
+      double min_sat = std::numeric_limits<double>::infinity();
+      double mean_sat = 0.0;
+      for (size_t m = 0; m < members; ++m) {
+        const double s = std::max(satisfaction[m], utilities[m][c]);
+        min_sat = std::min(min_sat, s);
+        mean_sat += s;
+      }
+      mean_sat /= static_cast<double>(members);
+      if (min_sat > best_min ||
+          (min_sat == best_min && mean_sat > best_mean)) {
+        best_min = min_sat;
+        best_mean = mean_sat;
+        best = c;
+      }
+    }
+    if (best == candidates) break;
+    used[best] = true;
+    selection.push_back(best);
+    for (size_t m = 0; m < members; ++m) {
+      satisfaction[m] = std::max(satisfaction[m], utilities[m][best]);
+    }
+  }
+  return selection;
+}
+
+}  // namespace evorec::recommend

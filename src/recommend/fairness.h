@@ -1,0 +1,66 @@
+#ifndef EVOREC_RECOMMEND_FAIRNESS_H_
+#define EVOREC_RECOMMEND_FAIRNESS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace evorec::recommend {
+
+/// Member × candidate utility matrix: utilities[m][c] is how useful
+/// candidate c is to group member m (here: relatedness scores).
+using UtilityMatrix = std::vector<std::vector<double>>;
+
+/// Classic group utility aggregation strategies.
+enum class GroupAggregation {
+  kAverage,      ///< maximise mean member utility
+  kLeastMisery,  ///< maximise the unhappiest member's utility
+  kMostPleasure, ///< maximise the happiest member's utility
+};
+
+/// Aggregates per-member utilities of one candidate.
+double AggregateUtility(const std::vector<double>& member_utilities,
+                        GroupAggregation aggregation);
+
+/// Satisfaction of member `m` with a selected package: the best
+/// utility any selected candidate gives them (a member is served if
+/// *some* item in the package speaks to them).
+double MemberSatisfaction(const UtilityMatrix& utilities, size_t member,
+                          const std::vector<size_t>& selection);
+
+/// Package-level fairness diagnostics (paper §III.d).
+struct FairnessDiagnostics {
+  std::vector<double> satisfaction;  ///< per member
+  double mean_satisfaction = 0.0;
+  double min_satisfaction = 0.0;
+  /// Gini of the satisfaction distribution (0 = perfectly equal).
+  double gini = 0.0;
+  /// True iff some member is the *strictly* least satisfied member for
+  /// every single item of the package — the paper's explicit unfair
+  /// pattern ("a human u that is the least satisfied … for all
+  /// measures in the recommendations list").
+  bool has_always_least_satisfied_member = false;
+  /// Index of that member (first found), or SIZE_MAX.
+  size_t always_least_satisfied_member = static_cast<size_t>(-1);
+};
+
+/// Evaluates the fairness of `selection` for the whole group.
+FairnessDiagnostics EvaluatePackage(const UtilityMatrix& utilities,
+                                    const std::vector<size_t>& selection);
+
+/// Greedy selection maximising the aggregated utility (one aggregation
+/// per candidate, pick top-k).
+std::vector<size_t> SelectByAggregation(const UtilityMatrix& utilities,
+                                        size_t k,
+                                        GroupAggregation aggregation);
+
+/// Fairness-aware package selection: greedily adds the candidate that
+/// maximises the resulting minimum member satisfaction (maximin over
+/// the package), breaking ties by mean satisfaction. This directly
+/// targets the paper's requirement of packages "both strongly related
+/// and fair to the majority of the group members".
+std::vector<size_t> SelectFairPackage(const UtilityMatrix& utilities,
+                                      size_t k);
+
+}  // namespace evorec::recommend
+
+#endif  // EVOREC_RECOMMEND_FAIRNESS_H_

@@ -1,0 +1,56 @@
+#include "recommend/group_recommender.h"
+
+namespace evorec::recommend {
+
+UtilityMatrix BuildUtilityMatrix(const std::vector<MeasureCandidate>& pool,
+                                 const profile::Group& group,
+                                 const RelatednessScorer& scorer) {
+  UtilityMatrix utilities(group.size(),
+                          std::vector<double>(pool.size(), 0.0));
+  for (size_t m = 0; m < group.size(); ++m) {
+    for (size_t c = 0; c < pool.size(); ++c) {
+      utilities[m][c] = scorer.Score(group.members()[m], pool[c]);
+    }
+  }
+  return utilities;
+}
+
+GroupSelection SelectForGroup(const std::vector<MeasureCandidate>& pool,
+                              const profile::Group& group,
+                              const RelatednessScorer& scorer,
+                              const GroupSelectOptions& options) {
+  GroupSelection result;
+  result.utilities = BuildUtilityMatrix(pool, group, scorer);
+  if (pool.empty() || group.empty()) return result;
+
+  if (options.fairness_aware) {
+    result.selection =
+        SelectFairPackage(result.utilities, options.package_size);
+  } else {
+    result.selection = SelectByAggregation(
+        result.utilities, options.package_size, options.aggregation);
+  }
+
+  if (options.diversify && result.selection.size() > 1) {
+    // Aggregated utility per candidate serves as the relevance vector
+    // for the diversity swap search.
+    std::vector<double> aggregated(pool.size(), 0.0);
+    std::vector<double> member_utilities(group.size());
+    for (size_t c = 0; c < pool.size(); ++c) {
+      for (size_t m = 0; m < group.size(); ++m) {
+        member_utilities[m] = result.utilities[m][c];
+      }
+      aggregated[c] = AggregateUtility(member_utilities, options.aggregation);
+    }
+    result.selection =
+        ImproveBySwaps(pool, aggregated, result.selection,
+                       options.mmr_lambda, options.diversity);
+  }
+
+  result.fairness = EvaluatePackage(result.utilities, result.selection);
+  result.set_diversity =
+      SetDiversity(pool, result.selection, options.diversity);
+  return result;
+}
+
+}  // namespace evorec::recommend

@@ -1,0 +1,52 @@
+#ifndef EVOREC_RECOMMEND_GROUP_RECOMMENDER_H_
+#define EVOREC_RECOMMEND_GROUP_RECOMMENDER_H_
+
+#include <vector>
+
+#include "profile/group.h"
+#include "recommend/candidate.h"
+#include "recommend/diversity.h"
+#include "recommend/fairness.h"
+#include "recommend/relatedness.h"
+
+namespace evorec::recommend {
+
+/// Options for group package selection (paper §III.d).
+struct GroupSelectOptions {
+  size_t package_size = 5;
+  /// Aggregation used when fairness_aware is false.
+  GroupAggregation aggregation = GroupAggregation::kAverage;
+  /// Use the maximin fair-package selector instead of per-candidate
+  /// aggregation.
+  bool fairness_aware = true;
+  /// Post-selection diversity improvement (swap local search on the
+  /// MMR objective with the aggregated utility as relevance).
+  bool diversify = true;
+  double mmr_lambda = 0.7;
+  DiversityKind diversity = DiversityKind::kContent;
+};
+
+/// Result of selecting a package for a group.
+struct GroupSelection {
+  std::vector<size_t> selection;  ///< indices into the candidate pool
+  UtilityMatrix utilities;        ///< member × candidate relatedness
+  FairnessDiagnostics fairness;
+  double set_diversity = 0.0;
+};
+
+/// Builds the member × candidate utility matrix from relatedness
+/// scores.
+UtilityMatrix BuildUtilityMatrix(const std::vector<MeasureCandidate>& pool,
+                                 const profile::Group& group,
+                                 const RelatednessScorer& scorer);
+
+/// Selects a measure package for `group` from `pool`, balancing group
+/// utility, fairness and set diversity per `options`.
+GroupSelection SelectForGroup(const std::vector<MeasureCandidate>& pool,
+                              const profile::Group& group,
+                              const RelatednessScorer& scorer,
+                              const GroupSelectOptions& options);
+
+}  // namespace evorec::recommend
+
+#endif  // EVOREC_RECOMMEND_GROUP_RECOMMENDER_H_

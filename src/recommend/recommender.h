@@ -1,0 +1,106 @@
+#ifndef EVOREC_RECOMMEND_RECOMMENDER_H_
+#define EVOREC_RECOMMEND_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "anonymity/access_policy.h"
+#include "common/result.h"
+#include "measures/measure_context.h"
+#include "measures/registry.h"
+#include "profile/group.h"
+#include "profile/profile.h"
+#include "provenance/store.h"
+#include "recommend/anonymity_gate.h"
+#include "recommend/candidate.h"
+#include "recommend/diversity.h"
+#include "recommend/explanation.h"
+#include "recommend/fairness.h"
+#include "recommend/group_recommender.h"
+#include "recommend/relatedness.h"
+
+namespace evorec::recommend {
+
+/// Configuration of the full recommendation pipeline.
+struct RecommenderOptions {
+  CandidateOptions candidates;
+  RelatednessOptions relatedness;
+  /// Number of measures per recommendation package.
+  size_t package_size = 5;
+  /// Relevance/diversity balance of the individual selector.
+  double mmr_lambda = 0.7;
+  DiversityKind diversity = DiversityKind::kContent;
+  /// Blend novelty into individual relevance:
+  /// relevance = (1−w)·relatedness + w·novelty.
+  double novelty_weight = 0.0;
+  /// Group strategy.
+  GroupSelectOptions group;
+  /// Record recommended terms into profiles' seen-history after
+  /// delivering (enables novelty on the next run).
+  bool record_seen = true;
+};
+
+/// One delivered recommendation.
+struct RecommendationItem {
+  MeasureCandidate candidate;
+  double relatedness = 0.0;
+  double novelty = 0.0;
+  Explanation explanation;
+};
+
+/// A delivered package plus its quality diagnostics.
+struct RecommendationList {
+  std::vector<RecommendationItem> items;
+  double set_diversity = 0.0;
+  double category_coverage = 0.0;
+  /// Group runs only; default-initialised otherwise.
+  FairnessDiagnostics fairness;
+  size_t candidate_pool_size = 0;
+  size_t redacted_terms = 0;
+  size_t dropped_candidates = 0;
+  /// Provenance records of the pipeline stages (empty when no store is
+  /// attached).
+  std::vector<provenance::RecordId> provenance_trail;
+};
+
+/// The paper's processing model: generate measure candidates for a
+/// version pair, pass them through the anonymity gate, score
+/// relatedness (and novelty), select a diverse (or fair) package, and
+/// explain every pick — with the whole run captured as a provenance
+/// workflow when a store is attached.
+class Recommender {
+ public:
+  /// `registry` must outlive the recommender.
+  Recommender(const measures::MeasureRegistry& registry,
+              RecommenderOptions options = {});
+
+  /// Attaches a provenance store; every subsequent run records its
+  /// stages (transparency, §III.b). Pass nullptr to detach.
+  void AttachProvenance(provenance::ProvenanceStore* store);
+
+  /// Attaches strict access rules applied before scoring (§III.e).
+  /// Pass nullptr to detach.
+  void AttachAccessPolicy(const anonymity::AccessPolicy* policy);
+
+  /// Recommends a measure package to one human. Mutates `prof` only to
+  /// record the delivered terms (when options().record_seen).
+  Result<RecommendationList> RecommendForUser(
+      const measures::EvolutionContext& ctx,
+      profile::HumanProfile& prof) const;
+
+  /// Recommends one shared package to a group (§III.d).
+  Result<RecommendationList> RecommendForGroup(
+      const measures::EvolutionContext& ctx, profile::Group& group) const;
+
+  const RecommenderOptions& options() const { return options_; }
+
+ private:
+  const measures::MeasureRegistry& registry_;
+  RecommenderOptions options_;
+  provenance::ProvenanceStore* provenance_ = nullptr;
+  const anonymity::AccessPolicy* policy_ = nullptr;
+};
+
+}  // namespace evorec::recommend
+
+#endif  // EVOREC_RECOMMEND_RECOMMENDER_H_

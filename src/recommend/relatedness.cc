@@ -1,0 +1,96 @@
+#include "recommend/relatedness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace evorec::recommend {
+
+RelatednessScorer::RelatednessScorer(const measures::EvolutionContext& ctx,
+                                     RelatednessOptions options)
+    : ctx_(ctx), options_(options) {}
+
+std::unordered_map<rdf::TermId, double> RelatednessScorer::ExpandInterests(
+    const profile::HumanProfile& profile) const {
+  std::unordered_map<rdf::TermId, double> expanded(
+      profile.interests().begin(), profile.interests().end());
+
+  if (options_.propagation_hops > 0 && options_.propagation_decay > 0.0) {
+    const schema::ClassHierarchy& before = ctx_.view_before().hierarchy();
+    const schema::ClassHierarchy& after = ctx_.view_after().hierarchy();
+    // BFS from every seeded interest through both versions'
+    // hierarchies; combine weights with max so repeated paths don't
+    // inflate.
+    for (const auto& [seed, weight] : profile.interests()) {
+      std::unordered_map<rdf::TermId, size_t> hop{{seed, 0}};
+      std::deque<rdf::TermId> queue{seed};
+      while (!queue.empty()) {
+        const rdf::TermId node = queue.front();
+        queue.pop_front();
+        const size_t h = hop[node];
+        if (h >= options_.propagation_hops) continue;
+        auto visit = [&](rdf::TermId next) {
+          if (hop.count(next)) return;
+          hop[next] = h + 1;
+          const double propagated =
+              weight *
+              std::pow(options_.propagation_decay, static_cast<double>(h + 1));
+          auto it = expanded.find(next);
+          if (it == expanded.end() || it->second < propagated) {
+            expanded[next] = propagated;
+          }
+          queue.push_back(next);
+        };
+        for (rdf::TermId p : before.Parents(node)) visit(p);
+        for (rdf::TermId c : before.Children(node)) visit(c);
+        for (rdf::TermId p : after.Parents(node)) visit(p);
+        for (rdf::TermId c : after.Children(node)) visit(c);
+      }
+    }
+  }
+
+  // Normalise the strongest interest to 1 so relatedness lands in
+  // [0,1] regardless of the profile's weight scale.
+  double max_weight = 0.0;
+  for (const auto& [term, weight] : expanded) {
+    (void)term;
+    max_weight = std::max(max_weight, weight);
+  }
+  if (max_weight > 0.0) {
+    for (auto& [term, weight] : expanded) {
+      (void)term;
+      weight /= max_weight;
+    }
+  }
+  return expanded;
+}
+
+double RelatednessScorer::Score(const profile::HumanProfile& profile,
+                                const MeasureCandidate& candidate) const {
+  if (candidate.top_terms.empty()) return 0.0;
+  const std::unordered_map<rdf::TermId, double> interests =
+      ExpandInterests(profile);
+
+  const measures::MeasureReport normalized = candidate.report.Normalized();
+  double weighted = 0.0;
+  double weight_total = 0.0;
+  for (rdf::TermId term : candidate.top_terms) {
+    // Rank-independent weight: the candidate's normalised score, with
+    // a floor so that a candidate whose scores are all equal still
+    // differentiates by interest overlap.
+    const double w = std::max(normalized.ScoreOf(term), 0.1);
+    weight_total += w;
+    auto it = interests.find(term);
+    if (it != interests.end()) {
+      weighted += w * it->second;
+    }
+  }
+  if (weight_total <= 0.0) return 0.0;
+  double score = weighted / weight_total;
+  if (options_.use_category_affinity) {
+    score *= profile.CategoryAffinity(candidate.measure.category);
+  }
+  return std::clamp(score, 0.0, 1.0);
+}
+
+}  // namespace evorec::recommend

@@ -1,0 +1,58 @@
+#ifndef EVOREC_RECOMMEND_RELATEDNESS_H_
+#define EVOREC_RECOMMEND_RELATEDNESS_H_
+
+#include <unordered_map>
+
+#include "measures/measure_context.h"
+#include "profile/profile.h"
+#include "recommend/candidate.h"
+
+namespace evorec::recommend {
+
+/// Options for relatedness scoring (paper §III.a).
+struct RelatednessOptions {
+  /// Interests propagate through the subsumption hierarchy: a user
+  /// interested in Person is somewhat interested in its sub- and
+  /// superclasses. Weight multiplies by `propagation_decay` per hop,
+  /// up to `propagation_hops` hops; 0 hops disables propagation (the
+  /// E5 ablation).
+  double propagation_decay = 0.5;
+  size_t propagation_hops = 2;
+  /// Multiply scores by the profile's affinity for the measure's
+  /// category.
+  bool use_category_affinity = true;
+};
+
+/// Scores how related a candidate is to a human's interests: the
+/// interest-weighted mass of the candidate's top affected terms. Built
+/// once per (context, options) pair; Score() is then cheap per
+/// (profile, candidate).
+class RelatednessScorer {
+ public:
+  RelatednessScorer(const measures::EvolutionContext& ctx,
+                    RelatednessOptions options);
+
+  /// The profile's interests expanded through the class hierarchy
+  /// (max-combined over paths, normalised so the strongest interest
+  /// is 1).
+  std::unordered_map<rdf::TermId, double> ExpandInterests(
+      const profile::HumanProfile& profile) const;
+
+  /// Relatedness of `candidate` to `profile` in [0,1]:
+  ///   Σ_t w(t) · I*(t)  /  Σ_t w(t)
+  /// over the candidate's top terms t, where w is the candidate's
+  /// normalised score of t and I* the expanded interest; scaled by the
+  /// profile's category affinity when enabled (clamped back to [0,1]).
+  double Score(const profile::HumanProfile& profile,
+               const MeasureCandidate& candidate) const;
+
+  const RelatednessOptions& options() const { return options_; }
+
+ private:
+  const measures::EvolutionContext& ctx_;
+  RelatednessOptions options_;
+};
+
+}  // namespace evorec::recommend
+
+#endif  // EVOREC_RECOMMEND_RELATEDNESS_H_

@@ -1,0 +1,96 @@
+#include "version/history_query.h"
+
+namespace evorec::version {
+
+Result<std::optional<VersionId>> HistoryQuery::FirstAdded(
+    const rdf::Triple& t) const {
+  for (VersionId v = 0; v < vkb_.version_count(); ++v) {
+    auto snapshot = vkb_.Snapshot(v);
+    if (!snapshot.ok()) return snapshot.status();
+    if ((*snapshot)->store().Contains(t)) {
+      return std::optional<VersionId>(v);
+    }
+  }
+  return std::optional<VersionId>();
+}
+
+Result<std::optional<VersionId>> HistoryQuery::FirstRemoved(
+    const rdf::Triple& t) const {
+  bool seen = false;
+  for (VersionId v = 0; v < vkb_.version_count(); ++v) {
+    auto snapshot = vkb_.Snapshot(v);
+    if (!snapshot.ok()) return snapshot.status();
+    const bool present = (*snapshot)->store().Contains(t);
+    if (seen && !present) {
+      return std::optional<VersionId>(v);
+    }
+    seen = seen || present;
+  }
+  return std::optional<VersionId>();
+}
+
+Result<std::vector<HistoryQuery::LiveRange>> HistoryQuery::LiveRanges(
+    const rdf::Triple& t) const {
+  std::vector<LiveRange> ranges;
+  bool open = false;
+  LiveRange current;
+  for (VersionId v = 0; v < vkb_.version_count(); ++v) {
+    auto snapshot = vkb_.Snapshot(v);
+    if (!snapshot.ok()) return snapshot.status();
+    const bool present = (*snapshot)->store().Contains(t);
+    if (present && !open) {
+      current.first = v;
+      open = true;
+    }
+    if (present) {
+      current.last = v;
+    }
+    if (!present && open) {
+      ranges.push_back(current);
+      open = false;
+    }
+  }
+  if (open) ranges.push_back(current);
+  return ranges;
+}
+
+Result<std::vector<rdf::Triple>> HistoryQuery::AsOf(
+    VersionId v, const rdf::TriplePattern& pattern) const {
+  auto snapshot = vkb_.Snapshot(v);
+  if (!snapshot.ok()) return snapshot.status();
+  return (*snapshot)->store().Match(pattern);
+}
+
+Result<std::vector<VersionId>> HistoryQuery::VersionsMatching(
+    const rdf::TriplePattern& pattern) const {
+  std::vector<VersionId> versions;
+  for (VersionId v = 0; v < vkb_.version_count(); ++v) {
+    auto snapshot = vkb_.Snapshot(v);
+    if (!snapshot.ok()) return snapshot.status();
+    bool any = false;
+    (*snapshot)->store().Scan(pattern, [&](const rdf::Triple&) {
+      any = true;
+      return false;  // stop at first match
+    });
+    if (any) versions.push_back(v);
+  }
+  return versions;
+}
+
+Result<std::vector<size_t>> HistoryQuery::SubjectFootprintHistory(
+    rdf::TermId s) const {
+  std::vector<size_t> footprint;
+  footprint.reserve(vkb_.version_count());
+  for (VersionId v = 0; v < vkb_.version_count(); ++v) {
+    auto snapshot = vkb_.Snapshot(v);
+    if (!snapshot.ok()) return snapshot.status();
+    footprint.push_back(
+        (*snapshot)
+            ->store()
+            .Match({s, rdf::kAnyTerm, rdf::kAnyTerm})
+            .size());
+  }
+  return footprint;
+}
+
+}  // namespace evorec::version

@@ -1,0 +1,63 @@
+#ifndef EVOREC_VERSION_HISTORY_QUERY_H_
+#define EVOREC_VERSION_HISTORY_QUERY_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "version/versioned_kb.h"
+
+namespace evorec::version {
+
+/// Cross-snapshot queries over a versioned KB — the historical access
+/// patterns the paper's substrate must serve (cf. archiving policies
+/// for evolving RDF datasets, Stefanidis et al. [13]): when did a fact
+/// appear, how long did it live, what matched a pattern as of a given
+/// version, how did a resource's footprint develop.
+///
+/// Queries materialise snapshots through the store's cache; under the
+/// delta-chain policy the first query per version pays reconstruction.
+class HistoryQuery {
+ public:
+  /// `vkb` must outlive the query object.
+  explicit HistoryQuery(const VersionedKnowledgeBase& vkb) : vkb_(vkb) {}
+
+  /// A maximal contiguous run of versions in which a triple is
+  /// present; `last` is inclusive.
+  struct LiveRange {
+    VersionId first = 0;
+    VersionId last = 0;
+    friend bool operator==(const LiveRange&, const LiveRange&) = default;
+  };
+
+  /// Earliest version containing `t`, or nullopt if never present.
+  Result<std::optional<VersionId>> FirstAdded(const rdf::Triple& t) const;
+
+  /// Earliest version (after the triple first existed) where `t` is
+  /// absent again, or nullopt if never removed (or never present).
+  Result<std::optional<VersionId>> FirstRemoved(const rdf::Triple& t) const;
+
+  /// All maximal presence runs of `t` across the history (a fact can
+  /// be retracted and re-asserted).
+  Result<std::vector<LiveRange>> LiveRanges(const rdf::Triple& t) const;
+
+  /// Triples matching `pattern` as of version `v`.
+  Result<std::vector<rdf::Triple>> AsOf(VersionId v,
+                                        const rdf::TriplePattern& pattern)
+      const;
+
+  /// Versions in which `pattern` has at least one match.
+  Result<std::vector<VersionId>> VersionsMatching(
+      const rdf::TriplePattern& pattern) const;
+
+  /// Per-version count of triples with subject `s` — a resource's
+  /// footprint over time.
+  Result<std::vector<size_t>> SubjectFootprintHistory(rdf::TermId s) const;
+
+ private:
+  const VersionedKnowledgeBase& vkb_;
+};
+
+}  // namespace evorec::version
+
+#endif  // EVOREC_VERSION_HISTORY_QUERY_H_

@@ -1,0 +1,57 @@
+#ifndef EVOREC_VERSION_VERSION_H_
+#define EVOREC_VERSION_VERSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace evorec::version {
+
+/// Dense version identifier; version 0 is the base snapshot.
+using VersionId = uint32_t;
+
+/// Commit metadata attached to each version — the raw material for
+/// provenance/transparency (paper §III.b: who changed what and when).
+struct VersionInfo {
+  VersionId id = 0;
+  std::string author;
+  std::string message;
+  /// Logical commit time (caller-supplied monotonic tick or epoch
+  /// seconds; the library never reads wall-clock itself).
+  uint64_t timestamp = 0;
+  size_t additions = 0;
+  size_t removals = 0;
+};
+
+/// A set of triple-level changes to apply on top of a version.
+/// Removals are applied after additions; adding and removing the same
+/// triple in one ChangeSet nets to "absent".
+struct ChangeSet {
+  std::vector<rdf::Triple> additions;
+  std::vector<rdf::Triple> removals;
+
+  bool empty() const { return additions.empty() && removals.empty(); }
+  size_t size() const { return additions.size() + removals.size(); }
+};
+
+/// How historical versions are stored (cf. archiving policies for
+/// evolving RDF datasets, Stefanidis et al. [13]).
+enum class ArchivePolicy {
+  /// Every version keeps a fully materialised triple store
+  /// (independent copies; fast snapshots, high memory).
+  kFullMaterialization,
+  /// Only the base snapshot is materialised; later versions store
+  /// change sets and are reconstructed on demand (change-based; low
+  /// memory, snapshot cost linear in chain length).
+  kDeltaChain,
+  /// Change sets plus a full checkpoint every
+  /// `checkpoint_interval` versions: reconstruction replays at most
+  /// `checkpoint_interval − 1` deltas (the hybrid/IC+CB policy).
+  kHybridCheckpoint,
+};
+
+}  // namespace evorec::version
+
+#endif  // EVOREC_VERSION_VERSION_H_

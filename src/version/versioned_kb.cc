@@ -1,0 +1,183 @@
+#include "version/versioned_kb.h"
+
+#include <algorithm>
+
+namespace evorec::version {
+
+VersionedKnowledgeBase::VersionedKnowledgeBase(ArchivePolicy policy,
+                                               size_t checkpoint_interval)
+    : VersionedKnowledgeBase(policy, rdf::KnowledgeBase(),
+                             checkpoint_interval) {}
+
+VersionedKnowledgeBase::VersionedKnowledgeBase(ArchivePolicy policy,
+                                               rdf::KnowledgeBase initial,
+                                               size_t checkpoint_interval)
+    : policy_(policy),
+      checkpoint_interval_(std::max<size_t>(1, checkpoint_interval)),
+      dictionary_(initial.shared_dictionary()),
+      vocabulary_(rdf::Vocabulary::Intern(*dictionary_)) {
+  VersionInfo base;
+  base.id = 0;
+  base.author = "system";
+  base.message = "base version";
+  infos_.push_back(base);
+  stores_.push_back(std::move(initial));
+  change_sets_.emplace_back();
+}
+
+namespace {
+
+rdf::KnowledgeBase ApplyChanges(rdf::KnowledgeBase base,
+                                const ChangeSet& changes) {
+  base.store().AddAll(changes.additions);
+  for (const rdf::Triple& t : changes.removals) {
+    base.store().Remove(t);
+  }
+  base.store().Compact();
+  return base;
+}
+
+}  // namespace
+
+Result<VersionId> VersionedKnowledgeBase::Commit(const ChangeSet& changes,
+                                                 std::string author,
+                                                 std::string message,
+                                                 uint64_t timestamp) {
+  const VersionId new_id = static_cast<VersionId>(infos_.size());
+
+  switch (policy_) {
+    case ArchivePolicy::kFullMaterialization:
+      stores_.push_back(ApplyChanges(stores_.back(), changes));
+      break;
+    case ArchivePolicy::kDeltaChain:
+      change_sets_.push_back(changes);
+      break;
+    case ArchivePolicy::kHybridCheckpoint: {
+      change_sets_.push_back(changes);
+      if (new_id % checkpoint_interval_ == 0) {
+        // Materialise this version once and keep it as a checkpoint;
+        // reuse the previous checkpoint (or base) as the replay start.
+        auto materialized = MaterializeUncached(new_id - 1);
+        if (!materialized.ok()) return materialized.status();
+        checkpoints_.emplace(
+            new_id, ApplyChanges(std::move(materialized).value(), changes));
+      }
+      break;
+    }
+  }
+
+  VersionInfo info;
+  info.id = new_id;
+  info.author = std::move(author);
+  info.message = std::move(message);
+  info.timestamp = timestamp;
+  info.additions = changes.additions.size();
+  info.removals = changes.removals.size();
+  infos_.push_back(std::move(info));
+  return new_id;
+}
+
+Result<VersionInfo> VersionedKnowledgeBase::Info(VersionId v) const {
+  if (v >= infos_.size()) {
+    return NotFoundError("unknown version " + std::to_string(v));
+  }
+  return infos_[v];
+}
+
+Result<ChangeSet> VersionedKnowledgeBase::Changes(VersionId v) const {
+  if (v >= infos_.size()) {
+    return NotFoundError("unknown version " + std::to_string(v));
+  }
+  if (v == 0) {
+    return FailedPreconditionError("version 0 has no change set");
+  }
+  if (policy_ != ArchivePolicy::kFullMaterialization) {
+    return change_sets_[v];
+  }
+  // Full materialisation: derive the change set from adjacent
+  // snapshots.
+  ChangeSet cs;
+  cs.additions =
+      rdf::TripleStore::Difference(stores_[v].store(), stores_[v - 1].store());
+  cs.removals =
+      rdf::TripleStore::Difference(stores_[v - 1].store(), stores_[v].store());
+  return cs;
+}
+
+Result<rdf::KnowledgeBase> VersionedKnowledgeBase::MaterializeUncached(
+    VersionId v) const {
+  if (v >= infos_.size()) {
+    return NotFoundError("unknown version " + std::to_string(v));
+  }
+  if (policy_ == ArchivePolicy::kFullMaterialization) {
+    return stores_[v];
+  }
+  // Find the nearest materialised ancestor: a hybrid checkpoint or the
+  // base snapshot.
+  VersionId start = 0;
+  const rdf::KnowledgeBase* base = &stores_[0];
+  if (policy_ == ArchivePolicy::kHybridCheckpoint && !checkpoints_.empty()) {
+    const VersionId candidate =
+        (v / static_cast<VersionId>(checkpoint_interval_)) *
+        static_cast<VersionId>(checkpoint_interval_);
+    auto it = checkpoints_.find(candidate);
+    if (it != checkpoints_.end()) {
+      start = candidate;
+      base = &it->second;
+    }
+  }
+  rdf::KnowledgeBase kb = *base;
+  for (VersionId i = start + 1; i <= v; ++i) {
+    kb.store().AddAll(change_sets_[i].additions);
+    for (const rdf::Triple& t : change_sets_[i].removals) {
+      kb.store().Remove(t);
+    }
+  }
+  kb.store().Compact();
+  return kb;
+}
+
+Result<const rdf::KnowledgeBase*> VersionedKnowledgeBase::Snapshot(
+    VersionId v) const {
+  if (v >= infos_.size()) {
+    return NotFoundError("unknown version " + std::to_string(v));
+  }
+  if (policy_ == ArchivePolicy::kFullMaterialization) {
+    return &stores_[v];
+  }
+  if (v == 0) {
+    return &stores_[0];
+  }
+  if (policy_ == ArchivePolicy::kHybridCheckpoint) {
+    auto checkpoint = checkpoints_.find(v);
+    if (checkpoint != checkpoints_.end()) {
+      return &checkpoint->second;
+    }
+  }
+  auto it = cache_.find(v);
+  if (it == cache_.end()) {
+    auto materialized = MaterializeUncached(v);
+    if (!materialized.ok()) return materialized.status();
+    it = cache_.emplace(v, std::move(materialized).value()).first;
+  }
+  return &it->second;
+}
+
+void VersionedKnowledgeBase::EvictSnapshotCache() const { cache_.clear(); }
+
+size_t VersionedKnowledgeBase::StorageBytes() const {
+  size_t bytes = 0;
+  for (const rdf::KnowledgeBase& kb : stores_) {
+    bytes += kb.store().size() * sizeof(rdf::Triple) * 3;  // three indexes
+  }
+  for (const auto& [v, kb] : checkpoints_) {
+    (void)v;
+    bytes += kb.store().size() * sizeof(rdf::Triple) * 3;
+  }
+  for (const ChangeSet& cs : change_sets_) {
+    bytes += cs.size() * sizeof(rdf::Triple);
+  }
+  return bytes;
+}
+
+}  // namespace evorec::version

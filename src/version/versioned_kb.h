@@ -1,0 +1,103 @@
+#ifndef EVOREC_VERSION_VERSIONED_KB_H_
+#define EVOREC_VERSION_VERSIONED_KB_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/knowledge_base.h"
+#include "version/version.h"
+
+namespace evorec::version {
+
+/// A linear-history versioned knowledge base. All versions share one
+/// term dictionary so TermIds are stable across versions — the
+/// invariant every evolution measure depends on.
+///
+/// Storage follows the configured ArchivePolicy; snapshots are
+/// materialised lazily and cached. Not thread-safe.
+class VersionedKnowledgeBase {
+ public:
+  /// Creates a KB whose version 0 is empty. `checkpoint_interval`
+  /// applies to kHybridCheckpoint only (a full snapshot every that
+  /// many versions; must be >= 1).
+  explicit VersionedKnowledgeBase(
+      ArchivePolicy policy = ArchivePolicy::kFullMaterialization,
+      size_t checkpoint_interval = 4);
+
+  /// Creates a KB whose version 0 is `initial`.
+  VersionedKnowledgeBase(ArchivePolicy policy, rdf::KnowledgeBase initial,
+                         size_t checkpoint_interval = 4);
+
+  VersionedKnowledgeBase(const VersionedKnowledgeBase&) = delete;
+  VersionedKnowledgeBase& operator=(const VersionedKnowledgeBase&) = delete;
+  VersionedKnowledgeBase(VersionedKnowledgeBase&&) = default;
+  VersionedKnowledgeBase& operator=(VersionedKnowledgeBase&&) = default;
+
+  /// Applies `changes` on top of the head version, creating a new
+  /// version. Returns the new version id. Empty change sets are legal
+  /// (they record a no-op commit).
+  Result<VersionId> Commit(const ChangeSet& changes, std::string author,
+                           std::string message, uint64_t timestamp = 0);
+
+  /// Number of versions (head id + 1).
+  size_t version_count() const { return infos_.size(); }
+
+  /// Id of the latest version.
+  VersionId head() const {
+    return static_cast<VersionId>(infos_.size() - 1);
+  }
+
+  /// Commit metadata for `v`.
+  Result<VersionInfo> Info(VersionId v) const;
+
+  /// The change set that produced `v` from `v-1`. Version 0 has no
+  /// change set.
+  Result<ChangeSet> Changes(VersionId v) const;
+
+  /// Materialised snapshot of version `v` (cached; the reference stays
+  /// valid until EvictSnapshotCache or destruction).
+  Result<const rdf::KnowledgeBase*> Snapshot(VersionId v) const;
+
+  /// Reconstructs `v` without touching the cache — used by benches to
+  /// measure reconstruction cost under kDeltaChain.
+  Result<rdf::KnowledgeBase> MaterializeUncached(VersionId v) const;
+
+  /// Drops cached snapshots (keeps version 0 and, under full
+  /// materialisation, all stored versions).
+  void EvictSnapshotCache() const;
+
+  /// Approximate resident bytes of version storage (triples only).
+  size_t StorageBytes() const;
+
+  ArchivePolicy policy() const { return policy_; }
+
+  const std::shared_ptr<rdf::Dictionary>& shared_dictionary() const {
+    return dictionary_;
+  }
+  rdf::Dictionary& dictionary() { return *dictionary_; }
+  const rdf::Vocabulary& vocabulary() const { return vocabulary_; }
+
+ private:
+  ArchivePolicy policy_;
+  size_t checkpoint_interval_;
+  std::shared_ptr<rdf::Dictionary> dictionary_;
+  rdf::Vocabulary vocabulary_;
+  std::vector<VersionInfo> infos_;
+  // kFullMaterialization: stores_[v] is version v.
+  // kDeltaChain / kHybridCheckpoint: stores_[0] is the base; later
+  // versions live in change_sets_ (and, for hybrid, checkpoints_).
+  std::vector<rdf::KnowledgeBase> stores_;
+  std::vector<ChangeSet> change_sets_;  // change_sets_[v] produced v; [0] empty
+  // kHybridCheckpoint: full snapshots at versions that are multiples
+  // of checkpoint_interval_.
+  std::unordered_map<VersionId, rdf::KnowledgeBase> checkpoints_;
+  mutable std::unordered_map<VersionId, rdf::KnowledgeBase> cache_;
+};
+
+}  // namespace evorec::version
+
+#endif  // EVOREC_VERSION_VERSIONED_KB_H_

@@ -1,0 +1,75 @@
+#ifndef EVOREC_WORKLOAD_EVOLUTION_GENERATOR_H_
+#define EVOREC_WORKLOAD_EVOLUTION_GENERATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/knowledge_base.h"
+#include "version/version.h"
+
+namespace evorec::workload {
+
+/// Relative frequencies of the change operations the generator emits
+/// (normalised internally). The defaults mimic real KB evolution:
+/// mostly instance churn, occasional schema surgery.
+struct ChangeMix {
+  double add_class = 0.02;
+  double delete_class = 0.01;
+  double move_class = 0.03;
+  double add_property = 0.01;
+  double change_domain = 0.01;
+  double add_instance = 0.33;
+  double delete_instance = 0.16;
+  double add_edge = 0.26;
+  double delete_edge = 0.13;
+  double retype_instance = 0.04;
+
+  /// A schema-heavy mix (topology churn) for experiments contrasting
+  /// structural vs counting measures.
+  static ChangeMix SchemaHeavy();
+  /// A pure instance-churn mix (no schema edits).
+  static ChangeMix InstanceChurn();
+};
+
+/// Options for one evolution step (one version transition).
+struct EvolutionOptions {
+  /// Number of change operations to perform (each expands into one or
+  /// more low-level triple changes).
+  size_t operations = 400;
+  ChangeMix mix;
+  /// Fraction of operations targeted at the hot classes; the rest
+  /// spread uniformly. Hot classes are the experiment's planted
+  /// ground truth.
+  double hotspot_fraction = 0.6;
+  /// Number of hot classes to plant (sampled uniformly).
+  size_t hotspot_count = 3;
+  /// IRI prefix for freshly created terms.
+  std::string fresh_prefix = "http://example.org/onto#";
+  /// Distinguishes fresh IRIs across successive transitions.
+  size_t epoch = 1;
+  uint64_t seed = 3;
+};
+
+/// Outcome of one generated transition: the change set to commit plus
+/// the planted ground truth.
+struct EvolutionOutcome {
+  version::ChangeSet changes;
+  /// Classes planted as change hotspots.
+  std::vector<rdf::TermId> hot_classes;
+  /// Ground-truth operation counts attributed per class.
+  std::unordered_map<rdf::TermId, size_t> ops_per_class;
+};
+
+/// Generates a change set against `current` (a materialised snapshot).
+/// Operations respect the snapshot's state (no deletion of absent
+/// triples); the returned set can be passed to
+/// VersionedKnowledgeBase::Commit. `dictionary` must be the shared
+/// dictionary of `current`; fresh IRIs are interned into it (the
+/// snapshot's triples are never modified). Deterministic per seed.
+EvolutionOutcome GenerateEvolution(const rdf::KnowledgeBase& current,
+                                   rdf::Dictionary& dictionary,
+                                   const EvolutionOptions& options);
+
+}  // namespace evorec::workload
+
+#endif  // EVOREC_WORKLOAD_EVOLUTION_GENERATOR_H_

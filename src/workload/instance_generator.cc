@@ -1,0 +1,70 @@
+#include "workload/instance_generator.h"
+
+#include "common/random.h"
+#include "schema/schema_view.h"
+
+namespace evorec::workload {
+
+GeneratedInstances PopulateInstances(GeneratedSchema& generated,
+                                     const InstanceGenOptions& options) {
+  Rng rng(options.seed);
+  GeneratedInstances out;
+  rdf::KnowledgeBase& kb = generated.kb;
+  const rdf::Vocabulary& voc = kb.vocabulary();
+  if (generated.classes.empty()) return out;
+
+  // Zipf rank → class assignment uses a shuffled copy so that heavy
+  // classes are spread across the hierarchy, not clustered at roots.
+  std::vector<rdf::TermId> ranked = generated.classes;
+  rng.Shuffle(ranked);
+
+  for (size_t i = 0; i < options.instance_count; ++i) {
+    const size_t rank = rng.Zipf(ranked.size(), options.zipf_exponent);
+    const rdf::TermId cls = ranked[rank];
+    const std::string iri = kb.dictionary().term(cls).lexical + "/inst" +
+                            std::to_string(i);
+    const rdf::TermId instance = kb.dictionary().InternIri(iri);
+    kb.store().Add(rdf::Triple(instance, voc.rdf_type, cls));
+    out.instances_by_class[cls].push_back(instance);
+    ++out.instance_count;
+  }
+
+  // Property edges: pick a property, connect a random instance of its
+  // domain to a random instance of its range (skipping properties
+  // whose classes have no instances yet).
+  generated.kb.store().Compact();
+  const schema::SchemaView view = schema::SchemaView::Build(kb);
+  struct EdgeSpec {
+    rdf::TermId property;
+    const std::vector<rdf::TermId>* sources;
+    const std::vector<rdf::TermId>* targets;
+  };
+  std::vector<EdgeSpec> specs;
+  for (rdf::TermId property : generated.properties) {
+    const auto domains = view.DomainsOf(property);
+    const auto ranges = view.RangesOf(property);
+    if (domains.empty() || ranges.empty()) continue;
+    auto s = out.instances_by_class.find(domains[0]);
+    auto t = out.instances_by_class.find(ranges[0]);
+    if (s == out.instances_by_class.end() ||
+        t == out.instances_by_class.end()) {
+      continue;
+    }
+    specs.push_back({property, &s->second, &t->second});
+  }
+  if (specs.empty()) return out;
+  for (size_t i = 0; i < options.edge_count; ++i) {
+    const EdgeSpec& spec = specs[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(specs.size()) - 1))];
+    const rdf::TermId source = (*spec.sources)[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(spec.sources->size()) - 1))];
+    const rdf::TermId target = (*spec.targets)[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(spec.targets->size()) - 1))];
+    kb.store().Add(rdf::Triple(source, spec.property, target));
+    ++out.edge_count;
+  }
+  kb.store().Compact();
+  return out;
+}
+
+}  // namespace evorec::workload

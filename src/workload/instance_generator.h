@@ -1,0 +1,43 @@
+#ifndef EVOREC_WORKLOAD_INSTANCE_GENERATOR_H_
+#define EVOREC_WORKLOAD_INSTANCE_GENERATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "workload/schema_generator.h"
+
+namespace evorec::workload {
+
+/// Options for instance population.
+struct InstanceGenOptions {
+  /// Total rdf:type assertions to create.
+  size_t instance_count = 2000;
+  /// Skew of the instances-per-class distribution (zipf exponent; the
+  /// head classes of the (shuffled) class list get most instances —
+  /// mirroring DBpedia-style data skew).
+  double zipf_exponent = 1.1;
+  /// Instance-level property edges to create (each respecting some
+  /// property's domain/range).
+  size_t edge_count = 4000;
+  uint64_t seed = 2;
+};
+
+/// Instances created per class (for later evolution targeting).
+struct GeneratedInstances {
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>
+      instances_by_class;
+  size_t instance_count = 0;
+  size_t edge_count = 0;
+};
+
+/// Populates `generated.kb` with typed instances and property edges. The
+/// per-class volumes are zipf-skewed; edges connect random instances
+/// of each property's domain class to random instances of its range
+/// class, so relative-cardinality statistics are non-trivial.
+/// Deterministic per seed.
+GeneratedInstances PopulateInstances(GeneratedSchema& generated,
+                                     const InstanceGenOptions& options);
+
+}  // namespace evorec::workload
+
+#endif  // EVOREC_WORKLOAD_INSTANCE_GENERATOR_H_

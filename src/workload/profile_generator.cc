@@ -1,0 +1,73 @@
+#include "workload/profile_generator.h"
+
+#include <algorithm>
+
+namespace evorec::workload {
+
+namespace {
+
+rdf::TermId RandomClass(const std::vector<rdf::TermId>& classes, Rng& rng) {
+  return classes[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(classes.size()) - 1))];
+}
+
+}  // namespace
+
+profile::HumanProfile GenerateProfile(const std::string& id,
+                                      const schema::SchemaView& view,
+                                      const ProfileGenOptions& options,
+                                      Rng& rng, rdf::TermId* focus_out) {
+  profile::HumanProfile prof(id);
+  const std::vector<rdf::TermId>& classes = view.classes();
+  if (classes.empty()) return prof;
+
+  const rdf::TermId focus = RandomClass(classes, rng);
+  if (focus_out != nullptr) *focus_out = focus;
+  std::vector<rdf::TermId> subtree = view.hierarchy().Descendants(focus);
+  subtree.push_back(focus);
+
+  for (size_t i = 0; i < options.interest_count; ++i) {
+    const bool focal = rng.Bernoulli(options.subtree_focus);
+    const rdf::TermId term =
+        focal ? subtree[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int64_t>(subtree.size()) - 1))]
+              : RandomClass(classes, rng);
+    const double weight = rng.UniformDouble(options.min_weight, 1.0);
+    // Keep the max weight if the same term is drawn twice.
+    prof.SetInterest(term, std::max(weight, prof.InterestIn(term)));
+  }
+  return prof;
+}
+
+profile::Group GenerateGroup(const std::string& id, size_t member_count,
+                             double overlap, const schema::SchemaView& view,
+                             const ProfileGenOptions& options, Rng& rng) {
+  profile::Group group(id);
+  const std::vector<rdf::TermId>& classes = view.classes();
+  if (classes.empty()) return group;
+
+  // Shared interest pool all members sample their overlapping part
+  // from.
+  std::vector<std::pair<rdf::TermId, double>> shared_pool;
+  for (size_t i = 0; i < options.interest_count; ++i) {
+    shared_pool.emplace_back(RandomClass(classes, rng),
+                             rng.UniformDouble(options.min_weight, 1.0));
+  }
+
+  for (size_t m = 0; m < member_count; ++m) {
+    profile::HumanProfile member =
+        GenerateProfile(id + "/member" + std::to_string(m), view, options,
+                        rng);
+    // Replace a fraction `overlap` of the member's interests with
+    // shared ones.
+    const size_t shared_take = static_cast<size_t>(
+        overlap * static_cast<double>(options.interest_count) + 0.5);
+    for (size_t i = 0; i < shared_take && i < shared_pool.size(); ++i) {
+      member.SetInterest(shared_pool[i].first, shared_pool[i].second);
+    }
+    group.AddMember(std::move(member));
+  }
+  return group;
+}
+
+}  // namespace evorec::workload

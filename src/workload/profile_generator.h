@@ -1,0 +1,46 @@
+#ifndef EVOREC_WORKLOAD_PROFILE_GENERATOR_H_
+#define EVOREC_WORKLOAD_PROFILE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "profile/group.h"
+#include "profile/profile.h"
+#include "schema/schema_view.h"
+
+namespace evorec::workload {
+
+/// Options for synthetic profile generation.
+struct ProfileGenOptions {
+  /// Number of seeded interest terms per profile.
+  size_t interest_count = 5;
+  /// Probability an interest comes from the profile's focal subtree
+  /// (the rest are uniform over all classes). High values give focused
+  /// curators; low values give broad editors.
+  double subtree_focus = 0.8;
+  /// Interest weights drawn uniformly from [min_weight, 1].
+  double min_weight = 0.3;
+};
+
+/// Generates a profile whose interests concentrate on the subtree
+/// rooted at a randomly chosen focal class (ground truth: the focal
+/// class is returned through `focus_out` when non-null).
+profile::HumanProfile GenerateProfile(const std::string& id,
+                                      const schema::SchemaView& view,
+                                      const ProfileGenOptions& options,
+                                      Rng& rng,
+                                      rdf::TermId* focus_out = nullptr);
+
+/// Generates a group of `member_count` profiles whose interests
+/// overlap by `overlap` ∈ [0,1]: each member draws that fraction of
+/// its interests from a shared pool and the rest independently.
+/// overlap 0 gives disjoint members (the hard fairness case, §III.d),
+/// overlap 1 gives clones.
+profile::Group GenerateGroup(const std::string& id, size_t member_count,
+                             double overlap, const schema::SchemaView& view,
+                             const ProfileGenOptions& options, Rng& rng);
+
+}  // namespace evorec::workload
+
+#endif  // EVOREC_WORKLOAD_PROFILE_GENERATOR_H_

@@ -1,0 +1,65 @@
+#ifndef EVOREC_WORKLOAD_SCENARIOS_H_
+#define EVOREC_WORKLOAD_SCENARIOS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anonymity/access_policy.h"
+#include "profile/group.h"
+#include "profile/profile.h"
+#include "version/versioned_kb.h"
+#include "workload/evolution_generator.h"
+
+namespace evorec::workload {
+
+/// A ready-to-run evaluation scenario: a versioned KB with committed
+/// evolution history, profiles/groups, planted ground truth, and (for
+/// sensitive scenarios) an access policy.
+struct Scenario {
+  std::string name;
+  std::unique_ptr<version::VersionedKnowledgeBase> vkb;
+  std::vector<rdf::TermId> classes;
+  std::vector<rdf::TermId> properties;
+  /// Hot classes planted in the *last* transition (head-1 → head).
+  std::vector<rdf::TermId> hot_classes;
+  /// Ground-truth op counts of the last transition.
+  std::unordered_map<rdf::TermId, size_t> ops_per_class;
+  /// A curators' team (group recommendations).
+  profile::Group curators;
+  /// A single end user.
+  profile::HumanProfile end_user;
+  /// Sensitive classes (ClinicalKb only; empty otherwise).
+  std::vector<rdf::TermId> sensitive_classes;
+  /// Access policy covering the sensitive classes ("analyst" has no
+  /// grants, "dpo" sees everything).
+  anonymity::AccessPolicy policy;
+};
+
+/// Parameters shared by the scenario presets.
+struct ScenarioScale {
+  size_t classes = 120;
+  size_t properties = 40;
+  size_t instances = 2500;
+  size_t edges = 5000;
+  size_t versions = 3;      ///< transitions committed after the base
+  size_t operations = 450;  ///< ops per transition
+};
+
+/// A DBpedia-like encyclopedic KB: broad hierarchy, zipf-skewed
+/// instances, mixed change profile.
+Scenario MakeDbpediaLike(uint64_t seed = 7, ScenarioScale scale = {});
+
+/// A clinical KB (paper §III.e motivation): includes a Patient-records
+/// subtree marked sensitive, an access policy denying the default
+/// analyst, and change bursts on sensitive classes.
+Scenario MakeClinicalKb(uint64_t seed = 11, ScenarioScale scale = {});
+
+/// A social-feed style KB: many small instance-churn transitions, an
+/// end user with narrow interests (personal notification use case of
+/// §I/§III).
+Scenario MakeSocialFeed(uint64_t seed = 13, ScenarioScale scale = {});
+
+}  // namespace evorec::workload
+
+#endif  // EVOREC_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,55 @@
+#include "workload/schema_generator.h"
+
+#include "common/random.h"
+
+namespace evorec::workload {
+
+GeneratedSchema GenerateSchema(const SchemaGenOptions& options,
+                               std::shared_ptr<rdf::Dictionary> dictionary) {
+  Rng rng(options.seed);
+  GeneratedSchema out{dictionary == nullptr
+                          ? rdf::KnowledgeBase()
+                          : rdf::KnowledgeBase(std::move(dictionary)),
+                      {},
+                      {}};
+  rdf::KnowledgeBase& kb = out.kb;
+  const rdf::Vocabulary& voc = kb.vocabulary();
+
+  const size_t roots = std::max<size_t>(1, options.root_count);
+  for (size_t i = 0; i < options.class_count; ++i) {
+    const std::string iri =
+        options.namespace_prefix + "Class" + std::to_string(i);
+    const rdf::TermId cls = kb.DeclareClass(iri);
+    kb.store().Add(rdf::Triple(
+        cls, voc.rdfs_label,
+        kb.dictionary().InternLiteral("Class " + std::to_string(i))));
+    if (i >= roots) {
+      // Parent among earlier classes: uniform, producing wide shallow
+      // trees like real ontologies.
+      const size_t parent = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+      kb.store().Add(rdf::Triple(cls, voc.rdfs_subclass_of,
+                                 out.classes[parent]));
+    }
+    out.classes.push_back(cls);
+  }
+
+  for (size_t i = 0; i < options.property_count; ++i) {
+    const std::string iri =
+        options.namespace_prefix + "prop" + std::to_string(i);
+    const size_t domain = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(options.class_count) - 1));
+    const size_t range = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(options.class_count) - 1));
+    const rdf::TermId property = kb.DeclareProperty(iri);
+    kb.store().Add(
+        rdf::Triple(property, voc.rdfs_domain, out.classes[domain]));
+    kb.store().Add(
+        rdf::Triple(property, voc.rdfs_range, out.classes[range]));
+    out.properties.push_back(property);
+  }
+  kb.store().Compact();
+  return out;
+}
+
+}  // namespace evorec::workload

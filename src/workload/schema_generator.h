@@ -1,0 +1,44 @@
+#ifndef EVOREC_WORKLOAD_SCHEMA_GENERATOR_H_
+#define EVOREC_WORKLOAD_SCHEMA_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdf/knowledge_base.h"
+
+namespace evorec::workload {
+
+/// Options for synthetic schema generation.
+struct SchemaGenOptions {
+  /// Number of classes in the subsumption forest.
+  size_t class_count = 100;
+  /// Number of object properties (domain/range over the classes).
+  size_t property_count = 40;
+  /// Number of root classes (the forest's trees).
+  size_t root_count = 3;
+  /// IRI prefix of generated terms.
+  std::string namespace_prefix = "http://example.org/onto#";
+  uint64_t seed = 1;
+};
+
+/// A generated schema: the KB holding its triples plus the id lists
+/// the other generators consume.
+struct GeneratedSchema {
+  rdf::KnowledgeBase kb;
+  std::vector<rdf::TermId> classes;
+  std::vector<rdf::TermId> properties;
+};
+
+/// Generates a random subsumption forest (each non-root class gets one
+/// parent among earlier classes) with labelled classes and properties
+/// whose domains/ranges are drawn uniformly from the classes. The
+/// result mimics the shape of real ontologies: shallow wide trees with
+/// cross-links through properties. Deterministic per seed.
+GeneratedSchema GenerateSchema(
+    const SchemaGenOptions& options,
+    std::shared_ptr<rdf::Dictionary> dictionary = nullptr);
+
+}  // namespace evorec::workload
+
+#endif  // EVOREC_WORKLOAD_SCHEMA_GENERATOR_H_

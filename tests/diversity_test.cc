@@ -1,0 +1,176 @@
+#include "recommend/diversity.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace evorec::recommend {
+namespace {
+
+MeasureCandidate Make(const std::string& id,
+                      measures::MeasureCategory category,
+                      std::vector<rdf::TermId> top_terms) {
+  MeasureCandidate c;
+  c.id = id;
+  c.measure.name = id;
+  c.measure.category = category;
+  c.measure.scope = measures::MeasureScope::kClass;
+  c.top_terms = std::move(top_terms);
+  for (size_t i = 0; i < c.top_terms.size(); ++i) {
+    c.report.Add(c.top_terms[i], 1.0);
+  }
+  return c;
+}
+
+TEST(DistanceTest, ContentDistanceIsOneMinusJaccard) {
+  const auto a = Make("a", measures::MeasureCategory::kCount, {1, 2, 3});
+  const auto b = Make("b", measures::MeasureCategory::kCount, {2, 3, 4});
+  const auto c = Make("c", measures::MeasureCategory::kCount, {9, 10});
+  EXPECT_DOUBLE_EQ(CandidateDistance(a, b, DiversityKind::kContent), 0.5);
+  EXPECT_DOUBLE_EQ(CandidateDistance(a, c, DiversityKind::kContent), 1.0);
+  EXPECT_DOUBLE_EQ(CandidateDistance(a, a, DiversityKind::kContent), 0.0);
+}
+
+TEST(DistanceTest, SemanticDistanceWeighsCategory) {
+  const auto count = Make("a", measures::MeasureCategory::kCount, {1, 2});
+  const auto structural =
+      Make("b", measures::MeasureCategory::kStructural, {1, 2});
+  const auto semantic =
+      Make("c", measures::MeasureCategory::kSemantic, {1, 2});
+  // Same terms, different category → distance dominated by category.
+  const double cross =
+      CandidateDistance(count, structural, DiversityKind::kSemantic);
+  const double same =
+      CandidateDistance(structural, semantic, DiversityKind::kSemantic);
+  EXPECT_GT(cross, 0.4);
+  EXPECT_GT(same, 0.4);
+  EXPECT_DOUBLE_EQ(
+      CandidateDistance(count, count, DiversityKind::kSemantic), 0.0);
+}
+
+TEST(DistanceTest, AllDistancesAreBoundedAndSymmetric) {
+  const auto a = Make("a", measures::MeasureCategory::kCount, {1, 2, 3});
+  const auto b = Make("b", measures::MeasureCategory::kSemantic, {3, 4});
+  for (DiversityKind kind : {DiversityKind::kContent, DiversityKind::kNovelty,
+                             DiversityKind::kSemantic}) {
+    const double d1 = CandidateDistance(a, b, kind);
+    const double d2 = CandidateDistance(b, a, kind);
+    EXPECT_DOUBLE_EQ(d1, d2);
+    EXPECT_GE(d1, 0.0);
+    EXPECT_LE(d1, 1.0);
+  }
+}
+
+TEST(NoveltyTest, ScoresAgainstProfileHistory) {
+  profile::HumanProfile prof("p");
+  prof.RecordSeen({1, 2});
+  const auto candidate =
+      Make("a", measures::MeasureCategory::kCount, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(NoveltyScore(prof, candidate), 0.5);
+}
+
+std::vector<MeasureCandidate> Pool() {
+  return {
+      Make("c0", measures::MeasureCategory::kCount, {1, 2, 3}),
+      Make("c1", measures::MeasureCategory::kCount, {1, 2, 4}),  // ~c0
+      Make("c2", measures::MeasureCategory::kStructural, {7, 8, 9}),
+      Make("c3", measures::MeasureCategory::kSemantic, {10, 11}),
+      Make("c4", measures::MeasureCategory::kCount, {1, 3, 2}),  // ~c0
+  };
+}
+
+TEST(SelectMmrTest, LambdaOneIsPureRelevance) {
+  const auto pool = Pool();
+  const std::vector<double> relevance = {0.9, 0.8, 0.1, 0.2, 0.7};
+  const auto selected =
+      SelectMmr(pool, relevance, 3, 1.0, DiversityKind::kContent);
+  ASSERT_EQ(selected.size(), 3u);
+  // Top-3 by relevance: 0, 1, 4.
+  EXPECT_EQ(std::set<size_t>(selected.begin(), selected.end()),
+            (std::set<size_t>{0, 1, 4}));
+}
+
+TEST(SelectMmrTest, LambdaZeroDiversifies) {
+  const auto pool = Pool();
+  const std::vector<double> relevance = {0.9, 0.8, 0.1, 0.2, 0.7};
+  const auto selected =
+      SelectMmr(pool, relevance, 3, 0.0, DiversityKind::kContent);
+  ASSERT_EQ(selected.size(), 3u);
+  // First pick is the most relevant (c0); after that, near-duplicates
+  // c1/c4 must not both follow — diverse c2/c3 take the other slots.
+  EXPECT_EQ(selected[0], 0u);
+  const std::set<size_t> rest(selected.begin() + 1, selected.end());
+  EXPECT_TRUE(rest.count(2));
+  EXPECT_TRUE(rest.count(3));
+}
+
+TEST(SelectMmrTest, DiversityIncreasesAsLambdaDrops) {
+  const auto pool = Pool();
+  const std::vector<double> relevance = {0.9, 0.85, 0.1, 0.15, 0.8};
+  const auto high_lambda =
+      SelectMmr(pool, relevance, 3, 1.0, DiversityKind::kContent);
+  const auto low_lambda =
+      SelectMmr(pool, relevance, 3, 0.0, DiversityKind::kContent);
+  EXPECT_GE(SetDiversity(pool, low_lambda, DiversityKind::kContent),
+            SetDiversity(pool, high_lambda, DiversityKind::kContent));
+}
+
+TEST(SelectMmrTest, HandlesEdgeCases) {
+  const auto pool = Pool();
+  const std::vector<double> relevance(pool.size(), 0.5);
+  EXPECT_TRUE(SelectMmr(pool, relevance, 0, 0.5, DiversityKind::kContent)
+                  .empty());
+  // k > pool size clamps.
+  EXPECT_EQ(
+      SelectMmr(pool, relevance, 99, 0.5, DiversityKind::kContent).size(),
+      pool.size());
+  EXPECT_TRUE(SelectMmr({}, {}, 3, 0.5, DiversityKind::kContent).empty());
+}
+
+TEST(SelectMaxMinTest, SpreadsSelection) {
+  const auto pool = Pool();
+  const std::vector<double> relevance = {0.9, 0.8, 0.5, 0.5, 0.7};
+  const auto selected =
+      SelectMaxMin(pool, relevance, 3, DiversityKind::kContent);
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_EQ(selected[0], 0u);  // relevance seeds the first pick
+  // Near-duplicates of c0 (c1, c4) are avoided.
+  for (size_t i : selected) {
+    if (i == 0) continue;
+    EXPECT_TRUE(i == 2 || i == 3) << "picked near-duplicate " << i;
+  }
+}
+
+TEST(ImproveBySwapsTest, NeverWorsensObjective) {
+  const auto pool = Pool();
+  const std::vector<double> relevance = {0.9, 0.8, 0.1, 0.2, 0.7};
+  // Deliberately bad start: the three near-duplicates.
+  std::vector<size_t> start = {0, 1, 4};
+  const double before =
+      MmrObjective(pool, relevance, start, 0.3, DiversityKind::kContent);
+  const auto improved = ImproveBySwaps(pool, relevance, start, 0.3,
+                                       DiversityKind::kContent);
+  const double after =
+      MmrObjective(pool, relevance, improved, 0.3, DiversityKind::kContent);
+  EXPECT_GE(after, before);
+  EXPECT_EQ(improved.size(), start.size());
+  // With λ=0.3 the duplicates should be swapped out.
+  EXPECT_GT(SetDiversity(pool, improved, DiversityKind::kContent),
+            SetDiversity(pool, start, DiversityKind::kContent));
+}
+
+TEST(SetDiversityTest, SingletonsAreFullyDiverse) {
+  const auto pool = Pool();
+  EXPECT_DOUBLE_EQ(SetDiversity(pool, {0}, DiversityKind::kContent), 1.0);
+  EXPECT_DOUBLE_EQ(SetDiversity(pool, {}, DiversityKind::kContent), 1.0);
+}
+
+TEST(CategoryCoverageTest, CountsDistinctCategories) {
+  const auto pool = Pool();
+  EXPECT_NEAR(CategoryCoverage(pool, {0, 1}), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(CategoryCoverage(pool, {0, 2}), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(CategoryCoverage(pool, {0, 2, 3}), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace evorec::recommend

@@ -1,0 +1,148 @@
+#include "recommend/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace evorec::recommend {
+namespace {
+
+TEST(AggregateUtilityTest, Strategies) {
+  const std::vector<double> utilities = {0.2, 0.8, 0.5};
+  EXPECT_DOUBLE_EQ(AggregateUtility(utilities, GroupAggregation::kAverage),
+                   0.5);
+  EXPECT_DOUBLE_EQ(
+      AggregateUtility(utilities, GroupAggregation::kLeastMisery), 0.2);
+  EXPECT_DOUBLE_EQ(
+      AggregateUtility(utilities, GroupAggregation::kMostPleasure), 0.8);
+  EXPECT_DOUBLE_EQ(AggregateUtility({}, GroupAggregation::kAverage), 0.0);
+}
+
+TEST(MemberSatisfactionTest, BestSelectedItemCounts) {
+  const UtilityMatrix utilities = {
+      {0.1, 0.9, 0.3},  // member 0
+      {0.7, 0.2, 0.4},  // member 1
+  };
+  EXPECT_DOUBLE_EQ(MemberSatisfaction(utilities, 0, {0, 2}), 0.3);
+  EXPECT_DOUBLE_EQ(MemberSatisfaction(utilities, 0, {1}), 0.9);
+  EXPECT_DOUBLE_EQ(MemberSatisfaction(utilities, 1, {}), 0.0);
+}
+
+TEST(EvaluatePackageTest, Diagnostics) {
+  const UtilityMatrix utilities = {
+      {0.9, 0.8},
+      {0.1, 0.2},
+  };
+  const auto diag = EvaluatePackage(utilities, {0, 1});
+  EXPECT_DOUBLE_EQ(diag.satisfaction[0], 0.9);
+  EXPECT_DOUBLE_EQ(diag.satisfaction[1], 0.2);
+  EXPECT_NEAR(diag.mean_satisfaction, 0.55, 1e-9);
+  EXPECT_DOUBLE_EQ(diag.min_satisfaction, 0.2);
+  EXPECT_GT(diag.gini, 0.0);
+}
+
+TEST(EvaluatePackageTest, DetectsAlwaysLeastSatisfiedMember) {
+  // Member 1 is strictly worst on every item — the paper's explicit
+  // unfairness pattern.
+  const UtilityMatrix unfair = {
+      {0.9, 0.8, 0.7},
+      {0.1, 0.2, 0.1},
+      {0.5, 0.6, 0.5},
+  };
+  const auto diag = EvaluatePackage(unfair, {0, 1, 2});
+  EXPECT_TRUE(diag.has_always_least_satisfied_member);
+  EXPECT_EQ(diag.always_least_satisfied_member, 1u);
+
+  // Balanced: every member wins somewhere.
+  const UtilityMatrix fair = {
+      {0.9, 0.1},
+      {0.1, 0.9},
+  };
+  const auto fair_diag = EvaluatePackage(fair, {0, 1});
+  EXPECT_FALSE(fair_diag.has_always_least_satisfied_member);
+}
+
+TEST(SelectByAggregationTest, AverageVersusLeastMisery) {
+  // Candidate 0: great for member 0, terrible for member 1.
+  // Candidate 1: mediocre for both.
+  const UtilityMatrix utilities = {
+      {1.0, 0.5},
+      {0.0, 0.4},
+  };
+  const auto avg = SelectByAggregation(utilities, 1,
+                                       GroupAggregation::kAverage);
+  ASSERT_EQ(avg.size(), 1u);
+  EXPECT_EQ(avg[0], 0u);  // mean 0.5 > 0.45
+  const auto misery = SelectByAggregation(utilities, 1,
+                                          GroupAggregation::kLeastMisery);
+  ASSERT_EQ(misery.size(), 1u);
+  EXPECT_EQ(misery[0], 1u);  // min 0.4 > 0.0
+}
+
+TEST(SelectFairPackageTest, CoversEveryMember) {
+  // Three members with disjoint tastes plus a distractor candidate
+  // that only helps member 0; k=3 must serve all three members.
+  const UtilityMatrix utilities = {
+      {0.9, 0.0, 0.0, 0.8},
+      {0.0, 0.9, 0.0, 0.0},
+      {0.0, 0.0, 0.9, 0.0},
+  };
+  const auto package = SelectFairPackage(utilities, 3);
+  ASSERT_EQ(package.size(), 3u);
+  const auto diag = EvaluatePackage(utilities, package);
+  EXPECT_DOUBLE_EQ(diag.min_satisfaction, 0.9);
+  EXPECT_EQ(std::set<size_t>(package.begin(), package.end()),
+            (std::set<size_t>{0, 1, 2}));
+}
+
+TEST(SelectFairPackageTest, BeatsAverageOnMinSatisfaction) {
+  // Average-aggregation loves candidates 0/1 (loved by the majority),
+  // which starve member 2.
+  const UtilityMatrix utilities = {
+      {0.9, 0.8, 0.0},
+      {0.9, 0.8, 0.0},
+      {0.0, 0.1, 0.7},
+  };
+  const auto greedy =
+      SelectByAggregation(utilities, 2, GroupAggregation::kAverage);
+  const auto fair = SelectFairPackage(utilities, 2);
+  const auto greedy_diag = EvaluatePackage(utilities, greedy);
+  const auto fair_diag = EvaluatePackage(utilities, fair);
+  EXPECT_GT(fair_diag.min_satisfaction, greedy_diag.min_satisfaction);
+  // And the paper's trade-off: fairness costs little mean satisfaction.
+  EXPECT_GE(fair_diag.mean_satisfaction, 0.5);
+}
+
+TEST(SelectFairPackageTest, TieBreaksByMean) {
+  // Both candidates give the same min; candidate 1 has a higher mean.
+  const UtilityMatrix utilities = {
+      {0.5, 0.5},
+      {0.5, 0.9},
+  };
+  const auto package = SelectFairPackage(utilities, 1);
+  ASSERT_EQ(package.size(), 1u);
+  EXPECT_EQ(package[0], 1u);
+}
+
+TEST(SelectionEdgeCasesTest, EmptyAndOversizedRequests) {
+  EXPECT_TRUE(SelectFairPackage({}, 3).empty());
+  EXPECT_TRUE(SelectByAggregation({}, 3, GroupAggregation::kAverage).empty());
+  const UtilityMatrix utilities = {{0.5, 0.6}};
+  EXPECT_EQ(SelectFairPackage(utilities, 99).size(), 2u);
+  EXPECT_EQ(
+      SelectByAggregation(utilities, 99, GroupAggregation::kAverage).size(),
+      2u);
+}
+
+TEST(GiniDiagnosticsTest, EqualSatisfactionMeansZeroGini) {
+  const UtilityMatrix utilities = {
+      {0.5, 0.0},
+      {0.0, 0.5},
+  };
+  const auto diag = EvaluatePackage(utilities, {0, 1});
+  EXPECT_DOUBLE_EQ(diag.gini, 0.0);
+  EXPECT_DOUBLE_EQ(diag.min_satisfaction, diag.mean_satisfaction);
+}
+
+}  // namespace
+}  // namespace evorec::recommend

@@ -1,0 +1,238 @@
+#include "delta/high_level_delta.h"
+
+#include <gtest/gtest.h>
+
+#include "delta/low_level_delta.h"
+#include "rdf/knowledge_base.h"
+
+namespace evorec::delta {
+namespace {
+
+using rdf::KnowledgeBase;
+using rdf::TermId;
+
+HighLevelDelta Detect(const KnowledgeBase& before,
+                      const KnowledgeBase& after) {
+  const LowLevelDelta delta = ComputeLowLevelDelta(before, after);
+  return DetectHighLevelChanges(delta, schema::SchemaView::Build(before),
+                                schema::SchemaView::Build(after),
+                                before.vocabulary());
+}
+
+size_t CountKind(const HighLevelDelta& hld, HighLevelChangeKind kind) {
+  auto counts = hld.CountsByKind();
+  auto it = counts.find(kind);
+  return it == counts.end() ? 0 : it->second;
+}
+
+TEST(HighLevelDeltaTest, DetectsAddAndDeleteClass) {
+  KnowledgeBase before;
+  before.DeclareClass("http://x/Old");
+  KnowledgeBase after(before.shared_dictionary());
+  after.DeclareClass("http://x/New");
+
+  const HighLevelDelta hld = Detect(before, after);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kAddClass), 1u);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kDeleteClass), 1u);
+  EXPECT_DOUBLE_EQ(hld.coverage, 1.0);
+}
+
+TEST(HighLevelDeltaTest, DetectsMoveClassAsOnePattern) {
+  KnowledgeBase before;
+  before.DeclareClass("http://x/A");
+  before.DeclareClass("http://x/B");
+  before.DeclareClass("http://x/C");
+  before.AddIriTriple("http://x/C",
+                      "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+                      "http://x/A");
+  KnowledgeBase after = before;
+  const auto& voc = after.vocabulary();
+  const TermId c = after.dictionary().Find(rdf::Term::Iri("http://x/C"));
+  const TermId a = after.dictionary().Find(rdf::Term::Iri("http://x/A"));
+  const TermId b = after.dictionary().Find(rdf::Term::Iri("http://x/B"));
+  after.store().Remove({c, voc.rdfs_subclass_of, a});
+  after.store().Add({c, voc.rdfs_subclass_of, b});
+
+  const HighLevelDelta hld = Detect(before, after);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kMoveClass), 1u);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kAttachSubclass), 0u);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kDetachSubclass), 0u);
+  // The move explains both low-level triples.
+  EXPECT_DOUBLE_EQ(hld.coverage, 1.0);
+  // The event carries old and new parent.
+  bool found = false;
+  for (const HighLevelChange& change : hld.changes) {
+    if (change.kind == HighLevelChangeKind::kMoveClass) {
+      EXPECT_EQ(change.focus, c);
+      EXPECT_EQ(change.before_value, a);
+      EXPECT_EQ(change.after_value, b);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HighLevelDeltaTest, UnpairedSubclassEdgesBecomeAttachDetach) {
+  KnowledgeBase before;
+  before.DeclareClass("http://x/A");
+  before.DeclareClass("http://x/B");
+  KnowledgeBase after = before;
+  after.AddIriTriple("http://x/B",
+                     "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+                     "http://x/A");
+  const HighLevelDelta hld = Detect(before, after);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kAttachSubclass), 1u);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kMoveClass), 0u);
+}
+
+TEST(HighLevelDeltaTest, DetectsDomainAndRangeChanges) {
+  KnowledgeBase before;
+  before.DeclareClass("http://x/A");
+  before.DeclareClass("http://x/B");
+  before.DeclareProperty("http://x/p", "http://x/A", "http://x/A");
+  KnowledgeBase after = before;
+  const auto& voc = after.vocabulary();
+  const TermId p = after.dictionary().Find(rdf::Term::Iri("http://x/p"));
+  const TermId a = after.dictionary().Find(rdf::Term::Iri("http://x/A"));
+  const TermId b = after.dictionary().Find(rdf::Term::Iri("http://x/B"));
+  after.store().Remove({p, voc.rdfs_domain, a});
+  after.store().Add({p, voc.rdfs_domain, b});
+  after.store().Add({p, voc.rdfs_range, b});  // second range (add only)
+
+  const HighLevelDelta hld = Detect(before, after);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kChangeDomain), 1u);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kAddRange), 1u);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kChangeRange), 0u);
+}
+
+TEST(HighLevelDeltaTest, DetectsInstanceLifecycle) {
+  KnowledgeBase before;
+  before.DeclareClass("http://x/A");
+  before.DeclareClass("http://x/B");
+  before.AddIriTriple("http://x/i1",
+                      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+                      "http://x/A");
+  before.AddIriTriple("http://x/i2",
+                      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+                      "http://x/A");
+  KnowledgeBase after = before;
+  const auto& voc = after.vocabulary();
+  const TermId i1 = after.dictionary().Find(rdf::Term::Iri("http://x/i1"));
+  const TermId i2 = after.dictionary().Find(rdf::Term::Iri("http://x/i2"));
+  const TermId a = after.dictionary().Find(rdf::Term::Iri("http://x/A"));
+  const TermId b = after.dictionary().Find(rdf::Term::Iri("http://x/B"));
+  // i1 retyped A → B; i2 deleted; i3 added.
+  after.store().Remove({i1, voc.rdf_type, a});
+  after.store().Add({i1, voc.rdf_type, b});
+  after.store().Remove({i2, voc.rdf_type, a});
+  after.AddIriTriple("http://x/i3",
+                     "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+                     "http://x/B");
+
+  const HighLevelDelta hld = Detect(before, after);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kRetypeInstance), 1u);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kDeleteInstance), 1u);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kAddInstance), 1u);
+  EXPECT_DOUBLE_EQ(hld.coverage, 1.0);
+}
+
+TEST(HighLevelDeltaTest, DetectsInstanceEdgesAndLabels) {
+  KnowledgeBase before;
+  before.DeclareClass("http://x/A");
+  before.AddIriTriple("http://x/i1", "http://x/knows", "http://x/i2");
+  before.AddLiteralTriple("http://x/A",
+                          "http://www.w3.org/2000/01/rdf-schema#label",
+                          "old label");
+  KnowledgeBase after = before;
+  const auto& voc = after.vocabulary();
+  const TermId a = after.dictionary().Find(rdf::Term::Iri("http://x/A"));
+  const TermId old_label =
+      after.dictionary().Find(rdf::Term::Literal("old label"));
+  after.store().Remove(
+      {after.dictionary().Find(rdf::Term::Iri("http://x/i1")),
+       after.dictionary().Find(rdf::Term::Iri("http://x/knows")),
+       after.dictionary().Find(rdf::Term::Iri("http://x/i2"))});
+  after.store().Remove({a, voc.rdfs_label, old_label});
+  after.AddLiteralTriple("http://x/A",
+                         "http://www.w3.org/2000/01/rdf-schema#label",
+                         "new label");
+
+  const HighLevelDelta hld = Detect(before, after);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kDeleteInstanceEdge), 1u);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kChangeLabel), 1u);
+}
+
+TEST(HighLevelDeltaTest, DetectsRenameAcrossResources) {
+  // A class is deleted, a new one appears, and the old label moves
+  // verbatim to the new IRI — the rename pattern.
+  KnowledgeBase before;
+  before.DeclareClass("http://x/OldName");
+  before.AddLiteralTriple("http://x/OldName",
+                          "http://www.w3.org/2000/01/rdf-schema#label",
+                          "Shared Label");
+  KnowledgeBase after(before.shared_dictionary());
+  after.DeclareClass("http://x/NewName");
+  after.AddLiteralTriple("http://x/NewName",
+                         "http://www.w3.org/2000/01/rdf-schema#label",
+                         "Shared Label");
+
+  const HighLevelDelta hld = Detect(before, after);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kRenameResource), 1u);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kAddLabel), 0u);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kDeleteLabel), 0u);
+  const TermId old_id =
+      before.dictionary().Find(rdf::Term::Iri("http://x/OldName"));
+  const TermId new_id =
+      before.dictionary().Find(rdf::Term::Iri("http://x/NewName"));
+  for (const HighLevelChange& c : hld.changes) {
+    if (c.kind == HighLevelChangeKind::kRenameResource) {
+      EXPECT_EQ(c.focus, new_id);
+      EXPECT_EQ(c.before_value, old_id);
+    }
+  }
+  // Delta: 2 class decls + 2 labels; rename (2) + Add/DeleteClass (2)
+  // explain all of it.
+  EXPECT_DOUBLE_EQ(hld.coverage, 1.0);
+}
+
+TEST(HighLevelDeltaTest, SameSubjectLabelChangeBeatsRename) {
+  // If the same subject swaps labels, it is a ChangeLabel even when
+  // another resource adds the old label text.
+  KnowledgeBase before;
+  before.DeclareClass("http://x/A");
+  before.DeclareClass("http://x/B");
+  before.AddLiteralTriple("http://x/A",
+                          "http://www.w3.org/2000/01/rdf-schema#label",
+                          "alpha");
+  KnowledgeBase after = before;
+  const auto& voc = after.vocabulary();
+  const TermId a = after.dictionary().Find(rdf::Term::Iri("http://x/A"));
+  const TermId alpha = after.dictionary().Find(rdf::Term::Literal("alpha"));
+  after.store().Remove({a, voc.rdfs_label, alpha});
+  after.AddLiteralTriple("http://x/A",
+                         "http://www.w3.org/2000/01/rdf-schema#label",
+                         "beta");
+  const HighLevelDelta hld = Detect(before, after);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kChangeLabel), 1u);
+  EXPECT_EQ(CountKind(hld, HighLevelChangeKind::kRenameResource), 0u);
+}
+
+TEST(HighLevelDeltaTest, EmptyDeltaHasFullCoverage) {
+  KnowledgeBase kb;
+  kb.DeclareClass("http://x/A");
+  const HighLevelDelta hld = Detect(kb, kb);
+  EXPECT_TRUE(hld.changes.empty());
+  EXPECT_DOUBLE_EQ(hld.coverage, 1.0);
+}
+
+TEST(HighLevelDeltaTest, KindNamesAreStable) {
+  EXPECT_EQ(HighLevelChangeKindName(HighLevelChangeKind::kMoveClass),
+            "MoveClass");
+  EXPECT_EQ(HighLevelChangeKindName(HighLevelChangeKind::kRetypeInstance),
+            "RetypeInstance");
+  EXPECT_EQ(HighLevelChangeKindName(HighLevelChangeKind::kChangeDomain),
+            "ChangeDomain");
+}
+
+}  // namespace
+}  // namespace evorec::delta

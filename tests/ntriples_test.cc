@@ -1,0 +1,128 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rdf/knowledge_base.h"
+
+namespace evorec::rdf {
+namespace {
+
+TEST(NTriplesTest, ParsesBasicStatements) {
+  Dictionary dict;
+  TripleStore store;
+  const std::string text =
+      "<http://x/A> <http://x/p> <http://x/B> .\n"
+      "# a comment line\n"
+      "\n"
+      "<http://x/A> <http://x/name> \"Alice\" .\n"
+      "_:b0 <http://x/p> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> "
+      ".\n"
+      "<http://x/B> <http://x/label> \"hallo\"@de .\n";
+  ASSERT_TRUE(ParseNTriples(text, dict, store).ok());
+  EXPECT_EQ(store.size(), 4u);
+
+  const TermId a = dict.Find(Term::Iri("http://x/A"));
+  const TermId p = dict.Find(Term::Iri("http://x/p"));
+  const TermId b = dict.Find(Term::Iri("http://x/B"));
+  ASSERT_NE(a, kAnyTerm);
+  ASSERT_NE(p, kAnyTerm);
+  ASSERT_NE(b, kAnyTerm);
+  EXPECT_TRUE(store.Contains({a, p, b}));
+
+  const TermId lang = dict.Find(Term::Literal("hallo", "", "de"));
+  EXPECT_NE(lang, kAnyTerm);
+}
+
+TEST(NTriplesTest, RejectsMalformedLines) {
+  Dictionary dict;
+  TripleStore store;
+  // Missing terminating dot.
+  auto s1 = ParseNTriples("<a> <b> <c>", dict, store);
+  EXPECT_FALSE(s1.ok());
+  EXPECT_NE(s1.message().find("line 1"), std::string::npos);
+  // Literal subject.
+  EXPECT_FALSE(ParseNTriples("\"lit\" <b> <c> .", dict, store).ok());
+  // Blank predicate.
+  EXPECT_FALSE(ParseNTriples("<a> _:b <c> .", dict, store).ok());
+  // Unterminated IRI.
+  EXPECT_FALSE(ParseNTriples("<a <b> <c> .", dict, store).ok());
+  // Unterminated literal.
+  EXPECT_FALSE(ParseNTriples("<a> <b> \"open .", dict, store).ok());
+}
+
+TEST(NTriplesTest, ReportsCorrectLineNumber) {
+  Dictionary dict;
+  TripleStore store;
+  auto status =
+      ParseNTriples("<a> <b> <c> .\n<a> <b> garbage .\n", dict, store);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, RoundTripPreservesStore) {
+  KnowledgeBase kb;
+  kb.AddIriTriple("http://x/A", "http://x/p", "http://x/B");
+  kb.AddLiteralTriple("http://x/A", "http://x/name", "Ann \"quoted\"\n");
+  kb.DeclareClass("http://x/C");
+  kb.DeclareProperty("http://x/p", "http://x/A", "http://x/B");
+
+  const std::string serialized = WriteNTriples(kb.store(), kb.dictionary());
+
+  Dictionary dict2;
+  TripleStore store2;
+  ASSERT_TRUE(ParseNTriples(serialized, dict2, store2).ok());
+  EXPECT_EQ(store2.size(), kb.store().size());
+
+  // Second round trip must be byte-identical (canonical form).
+  const std::string serialized2 = WriteNTriples(store2, dict2);
+  // Term ids differ between dictionaries, so compare as sorted line
+  // sets.
+  auto lines = [](const std::string& text) {
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t nl = text.find('\n', start);
+      if (nl == std::string::npos) nl = text.size();
+      out.push_back(text.substr(start, nl - start));
+      start = nl + 1;
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(lines(serialized), lines(serialized2));
+}
+
+TEST(NTriplesTest, EmptyInputIsOk) {
+  Dictionary dict;
+  TripleStore store;
+  EXPECT_TRUE(ParseNTriples("", dict, store).ok());
+  EXPECT_TRUE(ParseNTriples("\n\n# only comments\n", dict, store).ok());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KnowledgeBaseTest, ConvenienceBuilders) {
+  KnowledgeBase kb;
+  const TermId cls = kb.DeclareClass("http://x/C");
+  const TermId prop =
+      kb.DeclareProperty("http://x/p", "http://x/C", "http://x/D");
+  const Vocabulary& voc = kb.vocabulary();
+  EXPECT_TRUE(kb.store().Contains({cls, voc.rdf_type, voc.rdfs_class}));
+  EXPECT_TRUE(kb.store().Contains({prop, voc.rdf_type, voc.rdf_property}));
+  EXPECT_EQ(kb.store().Match({prop, voc.rdfs_domain, kAnyTerm}).size(), 1u);
+  EXPECT_EQ(kb.store().Match({prop, voc.rdfs_range, kAnyTerm}).size(), 1u);
+}
+
+TEST(KnowledgeBaseTest, CopySharesDictionaryButNotTriples) {
+  KnowledgeBase a;
+  a.AddIriTriple("http://x/A", "http://x/p", "http://x/B");
+  KnowledgeBase b = a;
+  b.AddIriTriple("http://x/C", "http://x/p", "http://x/D");
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.shared_dictionary(), b.shared_dictionary());
+}
+
+}  // namespace
+}  // namespace evorec::rdf

@@ -1,0 +1,156 @@
+#include "measures/property_measures.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "measures/measure_context.h"
+#include "rdf/knowledge_base.h"
+
+namespace evorec::measures {
+namespace {
+
+using rdf::KnowledgeBase;
+using rdf::TermId;
+
+// Two properties between Person and City; the transition shifts most
+// traffic from worksIn to bornIn.
+struct PropertyFixture {
+  KnowledgeBase before;
+  KnowledgeBase after;
+  TermId person, city, works_in, born_in;
+
+  PropertyFixture() {
+    person = before.DeclareClass("http://x/Person");
+    city = before.DeclareClass("http://x/City");
+    works_in = before.DeclareProperty("http://x/worksIn", "http://x/Person",
+                                      "http://x/City");
+    born_in = before.DeclareProperty("http://x/bornIn", "http://x/Person",
+                                     "http://x/City");
+    const auto& voc = before.vocabulary();
+    auto& dict = before.dictionary();
+    // Instances.
+    for (int i = 0; i < 6; ++i) {
+      before.store().Add(
+          {dict.InternIri("http://x/p" + std::to_string(i)), voc.rdf_type,
+           person});
+    }
+    before.store().Add(
+        {dict.InternIri("http://x/rome"), voc.rdf_type, city});
+    // Before: 4 worksIn edges, 1 bornIn edge.
+    const TermId rome = dict.InternIri("http://x/rome");
+    for (int i = 0; i < 4; ++i) {
+      before.store().Add(
+          {dict.InternIri("http://x/p" + std::to_string(i)), works_in,
+           rome});
+    }
+    before.store().Add({dict.InternIri("http://x/p0"), born_in, rome});
+
+    after = before;
+    // After: remove 3 worksIn edges, add 4 bornIn edges.
+    for (int i = 1; i < 4; ++i) {
+      after.store().Remove(
+          {dict.InternIri("http://x/p" + std::to_string(i)), works_in,
+           rome});
+    }
+    for (int i = 1; i < 5; ++i) {
+      after.store().Add(
+          {dict.InternIri("http://x/p" + std::to_string(i)), born_in,
+           rome});
+    }
+  }
+
+  EvolutionContext Context() const {
+    auto ctx = EvolutionContext::Build(before, after);
+    EXPECT_TRUE(ctx.ok());
+    return std::move(ctx).value();
+  }
+};
+
+TEST(PropertyImportanceTest, SumsWeightedRelativeCardinalities) {
+  PropertyFixture f;
+  const schema::SchemaView view = schema::SchemaView::Build(f.before);
+  const auto importance = ComputePropertyImportance(view);
+  // Both properties connect the same class pair with the same RC
+  // denominator; worksIn carries more edges → higher importance.
+  EXPECT_GT(importance.at(f.works_in), importance.at(f.born_in));
+  EXPECT_GT(importance.at(f.born_in), 0.0);
+}
+
+TEST(PropertyCardinalityShiftTest, DetectsTrafficMigration) {
+  PropertyFixture f;
+  const EvolutionContext ctx = f.Context();
+  PropertyCardinalityShiftMeasure measure;
+  auto report = measure.Compute(ctx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->ScoreOf(f.works_in), 0.0);
+  EXPECT_GT(report->ScoreOf(f.born_in), 0.0);
+  EXPECT_EQ(measure.info().scope, MeasureScope::kProperty);
+  EXPECT_EQ(measure.info().category, MeasureCategory::kSemantic);
+}
+
+TEST(PropertyCardinalityShiftTest, ZeroOnIdentityTransition) {
+  PropertyFixture f;
+  auto ctx = EvolutionContext::Build(f.before, f.before);
+  ASSERT_TRUE(ctx.ok());
+  PropertyCardinalityShiftMeasure measure;
+  auto report = measure.Compute(*ctx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->TotalScore(), 0.0);
+}
+
+TEST(PropertyEndpointShiftTest, RespondsToTopologyChange) {
+  // Reparent City in the hierarchy so the endpoints' betweenness
+  // moves while the property's own triples stay identical.
+  PropertyFixture f;
+  f.before.DeclareClass("http://x/Place");
+  f.before.DeclareClass("http://x/Region");
+  f.before.AddIriTriple("http://x/Region",
+                        "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+                        "http://x/Place");
+  KnowledgeBase before = f.before;
+  KnowledgeBase after = f.before;
+  after.AddIriTriple("http://x/City",
+                     "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+                     "http://x/Region");
+  auto ctx = EvolutionContext::Build(before, after);
+  ASSERT_TRUE(ctx.ok());
+  PropertyEndpointShiftMeasure measure;
+  auto report = measure.Compute(*ctx);
+  ASSERT_TRUE(report.ok());
+  // Attaching City into the Place chain changes shortest paths through
+  // it; both properties end at City, so both shift.
+  EXPECT_GT(report->TotalScore(), 0.0);
+  EXPECT_EQ(measure.info().category, MeasureCategory::kStructural);
+}
+
+TEST(ExtendedRegistryTest, ContainsDefaultsPlusExtensions) {
+  const MeasureRegistry registry = ExtendedRegistry();
+  EXPECT_EQ(registry.size(), 11u);
+  std::set<std::string> names;
+  for (const MeasureInfo& info : registry.List()) {
+    names.insert(info.name);
+  }
+  EXPECT_TRUE(names.count("property_cardinality_shift"));
+  EXPECT_TRUE(names.count("property_endpoint_shift"));
+  EXPECT_TRUE(names.count("class_change_count_direct"));
+  // All defaults still present.
+  EXPECT_TRUE(names.count("relevance_shift"));
+  EXPECT_TRUE(names.count("class_change_count"));
+}
+
+TEST(ExtendedRegistryTest, AllExtendedMeasuresCompute) {
+  PropertyFixture f;
+  const EvolutionContext ctx = f.Context();
+  const MeasureRegistry registry = ExtendedRegistry();
+  for (const auto& measure : registry.CreateAll()) {
+    auto report = measure->Compute(ctx);
+    ASSERT_TRUE(report.ok()) << measure->info().name;
+    for (const auto& s : report->scores()) {
+      EXPECT_GE(s.score, 0.0) << measure->info().name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evorec::measures

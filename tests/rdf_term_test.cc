@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "rdf/vocabulary.h"
+
+namespace evorec::rdf {
+namespace {
+
+TEST(TermTest, Factories) {
+  const Term iri = Term::Iri("http://x.org/A");
+  EXPECT_TRUE(iri.is_iri());
+  EXPECT_EQ(iri.lexical, "http://x.org/A");
+
+  const Term lit = Term::Literal("42", iri::kXsdInteger);
+  EXPECT_TRUE(lit.is_literal());
+  EXPECT_EQ(lit.datatype, iri::kXsdInteger);
+
+  const Term lang = Term::Literal("hello", "", "en");
+  EXPECT_EQ(lang.language, "en");
+
+  const Term blank = Term::Blank("b0");
+  EXPECT_TRUE(blank.is_blank());
+}
+
+TEST(TermTest, NTriplesSerialization) {
+  EXPECT_EQ(Term::Iri("http://x/A").ToNTriples(), "<http://x/A>");
+  EXPECT_EQ(Term::Blank("b1").ToNTriples(), "_:b1");
+  EXPECT_EQ(Term::Literal("v").ToNTriples(), "\"v\"");
+  EXPECT_EQ(Term::Literal("v", "http://t").ToNTriples(),
+            "\"v\"^^<http://t>");
+  EXPECT_EQ(Term::Literal("v", "", "de").ToNTriples(), "\"v\"@de");
+  EXPECT_EQ(Term::Literal("a\"b").ToNTriples(), "\"a\\\"b\"");
+}
+
+TEST(TermTest, EqualityDistinguishesKinds) {
+  EXPECT_EQ(Term::Iri("x"), Term::Iri("x"));
+  EXPECT_FALSE(Term::Iri("x") == Term::Blank("x"));
+  EXPECT_FALSE(Term::Literal("x") == Term::Literal("x", "t"));
+  EXPECT_FALSE(Term::Literal("x", "", "en") == Term::Literal("x", "", "fr"));
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  const TermId a = dict.InternIri("http://x/A");
+  const TermId a2 = dict.InternIri("http://x/A");
+  const TermId b = dict.InternIri("http://x/B");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, IdsAreDenseAndLookupable) {
+  Dictionary dict;
+  const TermId a = dict.InternIri("http://x/A");
+  const TermId lit = dict.InternLiteral("v", "", "en");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(lit, 1u);
+  auto term = dict.Lookup(lit);
+  ASSERT_TRUE(term.ok());
+  EXPECT_EQ(term->language, "en");
+  EXPECT_FALSE(dict.Lookup(99).ok());
+}
+
+TEST(DictionaryTest, FindDoesNotInsert) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Find(Term::Iri("http://x/A")), kAnyTerm);
+  EXPECT_EQ(dict.size(), 0u);
+  dict.InternIri("http://x/A");
+  EXPECT_EQ(dict.Find(Term::Iri("http://x/A")), 0u);
+}
+
+TEST(DictionaryTest, DistinguishesLiteralFromIri) {
+  Dictionary dict;
+  const TermId iri = dict.InternIri("x");
+  const TermId lit = dict.InternLiteral("x");
+  EXPECT_NE(iri, lit);
+}
+
+TEST(TripleTest, OrderingIsSpo) {
+  EXPECT_LT(Triple(0, 0, 1), Triple(0, 1, 0));
+  EXPECT_LT(Triple(0, 1, 0), Triple(1, 0, 0));
+  EXPECT_LT(Triple(1, 2, 3), Triple(1, 2, 4));
+  EXPECT_EQ(Triple(1, 2, 3), Triple(1, 2, 3));
+}
+
+TEST(TriplePatternTest, WildcardsMatch) {
+  const Triple t(1, 2, 3);
+  EXPECT_TRUE(TriplePattern(kAnyTerm, kAnyTerm, kAnyTerm).Matches(t));
+  EXPECT_TRUE(TriplePattern(1, kAnyTerm, 3).Matches(t));
+  EXPECT_FALSE(TriplePattern(1, kAnyTerm, 4).Matches(t));
+  EXPECT_FALSE(TriplePattern(2, 2, 3).Matches(t));
+}
+
+TEST(TripleHashTest, EqualTriplesHashEqually) {
+  TripleHash hash;
+  EXPECT_EQ(hash(Triple(1, 2, 3)), hash(Triple(1, 2, 3)));
+  EXPECT_NE(hash(Triple(1, 2, 3)), hash(Triple(3, 2, 1)));
+}
+
+TEST(VocabularyTest, InternsAllTerms) {
+  Dictionary dict;
+  const Vocabulary voc = Vocabulary::Intern(dict);
+  EXPECT_NE(voc.rdf_type, kAnyTerm);
+  EXPECT_NE(voc.rdfs_subclass_of, kAnyTerm);
+  EXPECT_NE(voc.rdfs_domain, kAnyTerm);
+  EXPECT_NE(voc.rdfs_range, kAnyTerm);
+  EXPECT_NE(voc.rdfs_class, kAnyTerm);
+  EXPECT_NE(voc.owl_class, kAnyTerm);
+  // Idempotent across repeated interning.
+  const Vocabulary again = Vocabulary::Intern(dict);
+  EXPECT_EQ(voc.rdf_type, again.rdf_type);
+}
+
+TEST(VocabularyTest, SchemaPredicateClassification) {
+  Dictionary dict;
+  const Vocabulary voc = Vocabulary::Intern(dict);
+  EXPECT_TRUE(voc.IsSchemaPredicate(voc.rdf_type));
+  EXPECT_TRUE(voc.IsSchemaPredicate(voc.rdfs_subclass_of));
+  EXPECT_TRUE(voc.IsSchemaPredicate(voc.rdfs_label));
+  const TermId custom = dict.InternIri("http://x/knows");
+  EXPECT_FALSE(voc.IsSchemaPredicate(custom));
+}
+
+}  // namespace
+}  // namespace evorec::rdf

@@ -1,0 +1,87 @@
+#include "measures/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "measures/change_count.h"
+
+namespace evorec::measures {
+namespace {
+
+TEST(RegistryTest, DefaultRegistryHasAllEightMeasures) {
+  const MeasureRegistry registry = DefaultRegistry();
+  EXPECT_EQ(registry.size(), 8u);
+  std::set<std::string> names;
+  std::set<MeasureCategory> categories;
+  for (const MeasureInfo& info : registry.List()) {
+    names.insert(info.name);
+    categories.insert(info.category);
+    EXPECT_FALSE(info.description.empty());
+  }
+  EXPECT_EQ(names.size(), 8u);  // unique names
+  // All three families represented (§II).
+  EXPECT_EQ(categories.size(), 3u);
+  EXPECT_TRUE(names.count("class_change_count"));
+  EXPECT_TRUE(names.count("property_change_count"));
+  EXPECT_TRUE(names.count("neighborhood_change_count"));
+  EXPECT_TRUE(names.count("betweenness_shift"));
+  EXPECT_TRUE(names.count("bridging_shift"));
+  EXPECT_TRUE(names.count("in_centrality_shift"));
+  EXPECT_TRUE(names.count("out_centrality_shift"));
+  EXPECT_TRUE(names.count("relevance_shift"));
+}
+
+TEST(RegistryTest, CreateByName) {
+  const MeasureRegistry registry = DefaultRegistry();
+  auto measure = registry.Create("relevance_shift");
+  ASSERT_TRUE(measure.ok());
+  EXPECT_EQ((*measure)->info().name, "relevance_shift");
+  EXPECT_FALSE(registry.Create("no_such_measure").ok());
+}
+
+TEST(RegistryTest, CreateAllInstantiatesEverything) {
+  const MeasureRegistry registry = DefaultRegistry();
+  const auto all = registry.CreateAll();
+  EXPECT_EQ(all.size(), registry.size());
+  for (const auto& measure : all) {
+    ASSERT_NE(measure, nullptr);
+  }
+}
+
+TEST(RegistryTest, DuplicateRegistrationRejected) {
+  MeasureRegistry registry;
+  EXPECT_TRUE(registry
+                  .Register([] {
+                    return std::make_unique<ClassChangeCountMeasure>();
+                  })
+                  .ok());
+  const Status dup = registry.Register(
+      [] { return std::make_unique<ClassChangeCountMeasure>(); });
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(RegistryTest, NullFactoryRejected) {
+  MeasureRegistry registry;
+  const Status bad = registry.Register(
+      []() -> std::unique_ptr<EvolutionMeasure> { return nullptr; });
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, CustomMeasureRegistersNextToDefaults) {
+  // Applications can extend the default pool (the "additional
+  // evolution measures" the paper calls for).
+  MeasureRegistry registry = DefaultRegistry();
+  EXPECT_TRUE(registry
+                  .Register([] {
+                    return std::make_unique<ClassChangeCountMeasure>(
+                        /*extended=*/false);
+                  })
+                  .ok());
+  EXPECT_EQ(registry.size(), 9u);
+  EXPECT_TRUE(registry.Create("class_change_count_direct").ok());
+}
+
+}  // namespace
+}  // namespace evorec::measures

@@ -1,0 +1,196 @@
+#include "recommend/relatedness.h"
+
+#include <gtest/gtest.h>
+
+#include "measures/registry.h"
+#include "recommend/candidate.h"
+
+namespace evorec::recommend {
+namespace {
+
+using rdf::KnowledgeBase;
+using rdf::TermId;
+
+// KB with hierarchy Root ⊒ {Mid ⊒ {Leaf}} and churn on Leaf.
+struct Fixture {
+  KnowledgeBase before;
+  KnowledgeBase after;
+  TermId root, mid, leaf, other;
+
+  Fixture() {
+    root = before.DeclareClass("http://x/Root");
+    mid = before.DeclareClass("http://x/Mid");
+    leaf = before.DeclareClass("http://x/Leaf");
+    other = before.DeclareClass("http://x/Other");
+    before.AddIriTriple("http://x/Mid",
+                        "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+                        "http://x/Root");
+    before.AddIriTriple("http://x/Leaf",
+                        "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+                        "http://x/Mid");
+    after = before;
+    for (int i = 0; i < 5; ++i) {
+      after.AddIriTriple("http://x/i" + std::to_string(i),
+                         "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+                         "http://x/Leaf");
+    }
+  }
+
+  measures::EvolutionContext Context() const {
+    auto ctx = measures::EvolutionContext::Build(before, after);
+    EXPECT_TRUE(ctx.ok());
+    return std::move(ctx).value();
+  }
+};
+
+MeasureCandidate CandidateWithTopTerms(std::vector<TermId> terms) {
+  MeasureCandidate c;
+  c.id = "test@all";
+  c.measure.name = "test";
+  c.measure.category = measures::MeasureCategory::kCount;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    c.report.Add(terms[i], static_cast<double>(terms.size() - i));
+  }
+  c.top_terms = std::move(terms);
+  return c;
+}
+
+TEST(RelatednessTest, DirectInterestMatchScoresHigh) {
+  Fixture f;
+  const measures::EvolutionContext ctx = f.Context();
+  RelatednessScorer scorer(ctx, {});
+
+  profile::HumanProfile interested("i");
+  interested.SetInterest(f.leaf, 1.0);
+  profile::HumanProfile uninterested("u");
+  uninterested.SetInterest(f.other, 1.0);
+
+  const MeasureCandidate candidate = CandidateWithTopTerms({f.leaf, f.mid});
+  EXPECT_GT(scorer.Score(interested, candidate),
+            scorer.Score(uninterested, candidate));
+  EXPECT_GE(scorer.Score(interested, candidate), 0.0);
+  EXPECT_LE(scorer.Score(interested, candidate), 1.0);
+}
+
+TEST(RelatednessTest, HierarchyPropagationReachesRelatives) {
+  Fixture f;
+  const measures::EvolutionContext ctx = f.Context();
+  RelatednessOptions with_propagation;
+  with_propagation.propagation_hops = 2;
+  with_propagation.propagation_decay = 0.5;
+  RelatednessOptions without_propagation;
+  without_propagation.propagation_hops = 0;
+
+  profile::HumanProfile prof("p");
+  prof.SetInterest(f.root, 1.0);  // interested in the ancestor only
+
+  const MeasureCandidate candidate = CandidateWithTopTerms({f.leaf});
+  RelatednessScorer with(ctx, with_propagation);
+  RelatednessScorer without(ctx, without_propagation);
+  // Leaf is two hops below Root: reachable only with propagation.
+  EXPECT_GT(with.Score(prof, candidate), 0.0);
+  EXPECT_DOUBLE_EQ(without.Score(prof, candidate), 0.0);
+}
+
+TEST(RelatednessTest, PropagationDecaysWithDistance) {
+  Fixture f;
+  const measures::EvolutionContext ctx = f.Context();
+  RelatednessScorer scorer(ctx, {});
+  profile::HumanProfile prof("p");
+  prof.SetInterest(f.root, 1.0);
+  const auto expanded = scorer.ExpandInterests(prof);
+  ASSERT_TRUE(expanded.count(f.root));
+  ASSERT_TRUE(expanded.count(f.mid));
+  ASSERT_TRUE(expanded.count(f.leaf));
+  EXPECT_GT(expanded.at(f.root), expanded.at(f.mid));
+  EXPECT_GT(expanded.at(f.mid), expanded.at(f.leaf));
+  EXPECT_EQ(expanded.count(f.other), 0u);  // disconnected
+}
+
+TEST(RelatednessTest, ExpansionNormalisesPeakToOne) {
+  Fixture f;
+  const measures::EvolutionContext ctx = f.Context();
+  RelatednessScorer scorer(ctx, {});
+  profile::HumanProfile prof("p");
+  prof.SetInterest(f.leaf, 7.5);  // arbitrary scale
+  const auto expanded = scorer.ExpandInterests(prof);
+  EXPECT_DOUBLE_EQ(expanded.at(f.leaf), 1.0);
+}
+
+TEST(RelatednessTest, CategoryAffinityScales) {
+  Fixture f;
+  const measures::EvolutionContext ctx = f.Context();
+  RelatednessScorer scorer(ctx, {});
+  profile::HumanProfile prof("p");
+  prof.SetInterest(f.leaf, 1.0);
+  prof.SetCategoryAffinity(measures::MeasureCategory::kCount, 0.5);
+
+  const MeasureCandidate candidate = CandidateWithTopTerms({f.leaf});
+  RelatednessOptions no_affinity;
+  no_affinity.use_category_affinity = false;
+  RelatednessScorer plain(ctx, no_affinity);
+  EXPECT_NEAR(scorer.Score(prof, candidate),
+              0.5 * plain.Score(prof, candidate), 1e-9);
+}
+
+TEST(RelatednessTest, EmptyProfileScoresZero) {
+  Fixture f;
+  const measures::EvolutionContext ctx = f.Context();
+  RelatednessScorer scorer(ctx, {});
+  profile::HumanProfile empty("e");
+  const MeasureCandidate candidate = CandidateWithTopTerms({f.leaf});
+  EXPECT_DOUBLE_EQ(scorer.Score(empty, candidate), 0.0);
+}
+
+TEST(CandidateGenerationTest, ProducesWholeKbAndRegionCandidates) {
+  Fixture f;
+  const measures::EvolutionContext ctx = f.Context();
+  const measures::MeasureRegistry registry = measures::DefaultRegistry();
+  CandidateOptions options;
+  options.per_region = true;
+  options.max_regions = 2;
+  auto pool = GenerateCandidates(registry, ctx, options);
+  ASSERT_TRUE(pool.ok());
+  // At least one candidate per registered measure.
+  EXPECT_GE(pool->size(), registry.size());
+  size_t whole_kb = 0;
+  size_t regional = 0;
+  for (const MeasureCandidate& c : *pool) {
+    EXPECT_FALSE(c.id.empty());
+    if (c.focus == rdf::kAnyTerm) {
+      ++whole_kb;
+      EXPECT_EQ(c.region_label, "all");
+    } else {
+      ++regional;
+    }
+  }
+  EXPECT_EQ(whole_kb, registry.size());
+  EXPECT_GT(regional, 0u);
+}
+
+TEST(CandidateGenerationTest, WithoutRegionsOnlyWholeKb) {
+  Fixture f;
+  const measures::EvolutionContext ctx = f.Context();
+  const measures::MeasureRegistry registry = measures::DefaultRegistry();
+  CandidateOptions options;
+  options.per_region = false;
+  auto pool = GenerateCandidates(registry, ctx, options);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(pool->size(), registry.size());
+}
+
+TEST(CandidateGenerationTest, TopTermsRespectTopK) {
+  Fixture f;
+  const measures::EvolutionContext ctx = f.Context();
+  const measures::MeasureRegistry registry = measures::DefaultRegistry();
+  CandidateOptions options;
+  options.top_k = 2;
+  auto pool = GenerateCandidates(registry, ctx, options);
+  ASSERT_TRUE(pool.ok());
+  for (const MeasureCandidate& c : *pool) {
+    EXPECT_LE(c.top_terms.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace evorec::recommend
