@@ -17,7 +17,7 @@ using namespace evorec;
 
 void ShowTransition(const workload::Scenario& scenario,
                     version::VersionId from, version::VersionId to,
-                    const measures::MeasureRegistry& registry,
+                    const measures::MeasureRegistry& /*registry*/,
                     recommend::Recommender& recommender,
                     profile::Group& curators,
                     provenance::ProvenanceStore& prov) {

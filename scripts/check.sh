@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build everything (library, tests, bench,
+# examples), run the full ctest suite. This is the exact sequence CI
+# runs and the gate every PR must keep green.
+#
+#   scripts/check.sh [build-dir]
+#
+# Extra CMake arguments can be passed via CMAKE_ARGS, e.g.
+#   CMAKE_ARGS="-DEVOREC_BUILD_BENCHMARKS=OFF" scripts/check.sh
+
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"${repo_root}/build"}
+
+cmake -B "${build_dir}" -S "${repo_root}" ${CMAKE_ARGS:-}
+cmake --build "${build_dir}" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+cd "${build_dir}" && ctest --output-on-failure -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"

@@ -148,9 +148,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(AnonymityParam{1, 2}, AnonymityParam{1, 5},
                       AnonymityParam{2, 10}, AnonymityParam{3, 25},
                       AnonymityParam{4, 3}, AnonymityParam{5, 50}),
-    [](const auto& info) {
-      return "seed" + std::to_string(info.param.seed) + "_k" +
-             std::to_string(info.param.k);
+    [](const auto& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_k" +
+             std::to_string(param_info.param.k);
     });
 
 // The anonymiser's guarantee holds on arbitrary generated tables:

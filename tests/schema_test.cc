@@ -136,7 +136,7 @@ TEST(SchemaViewTest, PropertiesTouching) {
 
 TEST(ClassHierarchyTest, AncestorsAndDescendants) {
   //      0
-  //     / \
+  //     / \.
   //    1   2
   //    |
   //    3

@@ -22,8 +22,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ArchivePolicy::kFullMaterialization,
                       ArchivePolicy::kDeltaChain,
                       ArchivePolicy::kHybridCheckpoint),
-    [](const auto& info) {
-      switch (info.param) {
+    [](const auto& param_info) {
+      switch (param_info.param) {
         case ArchivePolicy::kFullMaterialization:
           return "Full";
         case ArchivePolicy::kDeltaChain:
