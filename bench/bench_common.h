@@ -47,9 +47,7 @@ inline TwoVersionWorkload MakeTwoVersionWorkload(
 
   out.after = out.generated.kb;
   out.after.store().AddAll(out.outcome.changes.additions);
-  for (const rdf::Triple& t : out.outcome.changes.removals) {
-    out.after.store().Remove(t);
-  }
+  out.after.store().RemoveAll(out.outcome.changes.removals);
   out.after.store().Compact();
   return out;
 }

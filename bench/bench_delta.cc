@@ -37,36 +37,50 @@ void PrintDeltaScalingTable() {
   table.Print(std::cout);
 }
 
+// Builds a version chain at the E1b default scale (200 classes, 4000
+// instances, 7000 edges base; `versions` x `ops_per_version` evolution
+// steps) — shared by the E1b table and the replay benchmarks so they
+// measure the same workload.
+version::VersionedKnowledgeBase MakeVersionChain(version::ArchivePolicy policy,
+                                                 size_t versions,
+                                                 size_t ops_per_version) {
+  TwoVersionWorkload w =
+      MakeTwoVersionWorkload(200, 4000, 7000, 100, /*seed=*/23);
+  version::VersionedKnowledgeBase vkb(policy, w.generated.kb);
+  for (size_t v = 0; v < versions; ++v) {
+    workload::EvolutionOptions options;
+    options.operations = ops_per_version;
+    options.seed = 31 + v;
+    options.epoch = v + 1;
+    auto head = vkb.Snapshot(vkb.head());
+    const workload::EvolutionOutcome outcome =
+        workload::GenerateEvolution(**head, vkb.dictionary(), options);
+    (void)vkb.Commit(outcome.changes, "bench", "step");
+  }
+  vkb.EvictSnapshotCache();
+  return vkb;
+}
+
 void PrintArchivePolicyTable() {
   PrintHeader("E1b — archive policy ablation (cf. [13])",
               "delta chains trade snapshot latency for storage");
+  // "sec_idx_builds" counts POS/OSP builds performed by the head/mid
+  // reconstructions — the SPO-only replay path must keep it at 0.
   TablePrinter table({"policy", "versions", "storage", "snapshot_head_ms",
-                      "snapshot_mid_ms"});
+                      "snapshot_mid_ms", "sec_idx_builds"});
   for (auto policy : {version::ArchivePolicy::kFullMaterialization,
                       version::ArchivePolicy::kDeltaChain,
                       version::ArchivePolicy::kHybridCheckpoint}) {
-    TwoVersionWorkload w =
-        MakeTwoVersionWorkload(200, 4000, 7000, 100, /*seed=*/23);
-    version::VersionedKnowledgeBase vkb(policy, w.generated.kb);
-    for (size_t v = 0; v < 12; ++v) {
-      workload::EvolutionOptions options;
-      options.operations = 120;
-      options.seed = 31 + v;
-      options.epoch = v + 1;
-      auto head = vkb.Snapshot(vkb.head());
-      const workload::EvolutionOutcome outcome = workload::GenerateEvolution(
-          **head, vkb.dictionary(), options);
-      (void)vkb.Commit(outcome.changes, "bench", "step");
-    }
-    vkb.EvictSnapshotCache();
+    auto vkb = MakeVersionChain(policy, 12, 120);
     Stopwatch head_timer;
     auto head = vkb.MaterializeUncached(vkb.head());
     const double head_ms = head_timer.ElapsedMillis();
     Stopwatch mid_timer;
     auto mid = vkb.MaterializeUncached(vkb.head() / 2);
     const double mid_ms = mid_timer.ElapsedMillis();
-    (void)head;
-    (void)mid;
+    const uint64_t sec_idx_builds =
+        head->store().stats().secondary_builds() +
+        mid->store().stats().secondary_builds();
     const char* policy_name =
         policy == version::ArchivePolicy::kFullMaterialization
             ? "full_materialization"
@@ -76,7 +90,7 @@ void PrintArchivePolicyTable() {
     table.AddRow(
         {policy_name, TablePrinter::Cell(vkb.version_count()),
          HumanBytes(vkb.StorageBytes()), TablePrinter::Cell(head_ms, 2),
-         TablePrinter::Cell(mid_ms, 2)});
+         TablePrinter::Cell(mid_ms, 2), TablePrinter::Cell(sec_idx_builds)});
   }
   table.Print(std::cout);
 }
@@ -104,6 +118,81 @@ void BM_PerTermIndex(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PerTermIndex);
+
+// The E1 replay row: reconstruct the head snapshot from the base plus
+// the delta chain — the hot loop behind every historical measure.
+void BM_SnapshotReplay(benchmark::State& state) {
+  const auto policy = static_cast<version::ArchivePolicy>(state.range(0));
+  auto vkb = MakeVersionChain(policy, 12, 120);
+  for (auto _ : state) {
+    auto kb = vkb.MaterializeUncached(vkb.head());
+    benchmark::DoNotOptimize(kb->size());
+  }
+  auto head = vkb.MaterializeUncached(vkb.head());
+  state.counters["triples"] = static_cast<double>(head->size());
+}
+BENCHMARK(BM_SnapshotReplay)
+    ->Arg(static_cast<int>(version::ArchivePolicy::kDeltaChain))
+    ->Arg(static_cast<int>(version::ArchivePolicy::kHybridCheckpoint));
+
+// Repeated small-delta Compact(): the per-commit indexing cost. Each
+// iteration applies a 64-triple add batch plus a 64-triple remove
+// batch (steady-state size) and compacts.
+void BM_RepeatedSmallDeltaCompact(benchmark::State& state) {
+  const uint32_t base = static_cast<uint32_t>(state.range(0));
+  rdf::TripleStore store;
+  std::vector<rdf::Triple> triples;
+  triples.reserve(base);
+  for (uint32_t i = 0; i < base; ++i) {
+    triples.push_back({i / 8, 1000000u + i % 17, i});
+  }
+  store.AddAll(triples);
+  store.Compact();
+  const uint32_t d = 64;
+  uint64_t epoch = 0;
+  for (auto _ : state) {
+    const uint32_t add_tag = static_cast<uint32_t>(epoch % 2);
+    for (uint32_t j = 0; j < d; ++j) {
+      store.Add({2000000u + j, 7, add_tag});
+      store.Remove({2000000u + j, 7, 1 - add_tag});
+    }
+    store.Compact();
+    benchmark::DoNotOptimize(store.size());
+    ++epoch;
+  }
+}
+BENCHMARK(BM_RepeatedSmallDeltaCompact)->Arg(20000)->Arg(100000);
+
+// Same write pattern, but every compact is followed by one POS and
+// one OSP lookup — the cost of keeping all three permutation indexes
+// usable between small deltas.
+void BM_RepeatedSmallDeltaCompactAllIndexes(benchmark::State& state) {
+  const uint32_t base = static_cast<uint32_t>(state.range(0));
+  rdf::TripleStore store;
+  std::vector<rdf::Triple> triples;
+  triples.reserve(base);
+  for (uint32_t i = 0; i < base; ++i) {
+    triples.push_back({i / 8, 1000000u + i % 17, i});
+  }
+  store.AddAll(triples);
+  store.Compact();
+  const uint32_t d = 64;
+  uint64_t epoch = 0;
+  for (auto _ : state) {
+    const uint32_t add_tag = static_cast<uint32_t>(epoch % 2);
+    for (uint32_t j = 0; j < d; ++j) {
+      store.Add({2000000u + j, 7, add_tag});
+      store.Remove({2000000u + j, 7, 1 - add_tag});
+    }
+    store.Compact();
+    benchmark::DoNotOptimize(
+        store.Match({rdf::kAnyTerm, 7, add_tag}).size());      // POS
+    benchmark::DoNotOptimize(
+        store.Match({rdf::kAnyTerm, rdf::kAnyTerm, 3}).size());  // OSP
+    ++epoch;
+  }
+}
+BENCHMARK(BM_RepeatedSmallDeltaCompactAllIndexes)->Arg(20000)->Arg(100000);
 
 void BM_CommitThroughput(benchmark::State& state) {
   const auto policy = static_cast<version::ArchivePolicy>(state.range(0));

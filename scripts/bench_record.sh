@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Records a perf snapshot: runs bench binaries with Google Benchmark's
+# JSON reporter and merges the per-binary reports into one
+# BENCH_<date>[_label].json at the repo root, tagged with the current
+# git revision. The committed BENCH_*.json files are the repo's
+# performance trajectory; hot-path PRs record one before and one after
+# (use a label to tell them apart) and paste the relevant rows into
+# the PR description.
+#
+#   scripts/bench_record.sh [label] [bench ...]
+#
+#   label   optional suffix, e.g. "baseline" -> BENCH_2026-07-26_baseline.json
+#   bench   bench binaries to run (default: bench_delta bench_endtoend,
+#           i.e. E1 and E10)
+#
+# Environment:
+#   BENCH_BUILD_DIR   build tree to use (default: build-release, built
+#                     with the "release" CMake preset if missing)
+#   BENCH_ARGS        extra flags for every binary, e.g.
+#                     "--benchmark_min_time=0.05s" for a quick smoke run
+
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+label=${1:-}
+[ $# -gt 0 ] && shift
+benches=${*:-"bench_delta bench_endtoend"}
+build_dir=${BENCH_BUILD_DIR:-"${repo_root}/build-release"}
+
+if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
+  # Mirrors the "release" CMake preset, but honours BENCH_BUILD_DIR.
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release -DEVOREC_BUILD_TESTS=OFF
+fi
+# shellcheck disable=SC2086  # word-splitting of the target list is intended
+cmake --build "${build_dir}" -j \
+  "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)" \
+  --target ${benches}
+
+date_tag=$(date +%Y-%m-%d)
+out="${repo_root}/BENCH_${date_tag}${label:+_${label}}.json"
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+for bench in ${benches}; do
+  echo "== ${bench} =="
+  # Figure tables go to the terminal; timing JSON goes to the file.
+  # shellcheck disable=SC2086
+  "${build_dir}/${bench}" \
+    --benchmark_out="${tmp_dir}/${bench}.json" \
+    --benchmark_out_format=json ${BENCH_ARGS:-}
+done
+
+git_rev=$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)
+python3 - "${out}" "${date_tag}" "${label}" "${git_rev}" "${tmp_dir}" <<'EOF'
+import json, pathlib, sys
+
+out, date_tag, label, git_rev, tmp_dir = sys.argv[1:6]
+merged = {"date": date_tag, "label": label or None, "git": git_rev,
+          "benchmarks": {}}
+for report in sorted(pathlib.Path(tmp_dir).glob("*.json")):
+    merged["benchmarks"][report.stem] = json.loads(report.read_text())
+pathlib.Path(out).write_text(json.dumps(merged, indent=1) + "\n")
+EOF
+echo "wrote ${out}"

@@ -1,7 +1,5 @@
 #include "graph/betweenness.h"
 
-#include <deque>
-
 namespace evorec::graph {
 
 namespace {
@@ -18,20 +16,23 @@ void BrandesPass(const Graph& g, NodeId source, double scale,
   distance.assign(n, -1);
   sigma.assign(n, 0.0);
   dependency.assign(n, 0.0);
-  for (auto& preds : predecessors) preds.clear();
   order.clear();
 
   distance[source] = 0;
   sigma[source] = 1.0;
-  std::deque<NodeId> queue{source};
-  while (!queue.empty()) {
-    const NodeId v = queue.front();
-    queue.pop_front();
-    order.push_back(v);
+  predecessors[source].clear();
+  // `order` doubles as the BFS queue: `qi` is the read cursor and the
+  // visited nodes accumulate behind it in BFS order. Predecessor
+  // lists are reset lazily on first visit, so a pass only touches the
+  // nodes it actually reaches.
+  order.push_back(source);
+  for (size_t qi = 0; qi < order.size(); ++qi) {
+    const NodeId v = order[qi];
     for (NodeId w : g.Neighbors(v)) {
       if (distance[w] < 0) {
         distance[w] = distance[v] + 1;
-        queue.push_back(w);
+        predecessors[w].clear();
+        order.push_back(w);
       }
       if (distance[w] == distance[v] + 1) {
         sigma[w] += sigma[v];

@@ -1,29 +1,105 @@
 #include "rdf/triple_store.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace evorec::rdf {
 
 namespace {
 
-bool PosLess(const Triple& a, const Triple& b) {
-  if (a.predicate != b.predicate) return a.predicate < b.predicate;
-  if (a.object != b.object) return a.object < b.object;
-  return a.subject < b.subject;
+// Rewrites `base` (sorted-unique under `less`) to (base ∪ adds) −
+// removes in one linear pass. `adds` and `removes` must each be
+// sorted-unique under `less` and disjoint from each other; elements of
+// `adds` already in `base` and elements of `removes` absent from
+// `base` are tolerated, which is what makes re-applying a last-wins
+// backlog idempotent.
+template <class Less>
+void MergeApply(std::vector<Triple>& base, const std::vector<Triple>& adds,
+                const std::vector<Triple>& removes, Less less) {
+  if (adds.empty() && removes.empty()) return;
+  std::vector<Triple> out;
+  out.reserve(base.size() + adds.size());
+  auto r = removes.begin();
+  const auto re = removes.end();
+  // Consumes `removes` monotonically: emitted candidates arrive in
+  // `less` order.
+  auto removed = [&](const Triple& t) {
+    while (r != re && less(*r, t)) ++r;
+    return r != re && !less(t, *r);
+  };
+  auto b = base.begin();
+  const auto be = base.end();
+  auto a = adds.begin();
+  const auto ae = adds.end();
+  while (b != be && a != ae) {
+    if (less(*b, *a)) {
+      if (!removed(*b)) out.push_back(*b);
+      ++b;
+    } else if (less(*a, *b)) {
+      if (!removed(*a)) out.push_back(*a);
+      ++a;
+    } else {  // duplicate add: emit once
+      if (!removed(*b)) out.push_back(*b);
+      ++b;
+      ++a;
+    }
+  }
+  for (; b != be; ++b) {
+    if (!removed(*b)) out.push_back(*b);
+  }
+  for (; a != ae; ++a) {
+    if (!removed(*a)) out.push_back(*a);
+  }
+  base.swap(out);
 }
 
-bool OspLess(const Triple& a, const Triple& b) {
-  if (a.object != b.object) return a.object < b.object;
-  if (a.subject != b.subject) return a.subject < b.subject;
-  return a.predicate < b.predicate;
+// out = (lhs − minus) ∪ plus, all sorted-unique in SPO order.
+std::vector<Triple> RebaseSet(const std::vector<Triple>& lhs,
+                              const std::vector<Triple>& minus,
+                              const std::vector<Triple>& plus) {
+  std::vector<Triple> kept;
+  kept.reserve(lhs.size());
+  std::set_difference(lhs.begin(), lhs.end(), minus.begin(), minus.end(),
+                      std::back_inserter(kept));
+  std::vector<Triple> out;
+  out.reserve(kept.size() + plus.size());
+  std::set_union(kept.begin(), kept.end(), plus.begin(), plus.end(),
+                 std::back_inserter(out));
+  return out;
 }
 
-void SortUnique(std::vector<Triple>& triples) {
-  std::sort(triples.begin(), triples.end());
-  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+void FreeVector(std::vector<Triple>& v) {
+  v.clear();
+  v.shrink_to_fit();
 }
 
 }  // namespace
+
+TripleStore::TripleStore(const TripleStore& other)
+    : spo_(other.spo_),
+      pending_adds_(other.pending_adds_),
+      pending_removes_(other.pending_removes_),
+      dirty_(other.dirty_) {
+  if (other.pos_state_ == IndexState::kFresh) {
+    pos_ = other.pos_;
+  } else {
+    pos_state_ = IndexState::kRebuild;
+  }
+  if (other.osp_state_ == IndexState::kFresh) {
+    osp_ = other.osp_;
+  } else {
+    osp_state_ = IndexState::kRebuild;
+  }
+  // The backlog only serves stale indexes, and those were dropped.
+}
+
+TripleStore& TripleStore::operator=(const TripleStore& other) {
+  if (this != &other) {
+    TripleStore tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
 
 void TripleStore::Add(const Triple& t) {
   pending_removes_.erase(t);
@@ -38,6 +114,8 @@ void TripleStore::Remove(const Triple& t) {
 }
 
 void TripleStore::AddAll(const std::vector<Triple>& triples) {
+  if (triples.empty()) return;
+  pending_adds_.reserve(pending_adds_.size() + triples.size());
   for (const Triple& t : triples) {
     pending_removes_.erase(t);
     pending_adds_.insert(t);
@@ -45,37 +123,123 @@ void TripleStore::AddAll(const std::vector<Triple>& triples) {
   dirty_ = true;
 }
 
+void TripleStore::RemoveAll(const std::vector<Triple>& triples) {
+  if (triples.empty()) return;
+  pending_removes_.reserve(pending_removes_.size() + triples.size());
+  for (const Triple& t : triples) {
+    pending_adds_.erase(t);
+    pending_removes_.insert(t);
+  }
+  dirty_ = true;
+}
+
 void TripleStore::Compact() const {
   if (!dirty_) return;
-  if (!pending_adds_.empty() || !pending_removes_.empty()) {
-    // The buffers are disjoint (Add/Remove keep a triple in the set of
-    // its most recent operation), so adds and removes can be applied
-    // in either order here.
-    std::vector<Triple> adds(pending_adds_.begin(), pending_adds_.end());
-    std::vector<Triple> removes(pending_removes_.begin(),
-                                pending_removes_.end());
-    SortUnique(adds);
-    SortUnique(removes);
-    std::vector<Triple> merged;
-    merged.reserve(spo_.size() + adds.size());
-    std::set_union(spo_.begin(), spo_.end(), adds.begin(), adds.end(),
-                   std::back_inserter(merged));
-    if (!removes.empty()) {
-      std::vector<Triple> remaining;
-      remaining.reserve(merged.size());
-      std::set_difference(merged.begin(), merged.end(), removes.begin(),
-                          removes.end(), std::back_inserter(remaining));
-      merged.swap(remaining);
-    }
-    spo_.swap(merged);
-    pending_adds_.clear();
-    pending_removes_.clear();
-  }
-  pos_ = spo_;
-  std::sort(pos_.begin(), pos_.end(), PosLess);
-  osp_ = spo_;
-  std::sort(osp_.begin(), osp_.end(), OspLess);
   dirty_ = false;
+  if (pending_adds_.empty() && pending_removes_.empty()) return;
+
+  // The buffers are disjoint (Add/Remove keep a triple in the set of
+  // its most recent operation), so adds and removes can be applied in
+  // either order.
+  std::vector<Triple> adds(pending_adds_.begin(), pending_adds_.end());
+  std::vector<Triple> removes(pending_removes_.begin(),
+                              pending_removes_.end());
+  pending_adds_.clear();
+  pending_removes_.clear();
+  std::sort(adds.begin(), adds.end());
+  std::sort(removes.begin(), removes.end());
+
+  MergeApply(spo_, adds, removes, std::less<Triple>());
+
+  if (pos_state_ == IndexState::kFresh) pos_state_ = IndexState::kStale;
+  if (osp_state_ == IndexState::kFresh) osp_state_ = IndexState::kStale;
+  AccumulateBacklog(adds, removes);
+  ++stats_.compactions;
+}
+
+void TripleStore::AccumulateBacklog(const std::vector<Triple>& adds,
+                                    const std::vector<Triple>& removes) const {
+  if (pos_state_ != IndexState::kStale && osp_state_ != IndexState::kStale) {
+    return;  // nothing can use the backlog
+  }
+  // Last-wins composition keeps adds/removes disjoint: a newer remove
+  // cancels an older backlog add and vice versa.
+  backlog_adds_ = RebaseSet(backlog_adds_, removes, adds);
+  backlog_removes_ = RebaseSet(backlog_removes_, adds, removes);
+
+  // Once the backlog rivals the store itself, catching up costs as
+  // much as rebuilding — stop carrying it.
+  const size_t backlog = backlog_adds_.size() + backlog_removes_.size();
+  if (backlog > spo_.size() / 2 + 64) {
+    if (pos_state_ == IndexState::kStale) {
+      pos_state_ = IndexState::kRebuild;
+      FreeVector(pos_);
+    }
+    if (osp_state_ == IndexState::kStale) {
+      osp_state_ = IndexState::kRebuild;
+      FreeVector(osp_);
+    }
+    MaybeReleaseBacklog();
+  }
+}
+
+void TripleStore::MaybeReleaseBacklog() const {
+  if (pos_state_ != IndexState::kStale && osp_state_ != IndexState::kStale) {
+    FreeVector(backlog_adds_);
+    FreeVector(backlog_removes_);
+  }
+}
+
+void TripleStore::EnsurePos() const {
+  Compact();
+  if (pos_state_ == IndexState::kFresh) return;
+  if (pos_state_ == IndexState::kStale) {
+    std::vector<Triple> adds = backlog_adds_;
+    std::vector<Triple> removes = backlog_removes_;
+    std::sort(adds.begin(), adds.end(), PosLess);
+    std::sort(removes.begin(), removes.end(), PosLess);
+    MergeApply(pos_, adds, removes, PosLess);
+    ++stats_.pos_catchups;
+  } else {
+    pos_ = spo_;
+    std::sort(pos_.begin(), pos_.end(), PosLess);
+    ++stats_.pos_full_builds;
+  }
+  pos_state_ = IndexState::kFresh;
+  MaybeReleaseBacklog();
+}
+
+void TripleStore::EnsureOsp() const {
+  Compact();
+  if (osp_state_ == IndexState::kFresh) return;
+  if (osp_state_ == IndexState::kStale) {
+    std::vector<Triple> adds = backlog_adds_;
+    std::vector<Triple> removes = backlog_removes_;
+    std::sort(adds.begin(), adds.end(), OspLess);
+    std::sort(removes.begin(), removes.end(), OspLess);
+    MergeApply(osp_, adds, removes, OspLess);
+    ++stats_.osp_catchups;
+  } else {
+    osp_ = spo_;
+    std::sort(osp_.begin(), osp_.end(), OspLess);
+    ++stats_.osp_full_builds;
+  }
+  osp_state_ = IndexState::kFresh;
+  MaybeReleaseBacklog();
+}
+
+void TripleStore::PrepareIndexes() const {
+  Compact();
+  EnsurePos();
+  EnsureOsp();
+}
+
+size_t TripleStore::MemoryBytes() const {
+  size_t bytes = (spo_.capacity() + pos_.capacity() + osp_.capacity() +
+                  backlog_adds_.capacity() + backlog_removes_.capacity()) *
+                 sizeof(Triple);
+  bytes += (pending_adds_.size() + pending_removes_.size()) * sizeof(Triple);
+  return bytes;
 }
 
 bool TripleStore::Contains(const Triple& t) const {
@@ -95,71 +259,21 @@ const std::vector<Triple>& TripleStore::triples() const {
 
 void TripleStore::Scan(const TriplePattern& pattern,
                        const std::function<bool(const Triple&)>& fn) const {
-  Compact();
-  const bool has_s = pattern.subject != kAnyTerm;
-  const bool has_p = pattern.predicate != kAnyTerm;
-  const bool has_o = pattern.object != kAnyTerm;
-
-  if (has_s) {
-    // (s,*,*), (s,p,*), (s,p,o), (s,*,o): SPO prefix on s (and p).
-    ScanSpo(pattern, fn);
-    return;
-  }
-  if (has_p) {
-    // (*,p,*), (*,p,o): POS prefix.
-    Triple lo{0, pattern.predicate, has_o ? pattern.object : 0};
-    auto begin = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess);
-    for (auto it = begin; it != pos_.end(); ++it) {
-      if (it->predicate != pattern.predicate) break;
-      if (has_o && it->object != pattern.object) {
-        if (it->object > pattern.object) break;
-        continue;
-      }
-      if (!fn(*it)) return;
-    }
-    return;
-  }
-  if (has_o) {
-    // (*,*,o): OSP prefix.
-    Triple lo{0, 0, pattern.object};
-    auto begin = std::lower_bound(osp_.begin(), osp_.end(), lo, OspLess);
-    for (auto it = begin; it != osp_.end(); ++it) {
-      if (it->object != pattern.object) break;
-      if (!fn(*it)) return;
-    }
-    return;
-  }
-  // (*,*,*): full scan.
-  for (const Triple& t : spo_) {
-    if (!fn(t)) return;
-  }
-}
-
-void TripleStore::ScanSpo(const TriplePattern& pattern,
-                          const std::function<bool(const Triple&)>& fn) const {
-  const bool has_p = pattern.predicate != kAnyTerm;
-  const bool has_o = pattern.object != kAnyTerm;
-  Triple lo{pattern.subject, has_p ? pattern.predicate : 0,
-            (has_p && has_o) ? pattern.object : 0};
-  auto begin = std::lower_bound(spo_.begin(), spo_.end(), lo);
-  for (auto it = begin; it != spo_.end(); ++it) {
-    if (it->subject != pattern.subject) break;
-    if (has_p) {
-      if (it->predicate > pattern.predicate) break;
-      if (it->predicate != pattern.predicate) continue;
-    }
-    if (has_o && it->object != pattern.object) continue;
-    if (!fn(*it)) return;
-  }
+  ScanT(pattern, fn);
 }
 
 std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
   std::vector<Triple> out;
-  Scan(pattern, [&](const Triple& t) {
+  ScanT(pattern, [&](const Triple& t) {
     out.push_back(t);
     return true;
   });
-  std::sort(out.begin(), out.end());
+  // Every scan branch already emits in SPO order except (*,p,*),
+  // whose POS range interleaves subjects across objects.
+  const bool pos_range_scan = pattern.subject == kAnyTerm &&
+                              pattern.predicate != kAnyTerm &&
+                              pattern.object == kAnyTerm;
+  if (pos_range_scan) std::sort(out.begin(), out.end());
   return out;
 }
 

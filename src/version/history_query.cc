@@ -68,7 +68,9 @@ Result<std::vector<VersionId>> HistoryQuery::VersionsMatching(
     auto snapshot = vkb_.Snapshot(v);
     if (!snapshot.ok()) return snapshot.status();
     bool any = false;
-    (*snapshot)->store().Scan(pattern, [&](const rdf::Triple&) {
+    // ScanT: statically-typed probe, no std::function dispatch in the
+    // per-version existence loop.
+    (*snapshot)->store().ScanT(pattern, [&](const rdf::Triple&) {
       any = true;
       return false;  // stop at first match
     });

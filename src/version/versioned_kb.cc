@@ -30,9 +30,7 @@ namespace {
 rdf::KnowledgeBase ApplyChanges(rdf::KnowledgeBase base,
                                 const ChangeSet& changes) {
   base.store().AddAll(changes.additions);
-  for (const rdf::Triple& t : changes.removals) {
-    base.store().Remove(t);
-  }
+  base.store().RemoveAll(changes.removals);
   base.store().Compact();
   return base;
 }
@@ -43,17 +41,26 @@ Result<VersionId> VersionedKnowledgeBase::Commit(const ChangeSet& changes,
                                                  std::string author,
                                                  std::string message,
                                                  uint64_t timestamp) {
+  return Commit(ChangeSet(changes), std::move(author), std::move(message),
+                timestamp);
+}
+
+Result<VersionId> VersionedKnowledgeBase::Commit(ChangeSet&& changes,
+                                                 std::string author,
+                                                 std::string message,
+                                                 uint64_t timestamp) {
   const VersionId new_id = static_cast<VersionId>(infos_.size());
+  const size_t additions = changes.additions.size();
+  const size_t removals = changes.removals.size();
 
   switch (policy_) {
     case ArchivePolicy::kFullMaterialization:
       stores_.push_back(ApplyChanges(stores_.back(), changes));
       break;
     case ArchivePolicy::kDeltaChain:
-      change_sets_.push_back(changes);
+      change_sets_.push_back(std::move(changes));
       break;
     case ArchivePolicy::kHybridCheckpoint: {
-      change_sets_.push_back(changes);
       if (new_id % checkpoint_interval_ == 0) {
         // Materialise this version once and keep it as a checkpoint;
         // reuse the previous checkpoint (or base) as the replay start.
@@ -62,6 +69,7 @@ Result<VersionId> VersionedKnowledgeBase::Commit(const ChangeSet& changes,
         checkpoints_.emplace(
             new_id, ApplyChanges(std::move(materialized).value(), changes));
       }
+      change_sets_.push_back(std::move(changes));
       break;
     }
   }
@@ -71,8 +79,8 @@ Result<VersionId> VersionedKnowledgeBase::Commit(const ChangeSet& changes,
   info.author = std::move(author);
   info.message = std::move(message);
   info.timestamp = timestamp;
-  info.additions = changes.additions.size();
-  info.removals = changes.removals.size();
+  info.additions = additions;
+  info.removals = removals;
   infos_.push_back(std::move(info));
   return new_id;
 }
@@ -126,12 +134,14 @@ Result<rdf::KnowledgeBase> VersionedKnowledgeBase::MaterializeUncached(
       base = &it->second;
     }
   }
+  // Batched replay: the copy drops the base's stale secondary
+  // indexes; the whole chain's additions and removals accumulate in
+  // the store's last-wins pending buffer and are applied by a single
+  // incremental merge at the end instead of one re-index per version.
   rdf::KnowledgeBase kb = *base;
   for (VersionId i = start + 1; i <= v; ++i) {
     kb.store().AddAll(change_sets_[i].additions);
-    for (const rdf::Triple& t : change_sets_[i].removals) {
-      kb.store().Remove(t);
-    }
+    kb.store().RemoveAll(change_sets_[i].removals);
   }
   kb.store().Compact();
   return kb;
@@ -166,13 +176,20 @@ Result<const rdf::KnowledgeBase*> VersionedKnowledgeBase::Snapshot(
 void VersionedKnowledgeBase::EvictSnapshotCache() const { cache_.clear(); }
 
 size_t VersionedKnowledgeBase::StorageBytes() const {
+  // Asks each store for its actual footprint (only the permutation
+  // indexes it has really materialised, plus pending buffers) and
+  // includes the lazily-filled snapshot cache.
   size_t bytes = 0;
   for (const rdf::KnowledgeBase& kb : stores_) {
-    bytes += kb.store().size() * sizeof(rdf::Triple) * 3;  // three indexes
+    bytes += kb.store().MemoryBytes();
   }
   for (const auto& [v, kb] : checkpoints_) {
     (void)v;
-    bytes += kb.store().size() * sizeof(rdf::Triple) * 3;
+    bytes += kb.store().MemoryBytes();
+  }
+  for (const auto& [v, kb] : cache_) {
+    (void)v;
+    bytes += kb.store().MemoryBytes();
   }
   for (const ChangeSet& cs : change_sets_) {
     bytes += cs.size() * sizeof(rdf::Triple);

@@ -43,6 +43,11 @@ class VersionedKnowledgeBase {
   Result<VersionId> Commit(const ChangeSet& changes, std::string author,
                            std::string message, uint64_t timestamp = 0);
 
+  /// Move overload: archives `changes` without copying the triple
+  /// vectors (the common case for generated or streamed change sets).
+  Result<VersionId> Commit(ChangeSet&& changes, std::string author,
+                           std::string message, uint64_t timestamp = 0);
+
   /// Number of versions (head id + 1).
   size_t version_count() const { return infos_.size(); }
 
@@ -70,7 +75,10 @@ class VersionedKnowledgeBase {
   /// materialisation, all stored versions).
   void EvictSnapshotCache() const;
 
-  /// Approximate resident bytes of version storage (triples only).
+  /// Approximate resident bytes of version storage: base/materialised
+  /// stores and checkpoints (counting only the permutation indexes
+  /// each store has actually built), the snapshot cache, and archived
+  /// change sets.
   size_t StorageBytes() const;
 
   ArchivePolicy policy() const { return policy_; }

@@ -49,7 +49,7 @@ Scenario Assemble(const std::string& name, uint64_t seed,
     evolution_options.seed = seed + 100 + v;
     EvolutionOutcome outcome = GenerateEvolution(
         **head, scenario.vkb->dictionary(), evolution_options);
-    (void)scenario.vkb->Commit(outcome.changes, "generator",
+    (void)scenario.vkb->Commit(std::move(outcome.changes), "generator",
                                name + " transition " + std::to_string(v + 1),
                                /*timestamp=*/v + 1);
     if (v + 1 == scale.versions) {

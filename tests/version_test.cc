@@ -148,6 +148,40 @@ TEST_P(VersionedKbTest, EmptyCommitIsLegal) {
   EXPECT_EQ((*s)->size(), 0u);
 }
 
+TEST_P(VersionedKbTest, MoveCommitRecordsMetadataAndChanges) {
+  VersionedKnowledgeBase vkb(GetParam());
+  ChangeSet cs = Changes({{1, 2, 3}, {4, 5, 6}}, {});
+  auto v = vkb.Commit(std::move(cs), "ann", "moved");
+  ASSERT_TRUE(v.ok());
+  auto info = vkb.Info(*v);
+  ASSERT_TRUE(info.ok());
+  // Sizes are captured before the change set is moved into storage.
+  EXPECT_EQ(info->additions, 2u);
+  EXPECT_EQ(info->removals, 0u);
+  auto changes = vkb.Changes(*v);
+  ASSERT_TRUE(changes.ok());
+  EXPECT_EQ(changes->additions.size(), 2u);
+  auto s = vkb.Snapshot(*v);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE((*s)->store().Contains({1, 2, 3}));
+  EXPECT_TRUE((*s)->store().Contains({4, 5, 6}));
+}
+
+TEST(VersionedKbPolicyTest, StorageBytesCountsSnapshotCache) {
+  VersionedKnowledgeBase vkb(ArchivePolicy::kDeltaChain);
+  ChangeSet base;
+  for (uint32_t i = 0; i < 400; ++i) base.additions.push_back({i, 1, i});
+  (void)vkb.Commit(base, "a", "bulk");
+  (void)vkb.Commit(Changes({{1000, 2, 0}}, {}), "a", "small");
+  const size_t before_cache = vkb.StorageBytes();
+  auto s = vkb.Snapshot(vkb.head());
+  ASSERT_TRUE(s.ok());
+  const size_t with_cache = vkb.StorageBytes();
+  EXPECT_GT(with_cache, before_cache);
+  vkb.EvictSnapshotCache();
+  EXPECT_LT(vkb.StorageBytes(), with_cache);
+}
+
 TEST(VersionedKbPolicyTest, DeltaChainUsesLessStorageThanFull) {
   auto build = [](ArchivePolicy policy) {
     VersionedKnowledgeBase vkb(policy);
