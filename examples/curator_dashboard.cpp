@@ -4,6 +4,11 @@
 // group recommendation of evolution measures — with full provenance so
 // any pick can be audited (paper §III.b + §III.d).
 //
+// The dashboard runs on the serving API: a RecommendationService
+// caches each transition's shared evaluation, so redrawing a panel
+// (or a second curators' team asking about the same transition) never
+// rebuilds contexts or recomputes measures.
+//
 //   $ ./curator_dashboard
 
 #include <cstdio>
@@ -17,18 +22,20 @@ using namespace evorec;
 
 void ShowTransition(const workload::Scenario& scenario,
                     version::VersionId from, version::VersionId to,
-                    const measures::MeasureRegistry& /*registry*/,
-                    recommend::Recommender& recommender,
+                    engine::RecommendationService& service,
                     profile::Group& curators,
                     provenance::ProvenanceStore& prov) {
   std::printf("\n=== transition v%u -> v%u ===\n", from, to);
-  auto ctx = measures::EvolutionContext::FromVersions(*scenario.vkb, from,
-                                                      to);
-  if (!ctx.ok()) {
+  // The service's engine owns the shared evaluation of this
+  // transition; the summary panels below read the same cached context
+  // the recommendation is served from.
+  auto evaluation = service.engine().Evaluate(*scenario.vkb, from, to);
+  if (!evaluation.ok()) {
     std::fprintf(stderr, "context failed: %s\n",
-                 ctx.status().ToString().c_str());
+                 evaluation.status().ToString().c_str());
     return;
   }
+  const measures::EvolutionContext* ctx = &(*evaluation)->context();
 
   // High-level change summary (what happened, in curator terms).
   const delta::HighLevelDelta hld = delta::DetectHighLevelChanges(
@@ -54,8 +61,8 @@ void ShowTransition(const workload::Scenario& scenario,
                 scored.score);
   }
 
-  // Fair group recommendation.
-  auto list = recommender.RecommendForGroup(*ctx, curators);
+  // Fair group recommendation, served from the warm cache.
+  auto list = service.RecommendGroup(*scenario.vkb, from, to, curators);
   if (!list.ok()) {
     std::fprintf(stderr, "group recommendation failed: %s\n",
                  list.status().ToString().c_str());
@@ -96,16 +103,21 @@ int main() {
 
   const measures::MeasureRegistry registry = measures::DefaultRegistry();
   provenance::ProvenanceStore prov;
-  recommend::RecommenderOptions options;
-  options.package_size = 4;
-  options.group.fairness_aware = true;
-  recommend::Recommender recommender(registry, options);
-  recommender.AttachProvenance(&prov);
+  engine::ServiceOptions options;
+  options.recommender.package_size = 4;
+  options.recommender.group.fairness_aware = true;
+  engine::RecommendationService service(registry, options);
+  service.AttachProvenance(&prov);
 
   for (version::VersionId v = 1; v < scenario.vkb->version_count(); ++v) {
-    ShowTransition(scenario, v - 1, v, registry, recommender,
-                   scenario.curators, prov);
+    ShowTransition(scenario, v - 1, v, service, scenario.curators, prov);
   }
+  const engine::EngineStats engine_stats = service.engine_stats();
+  std::printf(
+      "\nengine: %llu contexts built, %llu cache hits across the "
+      "dashboard's panels\n",
+      static_cast<unsigned long long>(engine_stats.contexts_built),
+      static_cast<unsigned long long>(engine_stats.context_hits));
 
   // Trend view across the whole history (§I: "observe changes trends
   // and identify the most changed parts").

@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace evorec {
+
+size_t ThreadPool::DefaultThreadCount() {
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t count = threads == 0 ? DefaultThreadCount() : threads;
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared between the caller and the helper tasks it enqueues, so a
+// task that is dequeued after the loop already finished (all indexes
+// claimed by other threads) still touches only live memory.
+struct ParallelForControl {
+  explicit ParallelForControl(size_t total, std::function<void(size_t)> fn)
+      : n(total), body(std::move(fn)) {}
+
+  const size_t n;
+  const std::function<void(size_t)> body;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable all_done;
+  size_t done = 0;
+
+  void RunIndexes() {
+    size_t completed = 0;
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      body(i);
+      ++completed;
+    }
+    if (completed == 0) return;
+    std::lock_guard<std::mutex> lock(mu);
+    done += completed;
+    if (done == n) all_done.notify_all();
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto control = std::make_shared<ParallelForControl>(n, body);
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([control] { control->RunIndexes(); });
+  }
+  control->RunIndexes();
+  std::unique_lock<std::mutex> lock(control->mu);
+  control->all_done.wait(lock, [&] { return control->done == control->n; });
+}
+
+}  // namespace evorec

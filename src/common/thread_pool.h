@@ -1,0 +1,60 @@
+#ifndef EVOREC_COMMON_THREAD_POOL_H_
+#define EVOREC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace evorec {
+
+/// A fixed-size worker pool driving the engine layer: parallel measure
+/// evaluation inside one evolution context and parallel per-user runs
+/// of a batched serving request. Tasks are plain void() callables;
+/// ordering between tasks is unspecified.
+///
+/// The pool is usable from multiple client threads concurrently.
+/// ParallelFor is re-entrant: the calling thread participates in the
+/// loop, so nested calls (or calls from a saturated pool) degrade to
+/// inline execution instead of deadlocking.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means DefaultThreadCount().
+  explicit ThreadPool(size_t threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task` for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(0) … body(n-1), distributing indexes over the workers
+  /// and the calling thread, and returns when all n calls finished.
+  /// `body` must be safe to invoke concurrently for distinct indexes.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace evorec
+
+#endif  // EVOREC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,196 @@
+#include "engine/evaluation_engine.h"
+
+#include <string>
+
+#include "common/hash.h"
+
+namespace evorec::engine {
+
+size_t ContextKeyHash::operator()(const ContextKey& key) const {
+  size_t seed = 0;
+  HashCombine(seed, key.before_fingerprint);
+  HashCombine(seed, key.after_fingerprint);
+  HashCombine(seed, measures::ContextOptionsFingerprint(key.options));
+  return seed;
+}
+
+SharedEvaluation::SharedEvaluation(measures::EvolutionContext ctx,
+                                   const measures::MeasureRegistry& registry,
+                                   ThreadPool* pool)
+    : ctx_(std::move(ctx)), registry_(registry), pool_(pool) {}
+
+Result<std::shared_ptr<const measures::MeasureReport>>
+SharedEvaluation::Report(std::string_view name) const {
+  if (auto cached = reports_.Lookup(name); cached != nullptr) return cached;
+  auto measure = registry_.Create(name);
+  if (!measure.ok()) return measure.status();
+  return reports_.GetOrCompute(**measure, ctx_);
+}
+
+Result<std::vector<std::shared_ptr<const measures::MeasureReport>>>
+SharedEvaluation::AllReports() const {
+  return measures::EvaluateAll(registry_, ctx_, reports_, pool_);
+}
+
+size_t SharedEvaluation::StateKeyHash::operator()(const StateKey& key) const {
+  size_t seed = 0;
+  HashCombine(seed, static_cast<const void*>(key.registry));
+  HashCombine(seed, key.top_k);
+  HashCombine(seed, key.per_region);
+  HashCombine(seed, key.max_regions);
+  HashCombine(seed, static_cast<int>(key.diversity));
+  return seed;
+}
+
+Result<std::shared_ptr<const recommend::SharedRunState>>
+SharedEvaluation::SharedStateFor(const recommend::Recommender& rec) const {
+  // The state's content depends on the measure set (the recommender's
+  // registry), the candidate options, and the diversity kind (which
+  // selects the distance matrix).
+  const recommend::CandidateOptions& copts = rec.options().candidates;
+  const StateKey key{&rec.registry(), copts.top_k, copts.per_region,
+                     copts.max_regions, rec.options().diversity};
+
+  std::promise<Result<SharedState>> promise;
+  std::shared_future<Result<SharedState>> future;
+  {
+    std::unique_lock<std::mutex> lock(states_mu_);
+    auto it = states_.find(key);
+    if (it != states_.end()) {
+      std::shared_future<Result<SharedState>> existing = it->second;
+      lock.unlock();
+      return existing.get();
+    }
+    future = promise.get_future().share();
+    states_.emplace(key, future);
+  }
+
+  // The memoized reports cover the engine's registry; a recommender
+  // drawing from a different registry computes its own pool directly.
+  Result<recommend::SharedRunState> prepared =
+      InternalError("shared state not prepared");
+  if (&rec.registry() == &registry_) {
+    auto reports = AllReports();
+    if (!reports.ok()) {
+      promise.set_value(reports.status());
+      std::lock_guard<std::mutex> lock(states_mu_);
+      states_.erase(key);
+      return reports.status();
+    }
+    prepared =
+        rec.PrepareShared(ctx_, registry_.List(), std::move(reports).value());
+  } else {
+    prepared = rec.PrepareShared(ctx_);
+  }
+  if (!prepared.ok()) {
+    promise.set_value(prepared.status());
+    std::lock_guard<std::mutex> lock(states_mu_);
+    states_.erase(key);
+    return prepared.status();
+  }
+  SharedState state = std::make_shared<const recommend::SharedRunState>(
+      std::move(prepared).value());
+  promise.set_value(state);
+  return state;
+}
+
+EvaluationEngine::EvaluationEngine(const measures::MeasureRegistry& registry,
+                                   EngineOptions options)
+    : registry_(registry),
+      options_(options),
+      pool_(options.threads) {
+  if (options_.context_cache_capacity == 0) {
+    options_.context_cache_capacity = 1;
+  }
+}
+
+Result<std::shared_ptr<const SharedEvaluation>> EvaluationEngine::Evaluate(
+    const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+    version::VersionId v2, measures::ContextOptions context_options) {
+  auto before = vkb.Handle(v1);
+  if (!before.ok()) return before.status();
+  auto after = vkb.Handle(v2);
+  if (!after.ok()) return after.status();
+  ContextKey key{before->fingerprint, after->fingerprint, context_options};
+
+  std::promise<Result<SharedEval>> promise;
+  std::shared_future<Result<SharedEval>> future;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (auto hit = lookup_.find(key); hit != lookup_.end()) {
+      lru_.splice(lru_.begin(), lru_, hit->second);  // touch
+      ++stats_.context_hits;
+      return hit->second->second;
+    }
+    if (auto flying = inflight_.find(key); flying != inflight_.end()) {
+      std::shared_future<Result<SharedEval>> existing = flying->second;
+      ++stats_.context_coalesced;
+      lock.unlock();
+      return existing.get();
+    }
+    ++stats_.context_misses;
+    future = promise.get_future().share();
+    inflight_.emplace(key, future);
+  }
+
+  // Snapshot under the vkb lock (VersionedKnowledgeBase's lazy
+  // snapshot cache is not thread-safe), then build outside any lock:
+  // other keys stay servable meanwhile, and same-key callers wait on
+  // `future`.
+  auto ctx = [&]() -> Result<measures::EvolutionContext> {
+    std::shared_ptr<const rdf::KnowledgeBase> before_snap;
+    std::shared_ptr<const rdf::KnowledgeBase> after_snap;
+    {
+      std::lock_guard<std::mutex> lock(vkb_mu_);
+      auto before_kb = vkb.Snapshot(v1);
+      if (!before_kb.ok()) return before_kb.status();
+      auto after_kb = vkb.Snapshot(v2);
+      if (!after_kb.ok()) return after_kb.status();
+      before_snap = std::make_shared<const rdf::KnowledgeBase>(**before_kb);
+      after_snap = std::make_shared<const rdf::KnowledgeBase>(**after_kb);
+    }
+    return measures::EvolutionContext::Build(std::move(before_snap),
+                                             std::move(after_snap),
+                                             context_options);
+  }();
+  if (!ctx.ok()) {
+    promise.set_value(ctx.status());
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+    return ctx.status();
+  }
+  SharedEval evaluation = std::make_shared<const SharedEvaluation>(
+      std::move(ctx).value(), registry_, &pool_);
+  promise.set_value(evaluation);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.contexts_built;
+    inflight_.erase(key);
+    lru_.emplace_front(key, evaluation);
+    lookup_[key] = lru_.begin();
+    while (lru_.size() > options_.context_cache_capacity) {
+      lookup_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++stats_.context_evictions;
+    }
+  }
+  return evaluation;
+}
+
+void EvaluationEngine::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  lookup_.clear();
+}
+
+EngineStats EvaluationEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t EvaluationEngine::cached_contexts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace evorec::engine

@@ -1,0 +1,192 @@
+#ifndef EVOREC_ENGINE_EVALUATION_ENGINE_H_
+#define EVOREC_ENGINE_EVALUATION_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "measures/evaluation.h"
+#include "measures/measure_context.h"
+#include "measures/registry.h"
+#include "recommend/recommender.h"
+#include "version/versioned_kb.h"
+
+namespace evorec::engine {
+
+/// Cache key of one shared evaluation: the content fingerprints of
+/// both snapshots plus the context options. Handles with equal
+/// fingerprints denote snapshots with identical content and TermId
+/// mapping (see version::SnapshotHandle), so equal keys imply
+/// interchangeable contexts — including across distinct
+/// VersionedKnowledgeBase instances with identical histories.
+struct ContextKey {
+  uint64_t before_fingerprint = 0;
+  uint64_t after_fingerprint = 0;
+  measures::ContextOptions options;
+
+  friend bool operator==(const ContextKey& a, const ContextKey& b) {
+    return a.before_fingerprint == b.before_fingerprint &&
+           a.after_fingerprint == b.after_fingerprint &&
+           a.options == b.options;
+  }
+};
+
+struct ContextKeyHash {
+  size_t operator()(const ContextKey& key) const;
+};
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Max contexts kept warm (least-recently-used eviction).
+  size_t context_cache_capacity = 16;
+  /// Worker threads for parallel measure evaluation and batched
+  /// serving; 0 means ThreadPool::DefaultThreadCount().
+  size_t threads = 0;
+};
+
+/// Counters exposing the engine's cache behaviour. "Redundant context
+/// builds" are exactly `contexts_built - distinct keys requested`:
+/// serving any number of users over one warm pair must keep
+/// contexts_built at 1.
+struct EngineStats {
+  uint64_t context_hits = 0;       ///< served from the LRU cache
+  uint64_t context_misses = 0;     ///< triggered a build
+  uint64_t contexts_built = 0;     ///< EvolutionContext::Build actually ran
+  uint64_t context_coalesced = 0;  ///< joined a concurrent in-flight build
+  uint64_t context_evictions = 0;  ///< LRU evictions
+};
+
+/// One cached evaluation unit: the shared EvolutionContext of a
+/// version pair plus the memo of everything derived from it — measure
+/// reports (per name, single-flight) and the recommender's shared run
+/// state (per pipeline configuration). Immutable from the caller's
+/// perspective; all lazy state is thread-safe. Handed out as
+/// shared_ptr<const>, so it survives cache eviction while in use —
+/// but it borrows the owning engine's registry and thread pool, so it
+/// must not outlive the EvaluationEngine that produced it.
+class SharedEvaluation {
+ public:
+  explicit SharedEvaluation(measures::EvolutionContext ctx,
+                            const measures::MeasureRegistry& registry,
+                            ThreadPool* pool);
+
+  const measures::EvolutionContext& context() const { return ctx_; }
+
+  /// Memoized report of the registered measure `name` over this
+  /// context.
+  Result<std::shared_ptr<const measures::MeasureReport>> Report(
+      std::string_view name) const;
+
+  /// Memoized reports of every registered measure (registration
+  /// order), evaluating uncached ones — in parallel when the engine
+  /// has a pool.
+  Result<std::vector<std::shared_ptr<const measures::MeasureReport>>>
+  AllReports() const;
+
+  /// Memoized user-independent run state of `rec` (candidate pool,
+  /// pre-normalised reports, diversity distance matrix) over this
+  /// context, built from the memoized reports. Keyed by everything the
+  /// state depends on — the recommender's registry, its candidate
+  /// options, and its diversity kind — single-flight.
+  Result<std::shared_ptr<const recommend::SharedRunState>> SharedStateFor(
+      const recommend::Recommender& rec) const;
+
+  measures::ReportCacheStats report_stats() const {
+    return reports_.stats();
+  }
+
+ private:
+  using SharedState = std::shared_ptr<const recommend::SharedRunState>;
+
+  /// Everything a SharedRunState's content depends on.
+  struct StateKey {
+    const measures::MeasureRegistry* registry = nullptr;
+    size_t top_k = 0;
+    bool per_region = false;
+    size_t max_regions = 0;
+    recommend::DiversityKind diversity = recommend::DiversityKind::kContent;
+
+    friend bool operator==(const StateKey&, const StateKey&) = default;
+  };
+  struct StateKeyHash {
+    size_t operator()(const StateKey& key) const;
+  };
+
+  measures::EvolutionContext ctx_;
+  const measures::MeasureRegistry& registry_;
+  ThreadPool* pool_;
+  mutable measures::ReportCache reports_;
+  mutable std::mutex states_mu_;
+  mutable std::unordered_map<StateKey,
+                             std::shared_future<Result<SharedState>>,
+                             StateKeyHash>
+      states_;
+};
+
+/// The shared evaluation engine: owns an LRU cache of
+/// SharedEvaluations keyed by (before, after, options) and the thread
+/// pool driving parallel work. Thread-safe; concurrent requests for
+/// the same missing key coalesce into one build (single-flight), and
+/// snapshot materialisation is serialised internally (the versioned
+/// KB's lazy caches are not thread-safe). Route all concurrent access
+/// to one VersionedKnowledgeBase through one engine, and do not
+/// commit to it while requests are in flight.
+class EvaluationEngine {
+ public:
+  /// `registry` must outlive the engine.
+  explicit EvaluationEngine(const measures::MeasureRegistry& registry,
+                            EngineOptions options = {});
+
+  /// The shared evaluation of versions (v1, v2) of `vkb`, built on
+  /// first request and cached under its snapshot fingerprints. The
+  /// returned evaluation stays valid across eviction but must be
+  /// dropped before the engine is destroyed.
+  Result<std::shared_ptr<const SharedEvaluation>> Evaluate(
+      const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      version::VersionId v2, measures::ContextOptions context_options = {});
+
+  /// Drops every cached evaluation (in-flight builds finish normally).
+  void Clear();
+
+  EngineStats stats() const;
+  size_t cached_contexts() const;
+  ThreadPool& pool() { return pool_; }
+  const measures::MeasureRegistry& registry() const { return registry_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  using SharedEval = std::shared_ptr<const SharedEvaluation>;
+
+  const measures::MeasureRegistry& registry_;
+  EngineOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  // Serialises snapshot materialisation: the versioned KB's lazy
+  // snapshot cache is not thread-safe, and distinct-key builds may
+  // target one vkb concurrently. Only the snapshot copy runs under
+  // this lock — the expensive context build does not.
+  std::mutex vkb_mu_;
+  // LRU: most-recent at the front; lookup_ points into lru_.
+  std::list<std::pair<ContextKey, SharedEval>> lru_;
+  std::unordered_map<ContextKey,
+                     std::list<std::pair<ContextKey, SharedEval>>::iterator,
+                     ContextKeyHash>
+      lookup_;
+  std::unordered_map<ContextKey, std::shared_future<Result<SharedEval>>,
+                     ContextKeyHash>
+      inflight_;
+  EngineStats stats_;
+};
+
+}  // namespace evorec::engine
+
+#endif  // EVOREC_ENGINE_EVALUATION_ENGINE_H_

@@ -1,0 +1,125 @@
+#include "engine/recommendation_service.h"
+
+#include <functional>
+#include <utility>
+
+namespace evorec::engine {
+
+RecommendationService::RecommendationService(
+    const measures::MeasureRegistry& registry, ServiceOptions options)
+    : options_(std::move(options)),
+      engine_(registry, options_.engine),
+      recommender_(registry, options_.recommender) {}
+
+void RecommendationService::AttachProvenance(
+    provenance::ProvenanceStore* store) {
+  provenance_ = store;
+  recommender_.AttachProvenance(store);
+}
+
+void RecommendationService::AttachAccessPolicy(
+    const anonymity::AccessPolicy* policy) {
+  recommender_.AttachAccessPolicy(policy);
+}
+
+Result<std::shared_ptr<const SharedEvaluation>> RecommendationService::Warm(
+    const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+    version::VersionId v2,
+    std::shared_ptr<const recommend::SharedRunState>* state) {
+  auto evaluation = engine_.Evaluate(vkb, v1, v2, options_.context);
+  if (!evaluation.ok()) return evaluation.status();
+  auto shared = (*evaluation)->SharedStateFor(recommender_);
+  if (!shared.ok()) return shared.status();
+  *state = std::move(shared).value();
+  return evaluation;
+}
+
+Result<recommend::RecommendationList> RecommendationService::Recommend(
+    const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+    version::VersionId v2, profile::HumanProfile& prof) {
+  std::shared_ptr<const recommend::SharedRunState> state;
+  auto evaluation = Warm(vkb, v1, v2, &state);
+  if (!evaluation.ok()) return evaluation.status();
+  return recommender_.RecommendForUser(*state, prof);
+}
+
+Result<recommend::RecommendationList> RecommendationService::RecommendGroup(
+    const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+    version::VersionId v2, profile::Group& group) {
+  std::shared_ptr<const recommend::SharedRunState> state;
+  auto evaluation = Warm(vkb, v1, v2, &state);
+  if (!evaluation.ok()) return evaluation.status();
+  return recommender_.RecommendForGroup(*state, group);
+}
+
+namespace {
+
+// Runs `serve(i)` for every index, in parallel over `pool` when
+// requested, and collects the results in input order. Every slot is
+// filled (parallel runs don't short-circuit); the first error wins.
+Result<std::vector<recommend::RecommendationList>> ServeAll(
+    size_t n, bool parallel, ThreadPool& pool,
+    const std::function<Result<recommend::RecommendationList>(size_t)>&
+        serve) {
+  std::vector<Result<recommend::RecommendationList>> slots(
+      n, Result<recommend::RecommendationList>(
+             InternalError("request not served")));
+  if (parallel) {
+    pool.ParallelFor(n, [&](size_t i) { slots[i] = serve(i); });
+  } else {
+    for (size_t i = 0; i < n; ++i) slots[i] = serve(i);
+  }
+  std::vector<recommend::RecommendationList> results;
+  results.reserve(n);
+  for (Result<recommend::RecommendationList>& slot : slots) {
+    if (!slot.ok()) return slot.status();
+    results.push_back(std::move(slot).value());
+  }
+  return results;
+}
+
+}  // namespace
+
+Result<std::vector<recommend::RecommendationList>>
+RecommendationService::RecommendBatch(
+    const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+    version::VersionId v2,
+    const std::vector<profile::HumanProfile*>& profiles) {
+  for (profile::HumanProfile* prof : profiles) {
+    if (prof == nullptr) {
+      return InvalidArgumentError("RecommendBatch: null profile");
+    }
+  }
+  std::shared_ptr<const recommend::SharedRunState> state;
+  auto evaluation = Warm(vkb, v1, v2, &state);
+  if (!evaluation.ok()) return evaluation.status();
+  // Provenance records must land in the same order as sequential
+  // per-user calls would produce them, so batches with an attached
+  // store stay on one thread.
+  const bool parallel =
+      options_.parallel_batches && provenance_ == nullptr;
+  return ServeAll(profiles.size(), parallel, engine_.pool(), [&](size_t i) {
+    return recommender_.RecommendForUser(*state, *profiles[i]);
+  });
+}
+
+Result<std::vector<recommend::RecommendationList>>
+RecommendationService::RecommendGroupBatch(
+    const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+    version::VersionId v2, const std::vector<profile::Group*>& groups) {
+  for (profile::Group* group : groups) {
+    if (group == nullptr) {
+      return InvalidArgumentError("RecommendGroupBatch: null group");
+    }
+  }
+  std::shared_ptr<const recommend::SharedRunState> state;
+  auto evaluation = Warm(vkb, v1, v2, &state);
+  if (!evaluation.ok()) return evaluation.status();
+  const bool parallel =
+      options_.parallel_batches && provenance_ == nullptr;
+  return ServeAll(groups.size(), parallel, engine_.pool(), [&](size_t i) {
+    return recommender_.RecommendForGroup(*state, *groups[i]);
+  });
+}
+
+}  // namespace evorec::engine

@@ -1,0 +1,103 @@
+#ifndef EVOREC_ENGINE_RECOMMENDATION_SERVICE_H_
+#define EVOREC_ENGINE_RECOMMENDATION_SERVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "anonymity/access_policy.h"
+#include "common/result.h"
+#include "engine/evaluation_engine.h"
+#include "measures/measure_context.h"
+#include "measures/registry.h"
+#include "profile/group.h"
+#include "profile/profile.h"
+#include "provenance/store.h"
+#include "recommend/recommender.h"
+#include "version/versioned_kb.h"
+
+namespace evorec::engine {
+
+/// Service configuration: the recommender pipeline, the engine's
+/// cache/threading, and how contexts are built.
+struct ServiceOptions {
+  recommend::RecommenderOptions recommender;
+  EngineOptions engine;
+  measures::ContextOptions context;
+  /// Run the per-user stages of a batch on the engine's thread pool.
+  /// Automatically disabled while a provenance store is attached, so
+  /// the audit trail keeps the deterministic sequential record order.
+  bool parallel_batches = true;
+};
+
+/// The serving loop of the ROADMAP's many-users vision: N users (or
+/// groups) asking about one version pair share one cached
+/// EvolutionContext, one memoized set of measure reports, and one
+/// candidate pool; only gating, scoring, selection and explanation run
+/// per user. Batches are byte-identical to sequential per-user
+/// Recommend calls with the same inputs.
+///
+/// Thread-compatible: one service may serve concurrent callers, but
+/// each HumanProfile/Group may only appear in one in-flight request at
+/// a time (delivery mutates the profile's seen-history).
+class RecommendationService {
+ public:
+  /// `registry` must outlive the service.
+  explicit RecommendationService(const measures::MeasureRegistry& registry,
+                                 ServiceOptions options = {});
+
+  /// Attaches a provenance store recording every run's stages. Batches
+  /// fall back to sequential per-user execution while attached (see
+  /// ServiceOptions::parallel_batches). Pass nullptr to detach.
+  void AttachProvenance(provenance::ProvenanceStore* store);
+
+  /// Attaches strict access rules applied before scoring. Pass nullptr
+  /// to detach.
+  void AttachAccessPolicy(const anonymity::AccessPolicy* policy);
+
+  /// Recommends to one human about versions (v1, v2) of `vkb`, reusing
+  /// the cached shared evaluation when warm.
+  Result<recommend::RecommendationList> Recommend(
+      const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      version::VersionId v2, profile::HumanProfile& prof);
+
+  /// Recommends one shared package to a group.
+  Result<recommend::RecommendationList> RecommendGroup(
+      const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      version::VersionId v2, profile::Group& group);
+
+  /// Serves many users against one version pair: the shared evaluation
+  /// is built (or fetched) once, then the per-user stages run — in
+  /// parallel on the engine's pool unless a provenance store is
+  /// attached or parallel_batches is off. results[i] corresponds to
+  /// profiles[i]; profiles must be distinct objects. Fails on the
+  /// first per-user failure.
+  Result<std::vector<recommend::RecommendationList>> RecommendBatch(
+      const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      version::VersionId v2,
+      const std::vector<profile::HumanProfile*>& profiles);
+
+  /// Group flavour of RecommendBatch.
+  Result<std::vector<recommend::RecommendationList>> RecommendGroupBatch(
+      const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      version::VersionId v2, const std::vector<profile::Group*>& groups);
+
+  EvaluationEngine& engine() { return engine_; }
+  const recommend::Recommender& recommender() const { return recommender_; }
+  EngineStats engine_stats() const { return engine_.stats(); }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  Result<std::shared_ptr<const SharedEvaluation>> Warm(
+      const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      version::VersionId v2,
+      std::shared_ptr<const recommend::SharedRunState>* state);
+
+  ServiceOptions options_;
+  EvaluationEngine engine_;
+  recommend::Recommender recommender_;
+  provenance::ProvenanceStore* provenance_ = nullptr;
+};
+
+}  // namespace evorec::engine
+
+#endif  // EVOREC_ENGINE_RECOMMENDATION_SERVICE_H_

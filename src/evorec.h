@@ -19,7 +19,10 @@
 ///   provenance — transparency substrate (§III.b)
 ///   anonymity  — k-anonymity and access policies (§III.e)
 ///   recommend  — the human-aware recommender (§III)
+///   engine     — shared evaluation engine and batched serving
 ///   workload   — synthetic generators and scenario presets
+///                (engine and workload are sibling top layers over
+///                recommend)
 
 #include "anonymity/access_policy.h"
 #include "anonymity/aggregate.h"
@@ -33,10 +36,13 @@
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "delta/delta_index.h"
 #include "delta/delta_io.h"
 #include "delta/high_level_delta.h"
 #include "delta/low_level_delta.h"
+#include "engine/evaluation_engine.h"
+#include "engine/recommendation_service.h"
 #include "graph/betweenness.h"
 #include "graph/bridging.h"
 #include "graph/graph.h"
@@ -44,6 +50,7 @@
 #include "graph/schema_graph.h"
 #include "measures/centrality.h"
 #include "measures/change_count.h"
+#include "measures/evaluation.h"
 #include "measures/measure.h"
 #include "measures/measure_context.h"
 #include "measures/neighborhood_change.h"

@@ -1,29 +1,52 @@
 #include "measures/measure_context.h"
 
+#include "common/hash.h"
 #include "graph/betweenness.h"
 
 namespace evorec::measures {
 
+uint64_t ContextOptionsFingerprint(const ContextOptions& options) {
+  size_t seed = 0;
+  HashCombine(seed, static_cast<int>(options.betweenness_mode));
+  if (options.betweenness_mode == BetweennessMode::kSampled) {
+    HashCombine(seed, options.betweenness_pivots);
+    HashCombine(seed, options.seed);
+  }
+  return static_cast<uint64_t>(seed);
+}
+
 Result<EvolutionContext> EvolutionContext::Build(
     const rdf::KnowledgeBase& before, const rdf::KnowledgeBase& after,
     ContextOptions options) {
-  if (before.shared_dictionary() != after.shared_dictionary()) {
+  return Build(std::make_shared<const rdf::KnowledgeBase>(before),
+               std::make_shared<const rdf::KnowledgeBase>(after), options);
+}
+
+Result<EvolutionContext> EvolutionContext::Build(
+    std::shared_ptr<const rdf::KnowledgeBase> before,
+    std::shared_ptr<const rdf::KnowledgeBase> after, ContextOptions options) {
+  if (before == nullptr || after == nullptr) {
+    return InvalidArgumentError("EvolutionContext requires two snapshots");
+  }
+  if (before->shared_dictionary() != after->shared_dictionary()) {
     return InvalidArgumentError(
         "EvolutionContext requires snapshots sharing one dictionary");
   }
   EvolutionContext ctx;
   ctx.options_ = options;
-  ctx.before_ = std::make_shared<rdf::KnowledgeBase>(before);
-  ctx.after_ = std::make_shared<rdf::KnowledgeBase>(after);
+  ctx.before_ = std::move(before);
+  ctx.after_ = std::move(after);
   ctx.view_before_ = schema::SchemaView::Build(*ctx.before_);
   ctx.view_after_ = schema::SchemaView::Build(*ctx.after_);
   ctx.delta_ = delta::ComputeLowLevelDelta(*ctx.before_, *ctx.after_);
   ctx.delta_index_ = delta::DeltaIndex::Build(
-      ctx.delta_, ctx.view_before_, ctx.view_after_, before.vocabulary());
+      ctx.delta_, ctx.view_before_, ctx.view_after_,
+      ctx.before_->vocabulary());
   ctx.graph_before_ = graph::SchemaGraph::Build(
       ctx.view_before_, ctx.delta_index_.union_classes());
   ctx.graph_after_ = graph::SchemaGraph::Build(
       ctx.view_after_, ctx.delta_index_.union_classes());
+  ctx.lazy_ = std::make_shared<LazyArtefacts>();
   return ctx;
 }
 
@@ -51,17 +74,19 @@ std::vector<double> ComputeBetweenness(const graph::Graph& g,
 }  // namespace
 
 const std::vector<double>& EvolutionContext::betweenness_before() const {
-  if (!betweenness_before_.has_value()) {
-    betweenness_before_ = ComputeBetweenness(graph_before_.graph(), options_);
-  }
-  return *betweenness_before_;
+  std::call_once(lazy_->before_once, [&] {
+    lazy_->betweenness_before =
+        ComputeBetweenness(graph_before_.graph(), options_);
+  });
+  return lazy_->betweenness_before;
 }
 
 const std::vector<double>& EvolutionContext::betweenness_after() const {
-  if (!betweenness_after_.has_value()) {
-    betweenness_after_ = ComputeBetweenness(graph_after_.graph(), options_);
-  }
-  return *betweenness_after_;
+  std::call_once(lazy_->after_once, [&] {
+    lazy_->betweenness_after =
+        ComputeBetweenness(graph_after_.graph(), options_);
+  });
+  return lazy_->betweenness_after;
 }
 
 }  // namespace evorec::measures

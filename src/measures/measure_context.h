@@ -1,8 +1,9 @@
 #ifndef EVOREC_MEASURES_MEASURE_CONTEXT_H_
 #define EVOREC_MEASURES_MEASURE_CONTEXT_H_
 
+#include <cstdint>
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <vector>
 
 #include "common/random.h"
@@ -29,7 +30,19 @@ struct ContextOptions {
   size_t betweenness_pivots = 64;
   /// Seed for the sampling RNG (determinism).
   uint64_t seed = 1;
+
+  /// Equivalent options produce equivalent contexts — the equality the
+  /// engine's context cache keys on. Sampling parameters only matter
+  /// in kSampled mode.
+  friend bool operator==(const ContextOptions& a, const ContextOptions& b) {
+    if (a.betweenness_mode != b.betweenness_mode) return false;
+    if (a.betweenness_mode == BetweennessMode::kExact) return true;
+    return a.betweenness_pivots == b.betweenness_pivots && a.seed == b.seed;
+  }
 };
+
+/// Stable 64-bit fingerprint of `options` consistent with operator==.
+uint64_t ContextOptionsFingerprint(const ContextOptions& options);
 
 /// Everything an evolution measure needs about one version pair
 /// (V1 → V2), computed once and shared by all measures:
@@ -39,13 +52,24 @@ struct ContextOptions {
 ///
 /// Contexts are immutable after Build and cheap to pass by const
 /// reference; expensive artefacts (betweenness) are computed lazily on
-/// first access.
+/// first access. The lazy computation is thread-safe (std::call_once),
+/// so one context can be shared by measures evaluating in parallel;
+/// copies of a context share the same lazy cache.
 class EvolutionContext {
  public:
   /// Builds a context from two snapshots that share a dictionary.
   static Result<EvolutionContext> Build(const rdf::KnowledgeBase& before,
                                         const rdf::KnowledgeBase& after,
                                         ContextOptions options = {});
+
+  /// Adopts already-owned snapshots without copying them — the engine
+  /// path, which snapshots under its own lock and hands the copies
+  /// over. Both pointers must be non-null and share a dictionary; the
+  /// snapshots must not be mutated afterwards.
+  static Result<EvolutionContext> Build(
+      std::shared_ptr<const rdf::KnowledgeBase> before,
+      std::shared_ptr<const rdf::KnowledgeBase> after,
+      ContextOptions options = {});
 
   /// Builds a context for versions (v1, v2) of `vkb`.
   static Result<EvolutionContext> FromVersions(
@@ -84,6 +108,14 @@ class EvolutionContext {
  private:
   EvolutionContext() = default;
 
+  /// Lazily-computed per-context artefacts, shared between copies.
+  struct LazyArtefacts {
+    std::once_flag before_once;
+    std::once_flag after_once;
+    std::vector<double> betweenness_before;
+    std::vector<double> betweenness_after;
+  };
+
   ContextOptions options_;
   // Snapshots are held by shared_ptr so that contexts remain cheap to
   // copy and valid independent of the VersionedKnowledgeBase cache.
@@ -95,8 +127,7 @@ class EvolutionContext {
   delta::DeltaIndex delta_index_;
   graph::SchemaGraph graph_before_;
   graph::SchemaGraph graph_after_;
-  mutable std::optional<std::vector<double>> betweenness_before_;
-  mutable std::optional<std::vector<double>> betweenness_after_;
+  std::shared_ptr<LazyArtefacts> lazy_;
 };
 
 }  // namespace evorec::measures

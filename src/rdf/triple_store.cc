@@ -264,16 +264,21 @@ void TripleStore::Scan(const TriplePattern& pattern,
 
 std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
   std::vector<Triple> out;
-  ScanT(pattern, [&](const Triple& t) {
-    out.push_back(t);
-    return true;
-  });
-  // Every scan branch already emits in SPO order except (*,p,*),
-  // whose POS range interleaves subjects across objects.
+  // Every scan branch already emits in SPO order except (*,p,*), whose
+  // POS range can interleave subjects across objects. Track order
+  // violations during collection so the O(n log n) repair sort only
+  // runs when the range really is out of order (single-object
+  // predicates — rdfs:subClassOf-style ranges — come out sorted).
   const bool pos_range_scan = pattern.subject == kAnyTerm &&
                               pattern.predicate != kAnyTerm &&
                               pattern.object == kAnyTerm;
-  if (pos_range_scan) std::sort(out.begin(), out.end());
+  bool sorted = true;
+  ScanT(pattern, [&](const Triple& t) {
+    if (pos_range_scan && !out.empty() && t < out.back()) sorted = false;
+    out.push_back(t);
+    return true;
+  });
+  if (!sorted) std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -34,22 +34,25 @@ MeasureCandidate MakeCandidate(const measures::MeasureInfo& info,
 
 }  // namespace
 
-Result<std::vector<MeasureCandidate>> GenerateCandidates(
-    const measures::MeasureRegistry& registry,
+Result<std::vector<MeasureCandidate>> GenerateCandidatesFromReports(
+    const std::vector<measures::MeasureInfo>& infos,
+    const std::vector<std::shared_ptr<const measures::MeasureReport>>& reports,
     const measures::EvolutionContext& ctx, const CandidateOptions& options) {
+  if (infos.size() != reports.size()) {
+    return InvalidArgumentError(
+        "GenerateCandidatesFromReports: one report per measure required");
+  }
   std::vector<MeasureCandidate> candidates;
-  const auto measures_list = registry.CreateAll();
 
   // Whole-KB candidates: every measure once.
-  std::vector<measures::MeasureReport> full_reports;
-  full_reports.reserve(measures_list.size());
-  for (const auto& measure : measures_list) {
-    auto report = measure->Compute(ctx);
-    if (!report.ok()) return report.status();
-    full_reports.push_back(*report);
-    candidates.push_back(MakeCandidate(measure->info(), rdf::kAnyTerm, "all",
-                                       std::move(report).value(),
-                                       options.top_k));
+  for (size_t m = 0; m < infos.size(); ++m) {
+    if (reports[m] == nullptr) {
+      return InvalidArgumentError(
+          "GenerateCandidatesFromReports: null report for '" +
+          infos[m].name + "'");
+    }
+    candidates.push_back(MakeCandidate(infos[m], rdf::kAnyTerm, "all",
+                                       *reports[m], options.top_k));
   }
   if (!options.per_region) return candidates;
 
@@ -69,11 +72,11 @@ Result<std::vector<MeasureCandidate>> GenerateCandidates(
       region.insert(n);
     }
     const std::string label = ctx.before().dictionary().term(focus).lexical;
-    for (size_t m = 0; m < measures_list.size(); ++m) {
-      const measures::MeasureInfo& info = measures_list[m]->info();
+    for (size_t m = 0; m < infos.size(); ++m) {
+      const measures::MeasureInfo& info = infos[m];
       if (info.scope != measures::MeasureScope::kClass) continue;
       measures::MeasureReport restricted =
-          RestrictReport(full_reports[m], region);
+          RestrictReport(*reports[m], region);
       if (restricted.empty() || restricted.TotalScore() <= 0.0) continue;
       candidates.push_back(MakeCandidate(info, focus, label,
                                          std::move(restricted),
@@ -81,6 +84,24 @@ Result<std::vector<MeasureCandidate>> GenerateCandidates(
     }
   }
   return candidates;
+}
+
+Result<std::vector<MeasureCandidate>> GenerateCandidates(
+    const measures::MeasureRegistry& registry,
+    const measures::EvolutionContext& ctx, const CandidateOptions& options) {
+  const auto measures_list = registry.CreateAll();
+  std::vector<measures::MeasureInfo> infos;
+  std::vector<std::shared_ptr<const measures::MeasureReport>> reports;
+  infos.reserve(measures_list.size());
+  reports.reserve(measures_list.size());
+  for (const auto& measure : measures_list) {
+    auto report = measure->Compute(ctx);
+    if (!report.ok()) return report.status();
+    infos.push_back(measure->info());
+    reports.push_back(std::make_shared<const measures::MeasureReport>(
+        std::move(report).value()));
+  }
+  return GenerateCandidatesFromReports(infos, reports, ctx, options);
 }
 
 }  // namespace evorec::recommend

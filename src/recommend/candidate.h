@@ -1,6 +1,7 @@
 #ifndef EVOREC_RECOMMEND_CANDIDATE_H_
 #define EVOREC_RECOMMEND_CANDIDATE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,17 @@ struct CandidateOptions {
 /// most-changed classes. Fails if any measure computation fails.
 Result<std::vector<MeasureCandidate>> GenerateCandidates(
     const measures::MeasureRegistry& registry,
+    const measures::EvolutionContext& ctx, const CandidateOptions& options);
+
+/// Same pool, but built from already-computed whole-KB reports (one
+/// per measure, aligned with `infos`) instead of invoking the measures
+/// — the serving path, where an engine memoizes reports per context
+/// and many users share them. GenerateCandidates(registry, ctx, o) is
+/// exactly equivalent to feeding this the registry's infos and the
+/// freshly-computed reports.
+Result<std::vector<MeasureCandidate>> GenerateCandidatesFromReports(
+    const std::vector<measures::MeasureInfo>& infos,
+    const std::vector<std::shared_ptr<const measures::MeasureReport>>& reports,
     const measures::EvolutionContext& ctx, const CandidateOptions& options);
 
 }  // namespace evorec::recommend

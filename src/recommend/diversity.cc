@@ -32,17 +32,45 @@ double NoveltyScore(const profile::HumanProfile& profile,
   return profile.NoveltyOf(candidate.top_terms);
 }
 
+DistanceMatrix DistanceMatrix::Build(
+    const std::vector<MeasureCandidate>& candidates, DiversityKind kind) {
+  DistanceMatrix matrix;
+  matrix.n_ = candidates.size();
+  matrix.values_.assign(matrix.n_ * matrix.n_, 0.0);
+  for (size_t i = 0; i < matrix.n_; ++i) {
+    for (size_t j = i + 1; j < matrix.n_; ++j) {
+      const double d = CandidateDistance(candidates[i], candidates[j], kind);
+      matrix.values_[i * matrix.n_ + j] = d;
+      matrix.values_[j * matrix.n_ + i] = d;
+    }
+  }
+  return matrix;
+}
+
+namespace {
+
+// Distance via the precomputed matrix when available.
+inline double PairDistance(const std::vector<MeasureCandidate>& candidates,
+                           size_t i, size_t j, DiversityKind kind,
+                           const DistanceMatrix* distances) {
+  if (distances != nullptr && distances->size() == candidates.size()) {
+    return distances->at(i, j);
+  }
+  return CandidateDistance(candidates[i], candidates[j], kind);
+}
+
+}  // namespace
+
 double SetDiversity(const std::vector<MeasureCandidate>& candidates,
-                    const std::vector<size_t>& selection,
-                    DiversityKind kind) {
+                    const std::vector<size_t>& selection, DiversityKind kind,
+                    const DistanceMatrix* distances) {
   if (selection.size() < 2) return 1.0;
   double total = 0.0;
   size_t pairs = 0;
   for (size_t i = 0; i < selection.size(); ++i) {
     for (size_t j = i + 1; j < selection.size(); ++j) {
-      total +=
-          CandidateDistance(candidates[selection[i]], candidates[selection[j]],
-                            kind);
+      total += PairDistance(candidates, selection[i], selection[j], kind,
+                            distances);
       ++pairs;
     }
   }
@@ -60,7 +88,8 @@ double CategoryCoverage(const std::vector<MeasureCandidate>& candidates,
 
 std::vector<size_t> SelectMmr(const std::vector<MeasureCandidate>& candidates,
                               const std::vector<double>& relevance, size_t k,
-                              double lambda, DiversityKind kind) {
+                              double lambda, DiversityKind kind,
+                              const DistanceMatrix* distances) {
   const size_t n = candidates.size();
   std::vector<size_t> selected;
   std::vector<bool> used(n, false);
@@ -86,9 +115,9 @@ std::vector<size_t> SelectMmr(const std::vector<MeasureCandidate>& candidates,
     selected.push_back(best);
     for (size_t i = 0; i < n; ++i) {
       if (used[i]) continue;
-      min_distance[i] = std::min(
-          min_distance[i],
-          CandidateDistance(candidates[i], candidates[best], kind));
+      min_distance[i] =
+          std::min(min_distance[i],
+                   PairDistance(candidates, i, best, kind, distances));
     }
   }
   return selected;
@@ -132,24 +161,26 @@ std::vector<size_t> SelectMaxMin(
 double MmrObjective(const std::vector<MeasureCandidate>& candidates,
                     const std::vector<double>& relevance,
                     const std::vector<size_t>& selection, double lambda,
-                    DiversityKind kind) {
+                    DiversityKind kind, const DistanceMatrix* distances) {
   if (selection.empty()) return 0.0;
   double mean_relevance = 0.0;
   for (size_t index : selection) mean_relevance += relevance[index];
   mean_relevance /= static_cast<double>(selection.size());
-  const double diversity = SetDiversity(candidates, selection, kind);
+  const double diversity =
+      SetDiversity(candidates, selection, kind, distances);
   return lambda * mean_relevance + (1.0 - lambda) * diversity;
 }
 
 std::vector<size_t> ImproveBySwaps(
     const std::vector<MeasureCandidate>& candidates,
     const std::vector<double>& relevance, std::vector<size_t> selection,
-    double lambda, DiversityKind kind, size_t max_rounds) {
+    double lambda, DiversityKind kind, size_t max_rounds,
+    const DistanceMatrix* distances) {
   const size_t n = candidates.size();
   std::vector<bool> used(n, false);
   for (size_t index : selection) used[index] = true;
   double current =
-      MmrObjective(candidates, relevance, selection, lambda, kind);
+      MmrObjective(candidates, relevance, selection, lambda, kind, distances);
   for (size_t round = 0; round < max_rounds; ++round) {
     bool improved = false;
     for (size_t pos = 0; pos < selection.size(); ++pos) {
@@ -157,8 +188,8 @@ std::vector<size_t> ImproveBySwaps(
         if (used[i]) continue;
         const size_t old_index = selection[pos];
         selection[pos] = i;
-        const double candidate_objective =
-            MmrObjective(candidates, relevance, selection, lambda, kind);
+        const double candidate_objective = MmrObjective(
+            candidates, relevance, selection, lambda, kind, distances);
         if (candidate_objective > current + 1e-12) {
           current = candidate_objective;
           used[old_index] = false;

@@ -31,10 +31,34 @@ double CandidateDistance(const MeasureCandidate& a, const MeasureCandidate& b,
 double NoveltyScore(const profile::HumanProfile& profile,
                     const MeasureCandidate& candidate);
 
+/// Precomputed pairwise CandidateDistance values of one pool under one
+/// DiversityKind. Distances are user-independent, so a shared pool
+/// builds the matrix once and every per-user selection reuses it; the
+/// selectors below accept it as an optional fast path and produce
+/// identical results with or without it.
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+
+  static DistanceMatrix Build(const std::vector<MeasureCandidate>& candidates,
+                              DiversityKind kind);
+
+  bool empty() const { return n_ == 0; }
+  /// Number of candidates the matrix covers.
+  size_t size() const { return n_; }
+  double at(size_t i, size_t j) const { return values_[i * n_ + j]; }
+
+ private:
+  size_t n_ = 0;
+  std::vector<double> values_;
+};
+
 /// Mean pairwise distance of the selected set; 1.0 for sets smaller
-/// than two (a singleton cannot be redundant).
+/// than two (a singleton cannot be redundant). `distances` (covering
+/// `candidates`) skips the per-pair recomputation.
 double SetDiversity(const std::vector<MeasureCandidate>& candidates,
-                    const std::vector<size_t>& selection, DiversityKind kind);
+                    const std::vector<size_t>& selection, DiversityKind kind,
+                    const DistanceMatrix* distances = nullptr);
 
 /// How many distinct measure categories the selection covers, in
 /// [0,1] (covered / 3).
@@ -47,7 +71,8 @@ double CategoryCoverage(const std::vector<MeasureCandidate>& candidates,
 /// λ=0 to pure diversification — the E6 sweep.
 std::vector<size_t> SelectMmr(const std::vector<MeasureCandidate>& candidates,
                               const std::vector<double>& relevance, size_t k,
-                              double lambda, DiversityKind kind);
+                              double lambda, DiversityKind kind,
+                              const DistanceMatrix* distances = nullptr);
 
 /// Greedy Max-Min diversification: first pick by relevance, then each
 /// pick maximises the minimum distance to the selected set (relevance
@@ -62,13 +87,15 @@ std::vector<size_t> SelectMaxMin(
 std::vector<size_t> ImproveBySwaps(
     const std::vector<MeasureCandidate>& candidates,
     const std::vector<double>& relevance, std::vector<size_t> selection,
-    double lambda, DiversityKind kind, size_t max_rounds = 4);
+    double lambda, DiversityKind kind, size_t max_rounds = 4,
+    const DistanceMatrix* distances = nullptr);
 
 /// The MMR set objective: λ·(mean relevance) + (1−λ)·(set diversity).
 double MmrObjective(const std::vector<MeasureCandidate>& candidates,
                     const std::vector<double>& relevance,
                     const std::vector<size_t>& selection, double lambda,
-                    DiversityKind kind);
+                    DiversityKind kind,
+                    const DistanceMatrix* distances = nullptr);
 
 }  // namespace evorec::recommend
 

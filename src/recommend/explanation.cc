@@ -6,20 +6,24 @@
 
 namespace evorec::recommend {
 
-Explanation BuildExplanation(const MeasureCandidate& candidate,
-                             const profile::HumanProfile& profile,
-                             const RelatednessScorer& scorer,
-                             const rdf::Dictionary& dictionary) {
+Explanation BuildExplanation(
+    const MeasureCandidate& candidate, const profile::HumanProfile& profile,
+    const RelatednessScorer& scorer, const rdf::Dictionary& dictionary,
+    const std::unordered_map<rdf::TermId, double>* expanded_interests) {
   Explanation e;
   e.candidate_id = candidate.id;
   e.measure_name = candidate.measure.name;
   e.measure_description = candidate.measure.description;
   e.category = measures::MeasureCategoryName(candidate.measure.category);
   e.region_label = candidate.region_label;
-  e.relatedness = scorer.Score(profile, candidate);
+  std::unordered_map<rdf::TermId, double> local_expansion;
+  if (expanded_interests == nullptr) {
+    local_expansion = scorer.ExpandInterests(profile);
+    expanded_interests = &local_expansion;
+  }
+  const auto& interests = *expanded_interests;
+  e.relatedness = scorer.ScoreExpanded(interests, profile, candidate);
   e.novelty = NoveltyScore(profile, candidate);
-
-  const auto interests = scorer.ExpandInterests(profile);
   for (rdf::TermId term : candidate.top_terms) {
     auto looked_up = dictionary.Lookup(term);
     const std::string label =

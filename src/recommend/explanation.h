@@ -37,11 +37,14 @@ struct Explanation {
   std::string ToText() const;
 };
 
-/// Builds the explanation of `candidate` for `profile`.
-Explanation BuildExplanation(const MeasureCandidate& candidate,
-                             const profile::HumanProfile& profile,
-                             const RelatednessScorer& scorer,
-                             const rdf::Dictionary& dictionary);
+/// Builds the explanation of `candidate` for `profile`. When
+/// `expanded_interests` (ExpandInterests(profile)) is supplied the
+/// expansion is reused instead of recomputed — same output either way.
+Explanation BuildExplanation(
+    const MeasureCandidate& candidate, const profile::HumanProfile& profile,
+    const RelatednessScorer& scorer, const rdf::Dictionary& dictionary,
+    const std::unordered_map<rdf::TermId, double>* expanded_interests =
+        nullptr);
 
 }  // namespace evorec::recommend
 

@@ -8,8 +8,11 @@ UtilityMatrix BuildUtilityMatrix(const std::vector<MeasureCandidate>& pool,
   UtilityMatrix utilities(group.size(),
                           std::vector<double>(pool.size(), 0.0));
   for (size_t m = 0; m < group.size(); ++m) {
+    // One interest expansion per member, not per (member, candidate).
+    const auto expanded = scorer.ExpandInterests(group.members()[m]);
     for (size_t c = 0; c < pool.size(); ++c) {
-      utilities[m][c] = scorer.Score(group.members()[m], pool[c]);
+      utilities[m][c] =
+          scorer.ScoreExpanded(expanded, group.members()[m], pool[c]);
     }
   }
   return utilities;

@@ -71,34 +71,100 @@ std::vector<rdf::TermId> DeliveredTerms(
   return terms;
 }
 
+std::vector<measures::MeasureReport> NormalizeReports(
+    const std::vector<MeasureCandidate>& pool) {
+  std::vector<measures::MeasureReport> normalized;
+  normalized.reserve(pool.size());
+  for (const MeasureCandidate& candidate : pool) {
+    normalized.push_back(candidate.report.Normalized());
+  }
+  return normalized;
+}
+
 }  // namespace
+
+Result<SharedRunState> Recommender::PreparePool(
+    const measures::EvolutionContext& ctx) const {
+  auto pool = GenerateCandidates(registry_, ctx, options_.candidates);
+  if (!pool.ok()) return pool.status();
+  SharedRunState shared;
+  shared.ctx = &ctx;
+  shared.pool = std::move(pool).value();
+  return shared;
+}
+
+Result<SharedRunState> Recommender::PrepareShared(
+    const measures::EvolutionContext& ctx) const {
+  auto shared = PreparePool(ctx);
+  if (!shared.ok()) return shared;
+  shared->normalized = NormalizeReports(shared->pool);
+  shared->distances = DistanceMatrix::Build(shared->pool, options_.diversity);
+  return shared;
+}
+
+Result<SharedRunState> Recommender::PrepareShared(
+    const measures::EvolutionContext& ctx,
+    const std::vector<measures::MeasureInfo>& infos,
+    const std::vector<std::shared_ptr<const measures::MeasureReport>>&
+        reports) const {
+  auto pool =
+      GenerateCandidatesFromReports(infos, reports, ctx, options_.candidates);
+  if (!pool.ok()) return pool.status();
+  SharedRunState shared;
+  shared.ctx = &ctx;
+  shared.pool = std::move(pool).value();
+  shared.normalized = NormalizeReports(shared.pool);
+  shared.distances = DistanceMatrix::Build(shared.pool, options_.diversity);
+  return shared;
+}
 
 Result<RecommendationList> Recommender::RecommendForUser(
     const measures::EvolutionContext& ctx,
     profile::HumanProfile& prof) const {
+  // With a policy attached the per-user gating invalidates the shared
+  // normalisation/distances, so don't build them for one run.
+  auto shared = policy_ == nullptr ? PrepareShared(ctx) : PreparePool(ctx);
+  if (!shared.ok()) return shared.status();
+  return RecommendForUser(*shared, prof);
+}
+
+Result<RecommendationList> Recommender::RecommendForUser(
+    const SharedRunState& shared, profile::HumanProfile& prof) const {
+  const measures::EvolutionContext& ctx = *shared.ctx;
   StageTracer tracer(provenance_, "recommend_user/" + prof.id(), "evorec");
   tracer.Run("context", "evolution_context",
              "delta size " + std::to_string(ctx.low_level_delta().size()));
-
-  auto pool = GenerateCandidates(registry_, ctx, options_.candidates);
-  if (!pool.ok()) return pool.status();
   tracer.Run("candidates", "candidate_pool",
-             std::to_string(pool->size()) + " candidates");
+             std::to_string(shared.pool.size()) + " candidates");
 
-  GateOutcome gated = ApplyAccessGate(policy_, prof.id(),
-                                      std::move(pool).value(),
-                                      options_.candidates.top_k);
+  // Null policy: the gate is an identity, so score straight off the
+  // shared pool (and its pre-normalised reports) without copying it.
+  // With a policy attached, gating redacts per user and the shared
+  // normalisation no longer lines up.
+  GateOutcome gated;
+  const bool use_shared_pool = policy_ == nullptr;
+  if (!use_shared_pool) {
+    gated = ApplyAccessGate(policy_, prof.id(), shared.pool,
+                            options_.candidates.top_k);
+  }
+  const std::vector<MeasureCandidate>& candidates =
+      use_shared_pool ? shared.pool : gated.candidates;
+  const bool have_normalized =
+      use_shared_pool && shared.normalized.size() == shared.pool.size();
   tracer.Run("anonymity_gate", "gated_pool",
-             std::to_string(gated.candidates.size()) + " visible, " +
+             std::to_string(candidates.size()) + " visible, " +
                  std::to_string(gated.dropped_candidates) + " dropped");
 
   const RelatednessScorer scorer(ctx, options_.relatedness);
-  const std::vector<MeasureCandidate>& candidates = gated.candidates;
+  const std::unordered_map<rdf::TermId, double> expanded =
+      scorer.ExpandInterests(prof);
   std::vector<double> relatedness(candidates.size(), 0.0);
   std::vector<double> novelty(candidates.size(), 0.0);
   std::vector<double> relevance(candidates.size(), 0.0);
   for (size_t i = 0; i < candidates.size(); ++i) {
-    relatedness[i] = scorer.Score(prof, candidates[i]);
+    relatedness[i] = scorer.ScoreExpanded(
+        expanded, prof, candidates[i],
+        have_normalized ? &shared.normalized[i] : nullptr);
     novelty[i] = NoveltyScore(prof, candidates[i]);
     relevance[i] = (1.0 - options_.novelty_weight) * relatedness[i] +
                    options_.novelty_weight * novelty[i];
@@ -107,11 +173,16 @@ Result<RecommendationList> Recommender::RecommendForUser(
              "relatedness+novelty over " +
                  std::to_string(candidates.size()) + " candidates");
 
+  const DistanceMatrix* distances =
+      use_shared_pool && shared.distances.size() == candidates.size()
+          ? &shared.distances
+          : nullptr;
   std::vector<size_t> selection =
       SelectMmr(candidates, relevance, options_.package_size,
-                options_.mmr_lambda, options_.diversity);
+                options_.mmr_lambda, options_.diversity, distances);
   selection = ImproveBySwaps(candidates, relevance, std::move(selection),
-                             options_.mmr_lambda, options_.diversity);
+                             options_.mmr_lambda, options_.diversity,
+                             /*max_rounds=*/4, distances);
   tracer.Run("selection", "package",
              std::to_string(selection.size()) + " measures selected");
 
@@ -125,14 +196,15 @@ Result<RecommendationList> Recommender::RecommendForUser(
     item.relatedness = relatedness[index];
     item.novelty = novelty[index];
     item.explanation = BuildExplanation(item.candidate, prof, scorer,
-                                        ctx.before().dictionary());
+                                        ctx.before().dictionary(), &expanded);
     if (auto last = tracer.last(); last.has_value()) {
       item.explanation.has_provenance = true;
       item.explanation.provenance_record = *last;
     }
     list.items.push_back(std::move(item));
   }
-  list.set_diversity = SetDiversity(candidates, selection, options_.diversity);
+  list.set_diversity =
+      SetDiversity(candidates, selection, options_.diversity, distances);
   list.category_coverage = CategoryCoverage(candidates, selection);
   list.provenance_trail = tracer.trail();
 
@@ -147,20 +219,30 @@ Result<RecommendationList> Recommender::RecommendForGroup(
   if (group.empty()) {
     return InvalidArgumentError("cannot recommend to an empty group");
   }
+  // The group pipeline scores through its own utility matrix and never
+  // reads the shared normalisation/distances — skip building them.
+  auto shared = PreparePool(ctx);
+  if (!shared.ok()) return shared.status();
+  return RecommendForGroup(*shared, group);
+}
+
+Result<RecommendationList> Recommender::RecommendForGroup(
+    const SharedRunState& shared, profile::Group& group) const {
+  if (group.empty()) {
+    return InvalidArgumentError("cannot recommend to an empty group");
+  }
+  const measures::EvolutionContext& ctx = *shared.ctx;
   StageTracer tracer(provenance_, "recommend_group/" + group.id(), "evorec");
   tracer.Run("context", "evolution_context",
              "delta size " + std::to_string(ctx.low_level_delta().size()));
-
-  auto pool = GenerateCandidates(registry_, ctx, options_.candidates);
-  if (!pool.ok()) return pool.status();
   tracer.Run("candidates", "candidate_pool",
-             std::to_string(pool->size()) + " candidates");
+             std::to_string(shared.pool.size()) + " candidates");
 
   // The gate applies the *most restrictive* view: a term is visible to
   // the group only if every member may see it. Implemented by
   // filtering per member and keeping the intersection via sequential
   // application.
-  std::vector<MeasureCandidate> candidates = std::move(pool).value();
+  std::vector<MeasureCandidate> candidates = shared.pool;
   size_t redacted_total = 0;
   size_t dropped_total = 0;
   for (const profile::HumanProfile& member : group.members()) {

@@ -1,6 +1,7 @@
 #ifndef EVOREC_RECOMMEND_RECOMMENDER_H_
 #define EVOREC_RECOMMEND_RECOMMENDER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,24 @@ struct RecommenderOptions {
   /// Record recommended terms into profiles' seen-history after
   /// delivering (enables novelty on the next run).
   bool record_seen = true;
+};
+
+/// The user-independent half of a recommendation run: the candidate
+/// pool generated for one (context, options) pair, shared verbatim by
+/// every user and group asking about that version pair. Per-run state
+/// (gating, scoring, selection, explanation) stays inside the
+/// Recommend* calls, so one SharedRunState may serve many concurrent
+/// runs. `ctx` must outlive the state.
+struct SharedRunState {
+  const measures::EvolutionContext* ctx = nullptr;
+  /// Pre-gate candidate pool (per-user gating works on a copy).
+  std::vector<MeasureCandidate> pool;
+  /// normalized[i] == pool[i].report.Normalized() — user-independent
+  /// scoring input computed once for all users.
+  std::vector<measures::MeasureReport> normalized;
+  /// Pairwise candidate distances under the recommender's diversity
+  /// kind — user-independent selection input computed once.
+  DistanceMatrix distances;
 };
 
 /// One delivered recommendation.
@@ -82,17 +101,48 @@ class Recommender {
   /// Pass nullptr to detach.
   void AttachAccessPolicy(const anonymity::AccessPolicy* policy);
 
+  /// Builds the user-independent shared state for `ctx` by computing
+  /// every measure through the registry. Includes the scoring/
+  /// selection accelerators (normalised reports, distance matrix);
+  /// PreparePool builds only the candidate pool for pipelines that
+  /// don't read them (group runs, gated per-call runs).
+  Result<SharedRunState> PrepareShared(
+      const measures::EvolutionContext& ctx) const;
+  Result<SharedRunState> PreparePool(
+      const measures::EvolutionContext& ctx) const;
+
+  /// Builds the shared state from already-computed whole-KB reports
+  /// (the engine's memoized serving path); produces a pool identical
+  /// to PrepareShared(ctx) when the reports match the registry.
+  Result<SharedRunState> PrepareShared(
+      const measures::EvolutionContext& ctx,
+      const std::vector<measures::MeasureInfo>& infos,
+      const std::vector<std::shared_ptr<const measures::MeasureReport>>&
+          reports) const;
+
   /// Recommends a measure package to one human. Mutates `prof` only to
   /// record the delivered terms (when options().record_seen).
   Result<RecommendationList> RecommendForUser(
       const measures::EvolutionContext& ctx,
       profile::HumanProfile& prof) const;
 
+  /// Serving path: same pipeline over a prepared shared state. Safe to
+  /// call concurrently for distinct profiles against one state (the
+  /// per-run stages work on a copy of the pool), and byte-identical to
+  /// the context overload given equivalent shared state.
+  Result<RecommendationList> RecommendForUser(
+      const SharedRunState& shared, profile::HumanProfile& prof) const;
+
   /// Recommends one shared package to a group (§III.d).
   Result<RecommendationList> RecommendForGroup(
       const measures::EvolutionContext& ctx, profile::Group& group) const;
 
+  /// Serving path of the group pipeline over a prepared shared state.
+  Result<RecommendationList> RecommendForGroup(
+      const SharedRunState& shared, profile::Group& group) const;
+
   const RecommenderOptions& options() const { return options_; }
+  const measures::MeasureRegistry& registry() const { return registry_; }
 
  private:
   const measures::MeasureRegistry& registry_;

@@ -68,20 +68,29 @@ std::unordered_map<rdf::TermId, double> RelatednessScorer::ExpandInterests(
 double RelatednessScorer::Score(const profile::HumanProfile& profile,
                                 const MeasureCandidate& candidate) const {
   if (candidate.top_terms.empty()) return 0.0;
-  const std::unordered_map<rdf::TermId, double> interests =
-      ExpandInterests(profile);
+  return ScoreExpanded(ExpandInterests(profile), profile, candidate);
+}
 
-  const measures::MeasureReport normalized = candidate.report.Normalized();
+double RelatednessScorer::ScoreExpanded(
+    const std::unordered_map<rdf::TermId, double>& expanded_interests,
+    const profile::HumanProfile& profile, const MeasureCandidate& candidate,
+    const measures::MeasureReport* normalized) const {
+  if (candidate.top_terms.empty()) return 0.0;
+  measures::MeasureReport local;
+  if (normalized == nullptr) {
+    local = candidate.report.Normalized();
+    normalized = &local;
+  }
   double weighted = 0.0;
   double weight_total = 0.0;
   for (rdf::TermId term : candidate.top_terms) {
     // Rank-independent weight: the candidate's normalised score, with
     // a floor so that a candidate whose scores are all equal still
     // differentiates by interest overlap.
-    const double w = std::max(normalized.ScoreOf(term), 0.1);
+    const double w = std::max(normalized->ScoreOf(term), 0.1);
     weight_total += w;
-    auto it = interests.find(term);
-    if (it != interests.end()) {
+    auto it = expanded_interests.find(term);
+    if (it != expanded_interests.end()) {
       weighted += w * it->second;
     }
   }

@@ -46,6 +46,16 @@ class RelatednessScorer {
   double Score(const profile::HumanProfile& profile,
                const MeasureCandidate& candidate) const;
 
+  /// Score() with the per-run state hoisted out: `expanded_interests`
+  /// is ExpandInterests(profile) computed once for a whole pool, and
+  /// `normalized` (optional) is candidate.report.Normalized() computed
+  /// once for all users. Numerically identical to Score() — the
+  /// serving loops depend on that.
+  double ScoreExpanded(
+      const std::unordered_map<rdf::TermId, double>& expanded_interests,
+      const profile::HumanProfile& profile, const MeasureCandidate& candidate,
+      const measures::MeasureReport* normalized = nullptr) const;
+
   const RelatednessOptions& options() const { return options_; }
 
  private:

@@ -2,7 +2,51 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace evorec::version {
+
+uint64_t VersionedKnowledgeBase::TermContentHash(rdf::TermId id) {
+  if (id >= dictionary_->size()) {
+    // Raw id never interned (id-level callers build triples without a
+    // dictionary); the id itself is the only identity available.
+    return (0x9E3779B97F4A7C15ULL ^ id) | 1;
+  }
+  if (term_hashes_.size() <= id) {
+    term_hashes_.resize(dictionary_->size(), 0);
+  }
+  uint64_t& hash = term_hashes_[id];
+  if (hash == 0) {
+    // Hash the canonical serialisation, not just the dense id: two
+    // KBs whose histories assign the same ids to *different* labels
+    // must not collide (a wrong cache hit would serve evaluations
+    // about the wrong data). |1 keeps 0 as the "unset" sentinel.
+    hash = Fnv1a64(dictionary_->term(id).ToNTriples()) | 1;
+  }
+  return hash;
+}
+
+uint64_t VersionedKnowledgeBase::HashTriples(
+    uint64_t seed, const std::vector<rdf::Triple>& triples) {
+  for (const rdf::Triple& t : triples) {
+    size_t h = static_cast<size_t>(seed);
+    HashCombine(h, TermContentHash(t.subject));
+    HashCombine(h, TermContentHash(t.predicate));
+    HashCombine(h, TermContentHash(t.object));
+    seed = static_cast<uint64_t>(h);
+  }
+  return seed;
+}
+
+// Content hash of one change set, chained onto the parent fingerprint.
+// Additions and removals are salted differently so that moving a
+// triple between the two lists changes the hash.
+uint64_t VersionedKnowledgeBase::ChainFingerprint(uint64_t parent,
+                                                  const ChangeSet& changes) {
+  uint64_t fp = HashTriples(parent ^ 0x9E3779B97F4A7C15ULL,
+                            changes.additions);
+  return HashTriples(fp ^ 0xC2B2AE3D27D4EB4FULL, changes.removals);
+}
 
 VersionedKnowledgeBase::VersionedKnowledgeBase(ArchivePolicy policy,
                                                size_t checkpoint_interval)
@@ -23,6 +67,10 @@ VersionedKnowledgeBase::VersionedKnowledgeBase(ArchivePolicy policy,
   infos_.push_back(base);
   stores_.push_back(std::move(initial));
   change_sets_.emplace_back();
+  // Base fingerprint: content hash of the canonical (SPO-sorted)
+  // triples, so equal base snapshots fingerprint equally.
+  fingerprints_.push_back(
+      HashTriples(0xCBF29CE484222325ULL, stores_[0].store().triples()));
 }
 
 namespace {
@@ -52,6 +100,8 @@ Result<VersionId> VersionedKnowledgeBase::Commit(ChangeSet&& changes,
   const VersionId new_id = static_cast<VersionId>(infos_.size());
   const size_t additions = changes.additions.size();
   const size_t removals = changes.removals.size();
+  const uint64_t fingerprint =
+      ChainFingerprint(fingerprints_.back(), changes);
 
   switch (policy_) {
     case ArchivePolicy::kFullMaterialization:
@@ -82,7 +132,18 @@ Result<VersionId> VersionedKnowledgeBase::Commit(ChangeSet&& changes,
   info.additions = additions;
   info.removals = removals;
   infos_.push_back(std::move(info));
+  fingerprints_.push_back(fingerprint);
   return new_id;
+}
+
+Result<SnapshotHandle> VersionedKnowledgeBase::Handle(VersionId v) const {
+  if (v >= infos_.size()) {
+    return NotFoundError("unknown version " + std::to_string(v));
+  }
+  SnapshotHandle handle;
+  handle.id = v;
+  handle.fingerprint = fingerprints_[v];
+  return handle;
 }
 
 Result<VersionInfo> VersionedKnowledgeBase::Info(VersionId v) const {

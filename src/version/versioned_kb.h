@@ -13,6 +13,28 @@
 
 namespace evorec::version {
 
+/// A cheap, copyable reference to one version of a
+/// VersionedKnowledgeBase — the cache-key currency of the engine
+/// layer. The fingerprint is a hash chained over the base snapshot
+/// and every committed change set, folding the *serialised term
+/// content* of each triple in TermId order. Equal fingerprints
+/// therefore denote snapshots with identical content AND an identical
+/// TermId mapping — exactly the equivalence cached evaluations need,
+/// since their consumers (profiles, reports) speak TermIds. Distinct
+/// VersionedKnowledgeBase instances share fingerprints when their
+/// histories are identical (same operations, same intern order, e.g.
+/// regenerated from one seed); content-equal KBs interned in a
+/// different order fingerprint differently, which is a safe cache
+/// miss, never a wrong hit.
+struct SnapshotHandle {
+  VersionId id = 0;
+  uint64_t fingerprint = 0;
+
+  friend bool operator==(const SnapshotHandle& a, const SnapshotHandle& b) {
+    return a.fingerprint == b.fingerprint;
+  }
+};
+
 /// A linear-history versioned knowledge base. All versions share one
 /// term dictionary so TermIds are stable across versions — the
 /// invariant every evolution measure depends on.
@@ -67,6 +89,11 @@ class VersionedKnowledgeBase {
   /// valid until EvictSnapshotCache or destruction).
   Result<const rdf::KnowledgeBase*> Snapshot(VersionId v) const;
 
+  /// Cheap handle to version `v` for cache keys — O(1), never
+  /// materialises the snapshot (fingerprints are maintained
+  /// incrementally at commit time).
+  Result<SnapshotHandle> Handle(VersionId v) const;
+
   /// Reconstructs `v` without touching the cache — used by benches to
   /// measure reconstruction cost under kDeltaChain.
   Result<rdf::KnowledgeBase> MaterializeUncached(VersionId v) const;
@@ -90,11 +117,24 @@ class VersionedKnowledgeBase {
   const rdf::Vocabulary& vocabulary() const { return vocabulary_; }
 
  private:
+  /// Content hash of one term (memoized per TermId; terms are
+  /// immutable once interned).
+  uint64_t TermContentHash(rdf::TermId id);
+  /// Folds `triples` into `seed`, hashing term content.
+  uint64_t HashTriples(uint64_t seed, const std::vector<rdf::Triple>& triples);
+  /// Content hash of one change set chained onto `parent`.
+  uint64_t ChainFingerprint(uint64_t parent, const ChangeSet& changes);
+
   ArchivePolicy policy_;
   size_t checkpoint_interval_;
   std::shared_ptr<rdf::Dictionary> dictionary_;
   rdf::Vocabulary vocabulary_;
   std::vector<VersionInfo> infos_;
+  // fingerprints_[v] chains the base-content hash with every change
+  // set up to v (see SnapshotHandle).
+  std::vector<uint64_t> fingerprints_;
+  // Memoized per-term content hashes (0 = not yet computed).
+  std::vector<uint64_t> term_hashes_;
   // kFullMaterialization: stores_[v] is version v.
   // kDeltaChain / kHybridCheckpoint: stores_[0] is the base; later
   // versions live in change_sets_ (and, for hybrid, checkpoints_).

@@ -1,0 +1,186 @@
+// Concurrency stress for the engine's caches: many threads hammering
+// one key must coalesce into a single build (single-flight), and
+// mixed-key traffic must stay linearizable. Run under
+// ThreadSanitizer in CI (the `tsan` preset).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "engine/evaluation_engine.h"
+#include "engine/recommendation_service.h"
+#include "workload/scenarios.h"
+
+namespace evorec::engine {
+namespace {
+
+workload::Scenario StressScenario(uint64_t seed = 77) {
+  workload::ScenarioScale scale;
+  scale.classes = 30;
+  scale.properties = 12;
+  scale.instances = 200;
+  scale.edges = 400;
+  scale.versions = 2;
+  scale.operations = 80;
+  return workload::MakeDbpediaLike(seed, scale);
+}
+
+TEST(EngineConcurrencyTest, ConcurrentSameKeyEvaluatesBuildOnce) {
+  workload::Scenario scenario = StressScenario();
+  measures::MeasureRegistry registry = measures::DefaultRegistry();
+  EvaluationEngine engine(registry, {.context_cache_capacity = 4,
+                                     .threads = 2});
+
+  constexpr int kThreads = 16;
+  constexpr int kRoundsPerThread = 8;
+  std::vector<std::shared_ptr<const SharedEvaluation>> seen(kThreads);
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int round = 0; round < kRoundsPerThread; ++round) {
+          auto evaluation = engine.Evaluate(*scenario.vkb, 0, 1);
+          if (!evaluation.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          seen[t] = *evaluation;
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  // Exactly one build; everyone observed the same shared evaluation.
+  EXPECT_EQ(engine.stats().contexts_built, 1u);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t].get(), seen[0].get());
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.context_hits + stats.context_misses +
+                stats.context_coalesced,
+            static_cast<uint64_t>(kThreads) * kRoundsPerThread);
+}
+
+TEST(EngineConcurrencyTest, ConcurrentReportRequestsComputeOnce) {
+  workload::Scenario scenario = StressScenario();
+  measures::MeasureRegistry registry = measures::DefaultRegistry();
+  EvaluationEngine engine(registry, {.context_cache_capacity = 4,
+                                     .threads = 4});
+  auto evaluation = engine.Evaluate(*scenario.vkb, 0, 1);
+  ASSERT_TRUE(evaluation.ok());
+
+  constexpr int kThreads = 12;
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        // Half the threads sweep all reports, half poke single names;
+        // betweenness-hungry measures exercise the context's lazy
+        // call_once path concurrently.
+        auto all = (*evaluation)->AllReports();
+        if (!all.ok()) failures.fetch_add(1);
+        auto one = (*evaluation)->Report("betweenness_shift");
+        if (!one.ok()) failures.fetch_add(1);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  // Single-flight: every measure computed exactly once despite the
+  // stampede.
+  EXPECT_EQ((*evaluation)->report_stats().computations, registry.size());
+}
+
+TEST(EngineConcurrencyTest, MixedKeysUnderEvictionPressureStayConsistent) {
+  workload::Scenario scenario = StressScenario();
+  ASSERT_GE(scenario.vkb->version_count(), 3u);
+  measures::MeasureRegistry registry = measures::DefaultRegistry();
+  // Capacity 1 forces constant eviction while two keys compete.
+  EvaluationEngine engine(registry, {.context_cache_capacity = 1,
+                                     .threads = 2});
+
+  // Reference delta sizes, computed single-threaded.
+  size_t expected_delta[2];
+  for (version::VersionId v1 = 0; v1 < 2; ++v1) {
+    auto ctx = measures::EvolutionContext::FromVersions(*scenario.vkb, v1,
+                                                        v1 + 1);
+    ASSERT_TRUE(ctx.ok());
+    expected_delta[v1] = ctx->low_level_delta().size();
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int round = 0; round < 6; ++round) {
+          const version::VersionId v1 = (t + round) % 2 == 0 ? 0u : 1u;
+          auto evaluation = engine.Evaluate(*scenario.vkb, v1, v1 + 1);
+          if (!evaluation.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          if ((*evaluation)->context().low_level_delta().size() !=
+              expected_delta[v1]) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(engine.cached_contexts(), 1u);
+}
+
+TEST(EngineConcurrencyTest, ConcurrentBatchesShareOneWarmEvaluation) {
+  workload::Scenario scenario = StressScenario();
+  measures::MeasureRegistry registry = measures::DefaultRegistry();
+  ServiceOptions options;
+  options.engine.threads = 4;
+  RecommendationService service(registry, options);
+
+  constexpr int kCallers = 6;
+  constexpr int kUsersPerCaller = 8;
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int c = 0; c < kCallers; ++c) {
+      callers.emplace_back([&, c] {
+        std::vector<profile::HumanProfile> profiles;
+        for (int u = 0; u < kUsersPerCaller; ++u) {
+          profile::HumanProfile prof = scenario.end_user;
+          prof.set_id("caller-" + std::to_string(c) + "-user-" +
+                      std::to_string(u));
+          profiles.push_back(std::move(prof));
+        }
+        std::vector<profile::HumanProfile*> pointers;
+        for (profile::HumanProfile& prof : profiles) {
+          pointers.push_back(&prof);
+        }
+        auto batch = service.RecommendBatch(*scenario.vkb, 0, 1, pointers);
+        if (!batch.ok() || batch->size() != pointers.size()) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& caller : callers) caller.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service.engine_stats().contexts_built, 1u);
+}
+
+}  // namespace
+}  // namespace evorec::engine

@@ -55,6 +55,10 @@ TEST(EvorecHeaderTest, InstantiatesOneTypePerLayer) {
   recommend::CandidateOptions candidate_options;
   (void)candidate_options;
 
+  // engine
+  engine::EngineOptions engine_options;
+  EXPECT_GT(engine_options.context_cache_capacity, 0u);
+
   // workload
   workload::ChangeMix change_mix;
   EXPECT_GT(change_mix.add_class, 0.0);

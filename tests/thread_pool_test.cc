@@ -1,0 +1,69 @@
+// ThreadPool: the common-layer worker pool driving parallel measure
+// evaluation and batched serving.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace evorec {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // The destructor drains the queue before joining the workers.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndexesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(touched.size(),
+                   [&](size_t i) { touched[i].fetch_add(1); });
+  for (const std::atomic<int>& t : touched) {
+    EXPECT_EQ(t.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, ParallelForAccumulatesCorrectSum) {
+  ThreadPool pool;
+  std::vector<long> values(5000);
+  pool.ParallelFor(values.size(),
+                   [&](size_t i) { values[i] = static_cast<long>(i); });
+  const long sum = std::accumulate(values.begin(), values.end(), 0L);
+  EXPECT_EQ(sum, 5000L * 4999L / 2);
+}
+
+}  // namespace
+}  // namespace evorec
