@@ -4,6 +4,11 @@
 // of their recommendations entirely — while the data protection
 // officer (DPO) sees the full picture.
 //
+// Served through the engine layer: a RecommendationService with the
+// access policy attached builds the evolution context once; the
+// aggregate panels and both principals' recommendations all read the
+// same cached evaluation (the policy gate still runs per principal).
+//
 //   $ ./health_monitor
 
 #include <cstdio>
@@ -25,24 +30,29 @@ int main() {
   std::printf("clinical KB: %zu classes, %zu sensitive\n",
               scenario.classes.size(), scenario.sensitive_classes.size());
 
-  auto ctx = measures::EvolutionContext::FromVersions(
-      *scenario.vkb, scenario.vkb->head() - 1, scenario.vkb->head());
-  if (!ctx.ok()) {
-    std::fprintf(stderr, "context failed: %s\n",
-                 ctx.status().ToString().c_str());
+  const measures::MeasureRegistry registry = measures::DefaultRegistry();
+  engine::RecommendationService service(registry);
+  service.AttachAccessPolicy(&scenario.policy);
+
+  const version::VersionId head = scenario.vkb->head();
+  auto evaluation = service.engine().Evaluate(*scenario.vkb, head - 1, head);
+  if (!evaluation.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 evaluation.status().ToString().c_str());
     return 1;
   }
+  const measures::EvolutionContext& ctx = (*evaluation)->context();
 
   // --- 1. The raw per-class evolution report would re-identify:
-  const auto head = scenario.vkb->Snapshot(scenario.vkb->head());
-  const schema::SchemaView view = schema::SchemaView::Build(**head);
+  const auto head_kb = scenario.vkb->Snapshot(head);
+  const schema::SchemaView view = schema::SchemaView::Build(**head_kb);
   anonymity::AggregateTable raw({"class"}, "changes");
-  for (rdf::TermId cls : ctx->union_classes()) {
+  for (rdf::TermId cls : ctx.union_classes()) {
     const size_t population = view.InstanceCount(cls);
     if (population == 0) continue;
-    (void)raw.AddRow({(*head)->dictionary().term(cls).lexical},
+    (void)raw.AddRow({(*head_kb)->dictionary().term(cls).lexical},
                      static_cast<double>(
-                         ctx->delta_index().ExtendedChanges(cls)),
+                         ctx.delta_index().ExtendedChanges(cls)),
                      population);
   }
   const double raw_risk = anonymity::ReidentificationRisk(raw);
@@ -55,7 +65,7 @@ int main() {
   const size_t k = 5;
   const anonymity::ValueHierarchy taxonomy =
       anonymity::ValueHierarchy::FromClassHierarchy(view.hierarchy(),
-                                                    (*head)->dictionary());
+                                                    (*head_kb)->dictionary());
   auto anonymized = anonymity::Anonymize(raw, k, {taxonomy});
   if (!anonymized.ok()) {
     std::fprintf(stderr, "anonymization failed: %s\n",
@@ -77,23 +87,21 @@ int main() {
   }
   table.Print(std::cout);
 
-  // --- 3. Recommendations respect the access policy:
-  const measures::MeasureRegistry registry = measures::DefaultRegistry();
-  recommend::Recommender recommender(registry, {});
-  recommender.AttachAccessPolicy(&scenario.policy);
-
+  // --- 3. Recommendations respect the access policy — served from
+  // the same cached evaluation the panels above used:
   profile::HumanProfile analyst("analyst");
   // The analyst is (maliciously?) most interested in the sensitive
   // region.
   if (!scenario.sensitive_classes.empty()) {
     analyst.SetInterest(scenario.sensitive_classes[0], 1.0);
   }
-  auto analyst_view = recommender.RecommendForUser(*ctx, analyst);
+  auto analyst_view = service.Recommend(*scenario.vkb, head - 1, head,
+                                        analyst);
   profile::HumanProfile dpo("dpo");
   if (!scenario.sensitive_classes.empty()) {
     dpo.SetInterest(scenario.sensitive_classes[0], 1.0);
   }
-  auto dpo_view = recommender.RecommendForUser(*ctx, dpo);
+  auto dpo_view = service.Recommend(*scenario.vkb, head - 1, head, dpo);
   if (!analyst_view.ok() || !dpo_view.ok()) {
     std::fprintf(stderr, "recommendation failed\n");
     return 1;
@@ -110,5 +118,11 @@ int main() {
   for (const auto& item : analyst_view->items) {
     std::printf("  %s\n", item.candidate.id.c_str());
   }
+  const engine::EngineStats stats = service.engine_stats();
+  std::printf(
+      "\nengine: %llu context build(s) served every panel and both "
+      "principals (%llu cache hits)\n",
+      static_cast<unsigned long long>(stats.contexts_built),
+      static_cast<unsigned long long>(stats.context_hits));
   return 0;
 }

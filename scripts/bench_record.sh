@@ -10,8 +10,8 @@
 #   scripts/bench_record.sh [label] [bench ...]
 #
 #   label   optional suffix, e.g. "baseline" -> BENCH_2026-07-26_baseline.json
-#   bench   bench binaries to run (default: bench_delta bench_endtoend,
-#           i.e. E1 and E10)
+#   bench   bench binaries to run (default: bench_delta bench_endtoend
+#           bench_persistence, i.e. E1, E10 and E12)
 #
 # Environment:
 #   BENCH_BUILD_DIR   build tree to use (default: build-release, built
@@ -24,7 +24,7 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 label=${1:-}
 [ $# -gt 0 ] && shift
-benches=${*:-"bench_delta bench_endtoend"}
+benches=${*:-"bench_delta bench_endtoend bench_persistence"}
 build_dir=${BENCH_BUILD_DIR:-"${repo_root}/build-release"}
 
 if [ ! -f "${build_dir}/CMakeCache.txt" ]; then

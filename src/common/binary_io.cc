@@ -1,0 +1,216 @@
+#include "common/binary_io.h"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace evorec {
+
+void PutVarint(std::string& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+void PutZigZag(std::string& out, int64_t v) {
+  PutVarint(out, ZigZagEncode(v));
+}
+
+void PutFixed32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutFixed64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutLengthPrefixed(std::string& out, std::string_view bytes) {
+  PutVarint(out, bytes.size());
+  out.append(bytes);
+}
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320U : 0U);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = seed ^ 0xFFFFFFFFU;
+  for (char c : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+bool ByteReader::ReadVarint(uint64_t* v) {
+  uint64_t value = 0;
+  int shift = 0;
+  size_t pos = offset_;
+  while (pos < data_.size() && shift < 64) {
+    const uint8_t byte = static_cast<uint8_t>(data_[pos]);
+    ++pos;
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical overlong encodings that would overflow
+      // past 64 bits (the 10th byte may only contribute one bit).
+      if (shift == 63 && byte > 1) return false;
+      offset_ = pos;
+      *v = value;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // ran off the end or >10 continuation bytes
+}
+
+bool ByteReader::ReadZigZag(int64_t* v) {
+  uint64_t raw = 0;
+  if (!ReadVarint(&raw)) return false;
+  *v = ZigZagDecode(raw);
+  return true;
+}
+
+bool ByteReader::ReadFixed32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(
+                 static_cast<unsigned char>(data_[offset_ + i]))
+             << (8 * i);
+  }
+  offset_ += 4;
+  *v = value;
+  return true;
+}
+
+bool ByteReader::ReadFixed64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(
+                 static_cast<unsigned char>(data_[offset_ + i]))
+             << (8 * i);
+  }
+  offset_ += 8;
+  *v = value;
+  return true;
+}
+
+bool ByteReader::ReadBytes(size_t n, std::string_view* out) {
+  if (remaining() < n) return false;
+  *out = data_.substr(offset_, n);
+  offset_ += n;
+  return true;
+}
+
+bool ByteReader::ReadLengthPrefixed(std::string_view* out) {
+  uint64_t len = 0;
+  if (!ReadVarint(&len)) return false;
+  if (len > remaining()) return false;
+  return ReadBytes(static_cast<size_t>(len), out);
+}
+
+bool ByteReader::Skip(size_t n) {
+  if (remaining() < n) return false;
+  offset_ += n;
+  return true;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("cannot open '" + path + "': " +
+                         std::strerror(errno));
+  }
+  std::string data;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    data.append(buffer, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return InternalError("read error on '" + path + "'");
+  }
+  return data;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       bool sync) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError("cannot create '" + tmp + "': " +
+                         std::strerror(errno));
+  }
+  bool ok = data.empty() ||
+            std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  ok = std::fflush(f) == 0 && ok;
+#ifndef _WIN32
+  if (ok && sync) {
+    ok = fsync(fileno(f)) == 0;
+  }
+#else
+  (void)sync;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return InternalError("write error on '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return InternalError("cannot rename '" + tmp + "' to '" + path +
+                         "': " + std::strerror(errno));
+  }
+#ifndef _WIN32
+  if (sync) {
+    // The rename itself is only durable once the containing
+    // directory's entry is; without this a crash can leave the
+    // directory pointing at neither the old nor the new file.
+    const size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash + 1);
+    const int dir_fd = open(dir.c_str(), O_RDONLY);
+    if (dir_fd < 0) {
+      return InternalError("cannot open directory '" + dir +
+                           "' for fsync: " + std::strerror(errno));
+    }
+    const bool dir_synced = fsync(dir_fd) == 0;
+    close(dir_fd);
+    if (!dir_synced) {
+      return InternalError("fsync of directory '" + dir +
+                           "' failed: " + std::strerror(errno));
+    }
+  }
+#endif
+  return OkStatus();
+}
+
+}  // namespace evorec

@@ -1,0 +1,97 @@
+#ifndef EVOREC_COMMON_BINARY_IO_H_
+#define EVOREC_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace evorec {
+
+/// Shared primitives of the storage layer's on-disk formats (see
+/// docs/STORAGE.md): LEB128 varints, zig-zag signed mapping, CRC-32
+/// checksums, a bounds-checked byte reader, and whole-file I/O with
+/// optional durability. All fixed-width integers are little-endian.
+
+// ---- Encoding (append to a std::string buffer) ----
+
+/// Appends `v` as an unsigned LEB128 varint (1-10 bytes).
+void PutVarint(std::string& out, uint64_t v);
+
+/// Maps a signed value onto the unsigned varint space so that small
+/// magnitudes of either sign stay short: 0→0, -1→1, 1→2, -2→3, …
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Appends `v` zig-zag-mapped as a varint.
+void PutZigZag(std::string& out, int64_t v);
+
+/// Appends `v` as 4/8 little-endian bytes.
+void PutFixed32(std::string& out, uint32_t v);
+void PutFixed64(std::string& out, uint64_t v);
+
+/// Appends varint(size) followed by the raw bytes.
+void PutLengthPrefixed(std::string& out, std::string_view bytes);
+
+// ---- Checksums ----
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320, init and
+/// final-xor 0xFFFFFFFF — the zlib convention; Crc32("123456789") ==
+/// 0xCBF43926). `seed` chains incremental updates: pass a previous
+/// return value to extend the checksum over concatenated buffers.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+// ---- Decoding ----
+
+/// Bounds-checked sequential reader over a byte buffer. Every Read*
+/// returns false instead of reading past the end (or on a malformed
+/// varint), so decoders degrade to clean Status errors — never UB —
+/// on truncated or corrupt input. The buffer must outlive the reader
+/// and any string_views it hands out.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ReadVarint(uint64_t* v);
+  bool ReadZigZag(int64_t* v);
+  bool ReadFixed32(uint32_t* v);
+  bool ReadFixed64(uint64_t* v);
+  /// Points `out` at the next `n` bytes without copying.
+  bool ReadBytes(size_t n, std::string_view* out);
+  /// varint length + that many raw bytes.
+  bool ReadLengthPrefixed(std::string_view* out);
+  bool Skip(size_t n);
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return data_.size() - offset_; }
+  bool empty() const { return offset_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+// ---- Whole-file I/O ----
+
+/// Reads the entire file at `path` into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` to `path` atomically (temp file + rename), so
+/// readers never observe a half-written file. With `sync`, the data
+/// is fsync'd before the rename and the containing directory after
+/// it (POSIX rename durability needs both) — the path either keeps
+/// its old content or holds the new bytes completely, even across a
+/// crash.
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       bool sync = false);
+
+}  // namespace evorec
+
+#endif  // EVOREC_COMMON_BINARY_IO_H_

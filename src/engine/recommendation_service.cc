@@ -34,6 +34,18 @@ Result<std::shared_ptr<const SharedEvaluation>> RecommendationService::Warm(
   return evaluation;
 }
 
+Status RecommendationService::WarmStart(
+    const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+    version::VersionId v2) {
+  std::shared_ptr<const recommend::SharedRunState> state;
+  auto evaluation = Warm(vkb, v1, v2, &state);
+  if (!evaluation.ok()) return evaluation.status();
+  // Warm() covers the context and the candidate pool; the report memo
+  // fills here so even measures outside the candidate pipeline are hot.
+  auto reports = (*evaluation)->AllReports();
+  return reports.ok() ? OkStatus() : reports.status();
+}
+
 Result<recommend::RecommendationList> RecommendationService::Recommend(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2, profile::HumanProfile& prof) {

@@ -81,6 +81,16 @@ class RecommendationService {
       const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
       version::VersionId v2, const std::vector<profile::Group*>& groups);
 
+  /// Warm-start: pre-builds the full shared evaluation of (v1, v2) —
+  /// context, every registered measure report, the recommender's
+  /// shared run state — without serving anyone, so the first real
+  /// request is a pure cache hit. This is the restart story's second
+  /// half: version::RecoverFromDisk restores a KB with its original
+  /// content fingerprints, so the keys warmed here are the exact keys
+  /// the pre-restart process was serving under.
+  Status WarmStart(const version::VersionedKnowledgeBase& vkb,
+                   version::VersionId v1, version::VersionId v2);
+
   EvaluationEngine& engine() { return engine_; }
   const recommend::Recommender& recommender() const { return recommender_; }
   EngineStats engine_stats() const { return engine_.stats(); }

@@ -8,10 +8,12 @@
 /// Human-aware Approach", ICDE 2017).
 ///
 /// Layering (each layer only depends on the ones above it):
-///   common     — error model, RNG, statistics, table printing
+///   common     — error model, RNG, statistics, binary I/O, tables
 ///   rdf        — terms, dictionary, triple store, N-Triples I/O
+///   storage    — durable binary snapshots + append-only commit log
 ///   schema     — schema views, subsumption hierarchy
-///   version    — versioned KB with archive policies
+///                (storage and schema are sibling layers over rdf)
+///   version    — versioned KB with archive policies, recovery
 ///   delta      — low-level deltas, high-level change patterns
 ///   graph      — CSR graphs, betweenness, bridging centrality
 ///   measures   — the paper's evolution measures (§II)
@@ -29,6 +31,7 @@
 #include "anonymity/anonymizer.h"
 #include "anonymity/generalization.h"
 #include "anonymity/kanonymity.h"
+#include "common/binary_io.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/statistics.h"
@@ -83,7 +86,11 @@
 #include "recommend/relatedness.h"
 #include "schema/hierarchy.h"
 #include "schema/schema_view.h"
+#include "storage/commit_log.h"
+#include "storage/format.h"
+#include "storage/snapshot.h"
 #include "version/history_query.h"
+#include "version/recovery.h"
 #include "version/version.h"
 #include "version/versioned_kb.h"
 #include "workload/evolution_generator.h"

@@ -10,6 +10,12 @@ KnowledgeBase::KnowledgeBase(std::shared_ptr<Dictionary> dictionary)
     : dictionary_(std::move(dictionary)),
       vocabulary_(Vocabulary::Intern(*dictionary_)) {}
 
+KnowledgeBase::KnowledgeBase(std::shared_ptr<Dictionary> dictionary,
+                             TripleStore store)
+    : dictionary_(std::move(dictionary)),
+      vocabulary_(Vocabulary::Intern(*dictionary_)),
+      store_(std::move(store)) {}
+
 void KnowledgeBase::AddIriTriple(std::string_view s, std::string_view p,
                                  std::string_view o) {
   store_.Add(Triple(dictionary_->InternIri(s), dictionary_->InternIri(p),

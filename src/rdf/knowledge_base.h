@@ -22,6 +22,11 @@ class KnowledgeBase {
   /// Creates an empty KB encoded against an existing dictionary.
   explicit KnowledgeBase(std::shared_ptr<Dictionary> dictionary);
 
+  /// Creates a KB adopting an already-populated store (typically built
+  /// with TripleStore::FromSorted by the storage layer's snapshot
+  /// loader). The store's ids must have been issued by `dictionary`.
+  KnowledgeBase(std::shared_ptr<Dictionary> dictionary, TripleStore store);
+
   KnowledgeBase(const KnowledgeBase&) = default;
   KnowledgeBase& operator=(const KnowledgeBase&) = default;
   KnowledgeBase(KnowledgeBase&&) = default;

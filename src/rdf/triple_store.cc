@@ -75,6 +75,16 @@ void FreeVector(std::vector<Triple>& v) {
 
 }  // namespace
 
+TripleStore TripleStore::FromSorted(std::vector<Triple> sorted_spo) {
+  TripleStore store;
+  store.spo_ = std::move(sorted_spo);
+  // The empty secondary indexes no longer mirror spo_; they rebuild
+  // from it on first use.
+  store.pos_state_ = IndexState::kRebuild;
+  store.osp_state_ = IndexState::kRebuild;
+  return store;
+}
+
 TripleStore::TripleStore(const TripleStore& other)
     : spo_(other.spo_),
       pending_adds_(other.pending_adds_),

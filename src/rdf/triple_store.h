@@ -47,6 +47,16 @@ class TripleStore {
  public:
   TripleStore() = default;
 
+  /// Bulk sorted-load: adopts `sorted_spo` (strictly ascending SPO
+  /// order, no duplicates — the caller's contract) as the canonical
+  /// index directly, bypassing the pending buffer and Compact()
+  /// entirely. This is the snapshot-loading fast path of the storage
+  /// layer: decoding a saved snapshot yields the SPO run already in
+  /// canonical order, so "load" is a move instead of an O(n log n)
+  /// re-sort. Secondary indexes start unbuilt and materialise lazily
+  /// like on any other store.
+  static TripleStore FromSorted(std::vector<Triple> sorted_spo);
+
   // Copies keep the canonical SPO data and any *fresh* secondary
   // index; stale secondaries are dropped and rebuilt lazily in the
   // copy if ever needed (copying stale data plus its catch-up backlog

@@ -1,0 +1,347 @@
+#include "storage/commit_log.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/binary_io.h"
+#include "storage/format.h"
+
+namespace evorec::storage {
+
+namespace {
+
+constexpr size_t kLogHeaderSize = 24;      // incl. trailing header CRC
+constexpr size_t kLogHeaderCrcRange = 20;  // bytes covered by that CRC
+
+std::string EncodeLogHeader() {
+  std::string out;
+  out.reserve(kLogHeaderSize);
+  out.append(kLogMagic, sizeof(kLogMagic));
+  PutFixed32(out, kFormatVersion);
+  PutFixed32(out, 0);  // flags
+  PutFixed32(out, 0);  // reserved
+  PutFixed32(out, Crc32(std::string_view(out.data(), kLogHeaderCrcRange)));
+  return out;
+}
+
+Status ValidateLogHeader(std::string_view bytes) {
+  if (bytes.size() < kLogHeaderSize) {
+    return InvalidArgumentError("commit log: truncated file header");
+  }
+  if (std::memcmp(bytes.data(), kLogMagic, sizeof(kLogMagic)) != 0) {
+    return InvalidArgumentError(
+        "commit log: bad magic (not a commit log file)");
+  }
+  ByteReader reader(bytes.substr(sizeof(kLogMagic)));
+  uint32_t format_version = 0;
+  uint32_t flags = 0;
+  uint32_t reserved = 0;
+  uint32_t stored_crc = 0;
+  (void)reader.ReadFixed32(&format_version);
+  (void)reader.ReadFixed32(&flags);
+  (void)reader.ReadFixed32(&reserved);
+  (void)reader.ReadFixed32(&stored_crc);
+  if (format_version != kFormatVersion) {
+    return InvalidArgumentError("commit log: unsupported format version " +
+                                std::to_string(format_version) +
+                                " (reader supports " +
+                                std::to_string(kFormatVersion) + ")");
+  }
+  if (Crc32(bytes.substr(0, kLogHeaderCrcRange)) != stored_crc) {
+    return InvalidArgumentError("commit log: header checksum mismatch");
+  }
+  return OkStatus();
+}
+
+// Parses one record payload (already CRC-verified). False on any
+// structural problem.
+bool DecodeRecordPayload(std::string_view payload, DeltaRecord* record) {
+  ByteReader reader(payload);
+  uint64_t version_id = 0;
+  uint64_t first_term_id = 0;
+  if (!reader.ReadVarint(&version_id) || version_id > UINT32_MAX) return false;
+  record->version_id = static_cast<uint32_t>(version_id);
+  if (!reader.ReadVarint(&record->timestamp)) return false;
+  std::string_view author;
+  std::string_view message;
+  if (!reader.ReadLengthPrefixed(&author)) return false;
+  if (!reader.ReadLengthPrefixed(&message)) return false;
+  record->author.assign(author);
+  record->message.assign(message);
+  if (!reader.ReadFixed64(&record->fingerprint)) return false;
+  if (!reader.ReadVarint(&first_term_id) || first_term_id >= rdf::kAnyTerm) {
+    return false;
+  }
+  record->first_term_id = static_cast<rdf::TermId>(first_term_id);
+
+  uint64_t term_count = 0;
+  if (!reader.ReadVarint(&term_count)) return false;
+  if (term_count > reader.remaining() / 2 + 1) return false;  // >= 2 B/term
+  record->new_terms.clear();
+  record->new_terms.reserve(static_cast<size_t>(term_count));
+  for (uint64_t i = 0; i < term_count; ++i) {
+    rdf::Term term;
+    if (!DecodeTerm(reader, &term)) return false;
+    record->new_terms.push_back(std::move(term));
+  }
+
+  uint64_t addition_count = 0;
+  if (!reader.ReadVarint(&addition_count)) return false;
+  if (!DecodeTripleRun(reader, addition_count, /*sorted=*/false,
+                       &record->additions)) {
+    return false;
+  }
+  uint64_t removal_count = 0;
+  if (!reader.ReadVarint(&removal_count)) return false;
+  if (!DecodeTripleRun(reader, removal_count, /*sorted=*/false,
+                       &record->removals)) {
+    return false;
+  }
+  return reader.empty();  // trailing bytes are corruption
+}
+
+// What a failed record parse means for WAL recovery. A crash during
+// Append can only leave an *incomplete* final record: the framing
+// runs past the end of the buffer, or the fully-framed bytes are the
+// last thing in it (a partially-flushed frame whose CRC no longer
+// holds). That is a torn tail. An invalid record *followed by more
+// bytes* — or bytes at a record boundary that are not a record start
+// at all — cannot come from a torn append; that is corruption even
+// in tolerant mode.
+enum class RecordParse { kValid, kTornTail, kCorrupt };
+
+RecordParse ParseRecord(ByteReader& reader, DeltaRecord* record) {
+  uint32_t marker = 0;
+  if (reader.remaining() < 4) return RecordParse::kTornTail;
+  (void)reader.ReadFixed32(&marker);
+  if (marker != kRecordMagic) return RecordParse::kCorrupt;
+  uint64_t payload_len = 0;
+  if (!reader.ReadFixed64(&payload_len)) return RecordParse::kTornTail;
+  if (payload_len > reader.remaining() ||
+      reader.remaining() - payload_len < 4) {
+    return RecordParse::kTornTail;  // frame extends past the buffer
+  }
+  std::string_view payload;
+  uint32_t stored_crc = 0;
+  (void)reader.ReadBytes(static_cast<size_t>(payload_len), &payload);
+  (void)reader.ReadFixed32(&stored_crc);
+  if (Crc32(payload) == stored_crc && DecodeRecordPayload(payload, record)) {
+    return RecordParse::kValid;
+  }
+  return reader.empty() ? RecordParse::kTornTail : RecordParse::kCorrupt;
+}
+
+/// Byte length of the valid record prefix of a log image (header
+/// included) and how the prefix ends: cleanly at EOF (kValid), in a
+/// torn tail, or in outright corruption. Used by Open to decide
+/// between repairing (truncate a tear) and refusing (corruption).
+struct LogPrefix {
+  size_t valid_bytes = kLogHeaderSize;
+  RecordParse tail = RecordParse::kValid;
+};
+
+LogPrefix ScanLogPrefix(std::string_view bytes) {
+  ByteReader reader(bytes);
+  (void)reader.Skip(kLogHeaderSize);
+  LogPrefix prefix;
+  while (!reader.empty()) {
+    DeltaRecord record;
+    prefix.tail = ParseRecord(reader, &record);
+    if (prefix.tail != RecordParse::kValid) break;
+    prefix.valid_bytes = reader.offset();
+  }
+  return prefix;
+}
+
+}  // namespace
+
+std::string EncodeDeltaRecord(const DeltaRecord& record) {
+  std::string payload;
+  PutVarint(payload, record.version_id);
+  PutVarint(payload, record.timestamp);
+  PutLengthPrefixed(payload, record.author);
+  PutLengthPrefixed(payload, record.message);
+  PutFixed64(payload, record.fingerprint);
+  PutVarint(payload, record.first_term_id);
+  PutVarint(payload, record.new_terms.size());
+  for (const rdf::Term& term : record.new_terms) {
+    EncodeTerm(payload, term);
+  }
+  PutVarint(payload, record.additions.size());
+  EncodeTripleRun(payload, record.additions, /*sorted=*/false);
+  PutVarint(payload, record.removals.size());
+  EncodeTripleRun(payload, record.removals, /*sorted=*/false);
+
+  std::string out;
+  out.reserve(payload.size() + 16);
+  PutFixed32(out, kRecordMagic);
+  PutFixed64(out, payload.size());
+  out.append(payload);
+  PutFixed32(out, Crc32(payload));
+  return out;
+}
+
+Result<CommitLog> CommitLog::Open(const std::string& path,
+                                  LogOptions options) {
+  // Existing file: validate the header and repair a torn tail (a
+  // crash mid-append) by truncating back to the last complete record
+  // — appending after a tear would strand every later record behind
+  // bytes no replay can cross.
+  if (std::FILE* existing = std::fopen(path.c_str(), "rb")) {
+    std::fclose(existing);
+    auto bytes = ReadFileToString(path);
+    if (!bytes.ok()) return bytes.status();
+    EVOREC_RETURN_IF_ERROR(ValidateLogHeader(*bytes));
+    const LogPrefix prefix = ScanLogPrefix(*bytes);
+    if (prefix.tail == RecordParse::kCorrupt) {
+      return FailedPreconditionError(
+          "commit log: '" + path + "' is corrupt at byte " +
+          std::to_string(prefix.valid_bytes) +
+          "; refusing to append (recover what you can with ReadLog "
+          "and rewrite the file)");
+    }
+    if (prefix.valid_bytes < bytes->size()) {
+#ifndef _WIN32
+      if (truncate(path.c_str(), static_cast<off_t>(prefix.valid_bytes)) !=
+          0) {
+        return InternalError("commit log: cannot truncate torn tail of '" +
+                             path + "': " + std::strerror(errno));
+      }
+#else
+      return FailedPreconditionError(
+          "commit log: '" + path +
+          "' has a torn tail; recover and rewrite it before appending");
+#endif
+    }
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr) {
+      return InternalError("commit log: cannot open '" + path +
+                           "' for append: " + std::strerror(errno));
+    }
+    return CommitLog(path, f, options);
+  }
+  // Fresh log: create and write the file header.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError("commit log: cannot create '" + path +
+                         "': " + std::strerror(errno));
+  }
+  const std::string header = EncodeLogHeader();
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size() ||
+      std::fflush(f) != 0) {
+    std::fclose(f);
+    return InternalError("commit log: cannot write header to '" + path + "'");
+  }
+  return CommitLog(path, f, options);
+}
+
+CommitLog::CommitLog(CommitLog&& other) noexcept
+    : path_(std::move(other.path_)),
+      file_(other.file_),
+      options_(other.options_),
+      records_appended_(other.records_appended_) {
+  other.file_ = nullptr;
+}
+
+CommitLog& CommitLog::operator=(CommitLog&& other) noexcept {
+  if (this != &other) {
+    (void)Close();
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    options_ = other.options_;
+    records_appended_ = other.records_appended_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+CommitLog::~CommitLog() { (void)Close(); }
+
+Status CommitLog::Append(const DeltaRecord& record) {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("commit log: appending to a closed log");
+  }
+  const std::string bytes = EncodeDeltaRecord(record);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size() ||
+      std::fflush(file_) != 0) {
+    return InternalError("commit log: write error on '" + path_ + "'");
+  }
+  if (options_.sync_on_append) {
+    EVOREC_RETURN_IF_ERROR(Sync());
+  }
+  ++records_appended_;
+  return OkStatus();
+}
+
+Status CommitLog::Sync() {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("commit log: syncing a closed log");
+  }
+  if (std::fflush(file_) != 0) {
+    return InternalError("commit log: flush error on '" + path_ + "'");
+  }
+#ifndef _WIN32
+  if (fsync(fileno(file_)) != 0) {
+    return InternalError("commit log: fsync error on '" + path_ +
+                         "': " + std::strerror(errno));
+  }
+#endif
+  return OkStatus();
+}
+
+Status CommitLog::Close() {
+  if (file_ == nullptr) return OkStatus();
+  std::FILE* f = file_;
+  file_ = nullptr;
+  if (std::fclose(f) != 0) {
+    return InternalError("commit log: close error on '" + path_ + "'");
+  }
+  return OkStatus();
+}
+
+Status ReplayLog(std::string_view bytes,
+                 const std::function<Status(DeltaRecord&&)>& fn,
+                 const ReplayOptions& options) {
+  EVOREC_RETURN_IF_ERROR(ValidateLogHeader(bytes));
+  ByteReader reader(bytes);
+  (void)reader.Skip(kLogHeaderSize);
+  while (!reader.empty()) {
+    const size_t record_start = reader.offset();
+    DeltaRecord record;
+    switch (ParseRecord(reader, &record)) {
+      case RecordParse::kValid:
+        EVOREC_RETURN_IF_ERROR(fn(std::move(record)));
+        break;
+      case RecordParse::kTornTail:
+        if (options.allow_torn_tail) return OkStatus();
+        return InvalidArgumentError(
+            "commit log: torn (incomplete) record at byte " +
+            std::to_string(record_start));
+      case RecordParse::kCorrupt:
+        return InvalidArgumentError("commit log: corrupt record at byte " +
+                                    std::to_string(record_start));
+    }
+  }
+  return OkStatus();
+}
+
+Result<std::vector<DeltaRecord>> ReadLog(const std::string& path,
+                                         const ReplayOptions& options) {
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  std::vector<DeltaRecord> records;
+  EVOREC_RETURN_IF_ERROR(ReplayLog(*bytes,
+                                   [&records](DeltaRecord&& record) {
+                                     records.push_back(std::move(record));
+                                     return OkStatus();
+                                   },
+                                   options));
+  return records;
+}
+
+}  // namespace evorec::storage

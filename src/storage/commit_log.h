@@ -1,0 +1,124 @@
+#ifndef EVOREC_STORAGE_COMMIT_LOG_H_
+#define EVOREC_STORAGE_COMMIT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+
+namespace evorec::storage {
+
+/// Append-only commit log for a versioned KB: one delta record per
+/// commit, carrying the change set (in its original order, so replay
+/// reproduces the exact fingerprint chain), the commit metadata, and
+/// the dictionary tail interned since the previous record. Together
+/// with a snapshot this makes a KB durable: recovery loads the latest
+/// snapshot and replays the log tail (version/recovery.h).
+///
+/// Framing: a fixed file header, then self-delimiting CRC-checked
+/// records. A crash can only ever tear the final record; replay with
+/// `allow_torn_tail` recovers everything before it (standard WAL
+/// semantics). Byte layout: docs/STORAGE.md.
+
+struct LogOptions {
+  /// fsync after every Append — each commit is durable the moment
+  /// Commit returns, at the cost of one disk flush per commit.
+  /// Without it, durability is best-effort until Sync()/Close().
+  bool sync_on_append = false;
+};
+
+/// One serialised commit.
+struct DeltaRecord {
+  uint32_t version_id = 0;   ///< version this commit created
+  uint64_t timestamp = 0;
+  std::string author;
+  std::string message;
+  /// Post-commit content fingerprint; recovery verifies its replayed
+  /// chain against this (a mismatch means snapshot/log divergence).
+  uint64_t fingerprint = 0;
+  /// Terms interned since the previous record occupy ids
+  /// [first_term_id, first_term_id + new_terms.size()).
+  rdf::TermId first_term_id = 0;
+  std::vector<rdf::Term> new_terms;
+  /// The change set, original order preserved.
+  std::vector<rdf::Triple> additions;
+  std::vector<rdf::Triple> removals;
+};
+
+/// Serialises one record including its framing (marker, length, CRC).
+std::string EncodeDeltaRecord(const DeltaRecord& record);
+
+/// Append handle. Open creates the file (writing the header) or
+/// validates an existing one and appends after its last complete
+/// record — a torn tail (crash mid-append) is truncated away first,
+/// while mid-log corruption makes Open refuse rather than strand the
+/// readable records behind it. Not thread-safe.
+class CommitLog {
+ public:
+  static Result<CommitLog> Open(const std::string& path,
+                                LogOptions options = {});
+
+  CommitLog(CommitLog&& other) noexcept;
+  CommitLog& operator=(CommitLog&& other) noexcept;
+  CommitLog(const CommitLog&) = delete;
+  CommitLog& operator=(const CommitLog&) = delete;
+  ~CommitLog();
+
+  /// Appends one record (flushed to the OS; fsync'd iff
+  /// sync_on_append).
+  Status Append(const DeltaRecord& record);
+
+  /// Forces everything appended so far to stable storage.
+  Status Sync();
+
+  /// Flushes and closes; further Appends fail. Idempotent.
+  Status Close();
+
+  const std::string& path() const { return path_; }
+  uint64_t records_appended() const { return records_appended_; }
+  const LogOptions& options() const { return options_; }
+
+ private:
+  CommitLog(std::string path, std::FILE* file, LogOptions options)
+      : path_(std::move(path)), file_(file), options_(options) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  LogOptions options_;
+  uint64_t records_appended_ = 0;
+};
+
+struct ReplayOptions {
+  /// Treat a torn *final* record — one whose framing runs past EOF,
+  /// or whose fully-framed bytes end exactly at EOF with a bad
+  /// checksum (a partially-flushed append) — as a clean end of log
+  /// instead of failing. An invalid record *followed by more bytes*
+  /// is corruption either way: a torn append cannot produce it, so
+  /// even tolerant replay errors rather than silently dropping the
+  /// records behind it. Recovery turns this on; strict readers (and
+  /// the corruption tests) leave it off.
+  bool allow_torn_tail = false;
+};
+
+/// Streams every record of an in-memory log image through `fn`
+/// (in append order); stops on the first non-OK status `fn` returns
+/// and propagates it. Validates the file header and each record's
+/// marker + CRC.
+Status ReplayLog(std::string_view bytes,
+                 const std::function<Status(DeltaRecord&&)>& fn,
+                 const ReplayOptions& options = {});
+
+/// Whole-file read + ReplayLog into a vector.
+Result<std::vector<DeltaRecord>> ReadLog(const std::string& path,
+                                         const ReplayOptions& options = {});
+
+}  // namespace evorec::storage
+
+#endif  // EVOREC_STORAGE_COMMIT_LOG_H_

@@ -1,0 +1,104 @@
+#include "storage/format.h"
+
+namespace evorec::storage {
+
+void EncodeTerm(std::string& out, const rdf::Term& term) {
+  out.push_back(static_cast<char>(term.kind));
+  PutLengthPrefixed(out, term.lexical);
+  if (term.kind == rdf::TermKind::kLiteral) {
+    PutLengthPrefixed(out, term.datatype);
+    PutLengthPrefixed(out, term.language);
+  }
+}
+
+bool DecodeTerm(ByteReader& reader, rdf::Term* term) {
+  std::string_view kind_byte;
+  if (!reader.ReadBytes(1, &kind_byte)) return false;
+  const uint8_t kind = static_cast<uint8_t>(kind_byte[0]);
+  if (kind > static_cast<uint8_t>(rdf::TermKind::kBlank)) return false;
+  term->kind = static_cast<rdf::TermKind>(kind);
+  std::string_view lexical;
+  if (!reader.ReadLengthPrefixed(&lexical)) return false;
+  term->lexical.assign(lexical);
+  term->datatype.clear();
+  term->language.clear();
+  if (term->kind == rdf::TermKind::kLiteral) {
+    std::string_view datatype;
+    std::string_view language;
+    if (!reader.ReadLengthPrefixed(&datatype)) return false;
+    if (!reader.ReadLengthPrefixed(&language)) return false;
+    term->datatype.assign(datatype);
+    term->language.assign(language);
+  }
+  return true;
+}
+
+void EncodeTripleRun(std::string& out, const std::vector<rdf::Triple>& triples,
+                     bool sorted) {
+  rdf::Triple prev(0, 0, 0);
+  for (const rdf::Triple& t : triples) {
+    if (sorted) {
+      PutVarint(out, static_cast<uint64_t>(t.subject) - prev.subject);
+    } else {
+      PutZigZag(out, static_cast<int64_t>(t.subject) -
+                         static_cast<int64_t>(prev.subject));
+    }
+    PutZigZag(out, static_cast<int64_t>(t.predicate) -
+                       static_cast<int64_t>(prev.predicate));
+    PutZigZag(out,
+              static_cast<int64_t>(t.object) - static_cast<int64_t>(prev.object));
+    prev = t;
+  }
+}
+
+namespace {
+
+// kAnyTerm is a pattern wildcard, never a stored id.
+inline constexpr int64_t kMaxStoredId =
+    static_cast<int64_t>(rdf::kAnyTerm) - 1;
+
+bool ApplyDelta(int64_t base, int64_t delta, rdf::TermId* out) {
+  const int64_t value = base + delta;
+  if (value < 0 || value > kMaxStoredId) return false;
+  *out = static_cast<rdf::TermId>(value);
+  return true;
+}
+
+}  // namespace
+
+bool DecodeTripleRun(ByteReader& reader, uint64_t count, bool sorted,
+                     std::vector<rdf::Triple>* out) {
+  // A triple encodes to >= 3 bytes, so `count` beyond remaining/3 is
+  // corrupt; checking up front keeps a flipped length byte from
+  // reserving gigabytes.
+  if (count > reader.remaining() / 3 + 1) return false;
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  rdf::Triple prev(0, 0, 0);
+  for (uint64_t i = 0; i < count; ++i) {
+    rdf::Triple t;
+    int64_t dp = 0;
+    int64_t dobj = 0;
+    if (sorted) {
+      uint64_t ds = 0;
+      if (!reader.ReadVarint(&ds)) return false;
+      const uint64_t subject = prev.subject + ds;
+      if (subject > static_cast<uint64_t>(kMaxStoredId)) return false;
+      t.subject = static_cast<rdf::TermId>(subject);
+    } else {
+      int64_t ds = 0;
+      if (!reader.ReadZigZag(&ds)) return false;
+      if (!ApplyDelta(prev.subject, ds, &t.subject)) return false;
+    }
+    if (!reader.ReadZigZag(&dp)) return false;
+    if (!reader.ReadZigZag(&dobj)) return false;
+    if (!ApplyDelta(prev.predicate, dp, &t.predicate)) return false;
+    if (!ApplyDelta(prev.object, dobj, &t.object)) return false;
+    if (sorted && i > 0 && !(prev < t)) return false;  // must be strict SPO
+    out->push_back(t);
+    prev = t;
+  }
+  return true;
+}
+
+}  // namespace evorec::storage

@@ -1,0 +1,82 @@
+#ifndef EVOREC_STORAGE_SNAPSHOT_H_
+#define EVOREC_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace evorec::storage {
+
+/// Compact binary snapshots of one KB version: the dictionary-encoded
+/// term table plus the SPO index as a varint/zig-zag delta-compressed
+/// run, with a versioned header and per-section CRC-32 checksums.
+/// The format (docs/STORAGE.md) exploits the store's canonical
+/// sorted-SPO shape twice — deltas between consecutive sorted triples
+/// are tiny, and loading hands the decoded run straight to
+/// TripleStore::FromSorted, bypassing Compact entirely. Typical size
+/// is well under half of the equivalent N-Triples text (E12 in
+/// EXPERIMENTS.md records the measured ratio).
+
+struct SnapshotOptions {
+  /// fsync the bytes before publishing the file (SaveSnapshot writes
+  /// atomically via temp file + rename either way).
+  bool sync = false;
+};
+
+/// Header metadata of a snapshot.
+struct SnapshotInfo {
+  /// Version of the owning VersionedKnowledgeBase this snapshot
+  /// materialises (0 for a standalone store).
+  uint32_t version_id = 0;
+  /// The version-layer content fingerprint of that version; recovery
+  /// seeds the restored KB's fingerprint chain with it so engine
+  /// cache keys survive a restart.
+  uint64_t fingerprint = 0;
+  uint64_t term_count = 0;
+  uint64_t triple_count = 0;
+};
+
+/// A decoded snapshot: a fresh dictionary whose TermIds are exactly
+/// the saved ones, and the store loaded via the bulk sorted path.
+struct DecodedSnapshot {
+  SnapshotInfo info;
+  std::shared_ptr<rdf::Dictionary> dictionary;
+  rdf::TripleStore store;
+};
+
+/// Serialises `store` (compacted as a side effect) and the full term
+/// table of `dictionary` into the snapshot wire format.
+std::string EncodeSnapshot(const rdf::TripleStore& store,
+                           const rdf::Dictionary& dictionary,
+                           uint32_t version_id = 0, uint64_t fingerprint = 0);
+
+/// Parses a snapshot. Any deviation — wrong magic, unsupported format
+/// version, truncation at any offset, checksum mismatch, out-of-range
+/// ids — returns a clean Status error describing the first problem.
+Result<DecodedSnapshot> DecodeSnapshot(std::string_view bytes);
+
+/// Validates the header only and returns its metadata (cheap sniff;
+/// used by diff_tool to tell snapshots from N-Triples text).
+Result<SnapshotInfo> PeekSnapshotInfo(std::string_view bytes);
+
+/// True iff `bytes` starts with the snapshot magic.
+bool LooksLikeSnapshot(std::string_view bytes);
+
+/// EncodeSnapshot + atomic file write.
+Status SaveSnapshot(const std::string& path, const rdf::TripleStore& store,
+                    const rdf::Dictionary& dictionary, uint32_t version_id = 0,
+                    uint64_t fingerprint = 0,
+                    const SnapshotOptions& options = {});
+
+/// Whole-file read + DecodeSnapshot.
+Result<DecodedSnapshot> LoadSnapshot(const std::string& path);
+
+}  // namespace evorec::storage
+
+#endif  // EVOREC_STORAGE_SNAPSHOT_H_

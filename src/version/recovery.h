@@ -1,0 +1,67 @@
+#ifndef EVOREC_VERSION_RECOVERY_H_
+#define EVOREC_VERSION_RECOVERY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/commit_log.h"
+#include "storage/snapshot.h"
+#include "version/versioned_kb.h"
+
+namespace evorec::version {
+
+/// Durable startup for a versioned KB: load the latest snapshot,
+/// replay the commit-log tail, and come back with the exact
+/// fingerprint chain the pre-restart process had — so a warm-started
+/// engine (engine::RecommendationService::WarmStart) resumes serving
+/// with its cache keys intact. The inverse direction is
+/// SaveVersionSnapshot + VersionedKnowledgeBase::AttachCommitLog.
+
+struct RecoveryOptions {
+  /// Archive policy of the restored KB (independent of the original's;
+  /// policies are observationally equivalent).
+  ArchivePolicy policy = ArchivePolicy::kDeltaChain;
+  size_t checkpoint_interval = 4;
+  /// Stop cleanly before a torn final log record (WAL semantics)
+  /// instead of failing recovery.
+  bool allow_torn_tail = true;
+  /// Check every replayed commit's chained fingerprint against the
+  /// one its record stored; a mismatch means the snapshot and log do
+  /// not belong to the same history. Cheap — leave it on.
+  bool verify_fingerprints = true;
+};
+
+/// A recovered KB. Version ids restart at 0: the restored version 0
+/// is the snapshot's content (original id `base_version`), and the
+/// log tail's commits follow as 1, 2, …. Fingerprints — the identity
+/// the engine layer keys on — are the original ones.
+struct RecoveredKb {
+  std::unique_ptr<VersionedKnowledgeBase> vkb;
+  /// Original version id of the restored version 0.
+  VersionId base_version = 0;
+  /// Log records replayed on top of the snapshot.
+  size_t replayed_commits = 0;
+  /// Log records at or below base_version (already in the snapshot).
+  size_t skipped_records = 0;
+};
+
+/// Saves version `v` of `vkb` as a binary snapshot at `path`,
+/// stamping it with v's id and chained content fingerprint.
+Status SaveVersionSnapshot(const VersionedKnowledgeBase& vkb, VersionId v,
+                           const std::string& path,
+                           const storage::SnapshotOptions& options = {});
+
+/// Loads the snapshot at `snapshot_path` and replays the records of
+/// `log_path` (pass "" for snapshot-only recovery) whose version id
+/// exceeds the snapshot's. Errors cleanly on mismatched pairs: a
+/// version-id gap between snapshot and log tail, a dictionary-tail
+/// misalignment, or (with verify_fingerprints) a fingerprint chain
+/// divergence.
+Result<RecoveredKb> RecoverFromDisk(const std::string& snapshot_path,
+                                    const std::string& log_path,
+                                    const RecoveryOptions& options = {});
+
+}  // namespace evorec::version
+
+#endif  // EVOREC_VERSION_RECOVERY_H_

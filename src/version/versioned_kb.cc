@@ -56,6 +56,19 @@ VersionedKnowledgeBase::VersionedKnowledgeBase(ArchivePolicy policy,
 VersionedKnowledgeBase::VersionedKnowledgeBase(ArchivePolicy policy,
                                                rdf::KnowledgeBase initial,
                                                size_t checkpoint_interval)
+    : VersionedKnowledgeBase(policy, std::move(initial), checkpoint_interval,
+                             std::nullopt) {}
+
+VersionedKnowledgeBase VersionedKnowledgeBase::WithBaseFingerprint(
+    ArchivePolicy policy, rdf::KnowledgeBase base, uint64_t base_fingerprint,
+    size_t checkpoint_interval) {
+  return VersionedKnowledgeBase(policy, std::move(base), checkpoint_interval,
+                                base_fingerprint);
+}
+
+VersionedKnowledgeBase::VersionedKnowledgeBase(
+    ArchivePolicy policy, rdf::KnowledgeBase initial,
+    size_t checkpoint_interval, std::optional<uint64_t> base_fingerprint)
     : policy_(policy),
       checkpoint_interval_(std::max<size_t>(1, checkpoint_interval)),
       dictionary_(initial.shared_dictionary()),
@@ -68,10 +81,20 @@ VersionedKnowledgeBase::VersionedKnowledgeBase(ArchivePolicy policy,
   stores_.push_back(std::move(initial));
   change_sets_.emplace_back();
   // Base fingerprint: content hash of the canonical (SPO-sorted)
-  // triples, so equal base snapshots fingerprint equally.
-  fingerprints_.push_back(
-      HashTriples(0xCBF29CE484222325ULL, stores_[0].store().triples()));
+  // triples, so equal base snapshots fingerprint equally — unless the
+  // caller (recovery) supplies the chained value a snapshot recorded.
+  fingerprints_.push_back(base_fingerprint.has_value()
+                              ? *base_fingerprint
+                              : HashTriples(0xCBF29CE484222325ULL,
+                                            stores_[0].store().triples()));
 }
+
+void VersionedKnowledgeBase::AttachCommitLog(storage::CommitLog* log) {
+  log_ = log;
+  logged_terms_ = static_cast<rdf::TermId>(dictionary_->size());
+}
+
+void VersionedKnowledgeBase::DetachCommitLog() { log_ = nullptr; }
 
 namespace {
 
@@ -102,6 +125,29 @@ Result<VersionId> VersionedKnowledgeBase::Commit(ChangeSet&& changes,
   const size_t removals = changes.removals.size();
   const uint64_t fingerprint =
       ChainFingerprint(fingerprints_.back(), changes);
+
+  if (log_ != nullptr) {
+    // Write-ahead: the record must be on the log before any in-memory
+    // state changes, so a failed append fails the whole commit and a
+    // recovered replica can never be *ahead* of the log.
+    storage::DeltaRecord record;
+    record.version_id = new_id;
+    record.timestamp = timestamp;
+    record.author = author;
+    record.message = message;
+    record.fingerprint = fingerprint;
+    record.first_term_id = logged_terms_;
+    const rdf::TermId dict_size =
+        static_cast<rdf::TermId>(dictionary_->size());
+    record.new_terms.reserve(dict_size - logged_terms_);
+    for (rdf::TermId id = logged_terms_; id < dict_size; ++id) {
+      record.new_terms.push_back(dictionary_->term(id));
+    }
+    record.additions = changes.additions;
+    record.removals = changes.removals;
+    EVOREC_RETURN_IF_ERROR(log_->Append(record));
+    logged_terms_ = dict_size;
+  }
 
   switch (policy_) {
     case ArchivePolicy::kFullMaterialization:

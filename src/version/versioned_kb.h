@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "rdf/knowledge_base.h"
+#include "storage/commit_log.h"
 #include "version/version.h"
 
 namespace evorec::version {
@@ -54,6 +55,17 @@ class VersionedKnowledgeBase {
   VersionedKnowledgeBase(ArchivePolicy policy, rdf::KnowledgeBase initial,
                          size_t checkpoint_interval = 4);
 
+  /// Creates a KB whose version 0 is `base` with a caller-supplied
+  /// content fingerprint instead of a freshly computed one. This is
+  /// the recovery path: a snapshot of version N stores N's *chained*
+  /// fingerprint (which recomputation from content alone cannot
+  /// reproduce), and seeding the chain with it keeps every handle —
+  /// and therefore every engine cache key — identical across a
+  /// restart. See version/recovery.h.
+  static VersionedKnowledgeBase WithBaseFingerprint(
+      ArchivePolicy policy, rdf::KnowledgeBase base,
+      uint64_t base_fingerprint, size_t checkpoint_interval = 4);
+
   VersionedKnowledgeBase(const VersionedKnowledgeBase&) = delete;
   VersionedKnowledgeBase& operator=(const VersionedKnowledgeBase&) = delete;
   VersionedKnowledgeBase(VersionedKnowledgeBase&&) = default;
@@ -69,6 +81,23 @@ class VersionedKnowledgeBase {
   /// vectors (the common case for generated or streamed change sets).
   Result<VersionId> Commit(ChangeSet&& changes, std::string author,
                            std::string message, uint64_t timestamp = 0);
+
+  /// Attaches an append-only commit log: every subsequent Commit
+  /// first appends a storage::DeltaRecord — write-ahead, so a failed
+  /// append fails the commit without mutating memory — carrying the
+  /// change set (original order, preserving the fingerprint chain),
+  /// the commit metadata, the post-commit fingerprint, and the
+  /// dictionary tail interned since the previous record. `log` must
+  /// outlive the attachment. Attach immediately after saving a
+  /// snapshot so the pair stays a consistent recovery unit
+  /// (version/recovery.h); whether a commit is durable the moment it
+  /// returns is the log's LogOptions::sync_on_append.
+  void AttachCommitLog(storage::CommitLog* log);
+
+  /// Stops logging (the log itself stays open).
+  void DetachCommitLog();
+
+  storage::CommitLog* commit_log() const { return log_; }
 
   /// Number of versions (head id + 1).
   size_t version_count() const { return infos_.size(); }
@@ -117,6 +146,13 @@ class VersionedKnowledgeBase {
   const rdf::Vocabulary& vocabulary() const { return vocabulary_; }
 
  private:
+  /// Shared delegate of the public constructors and the recovery
+  /// factory: seeds the fingerprint chain with `base_fingerprint`
+  /// when provided, otherwise hashes the base content.
+  VersionedKnowledgeBase(ArchivePolicy policy, rdf::KnowledgeBase initial,
+                         size_t checkpoint_interval,
+                         std::optional<uint64_t> base_fingerprint);
+
   /// Content hash of one term (memoized per TermId; terms are
   /// immutable once interned).
   uint64_t TermContentHash(rdf::TermId id);
@@ -144,6 +180,11 @@ class VersionedKnowledgeBase {
   // of checkpoint_interval_.
   std::unordered_map<VersionId, rdf::KnowledgeBase> checkpoints_;
   mutable std::unordered_map<VersionId, rdf::KnowledgeBase> cache_;
+  // Durability (both unused until AttachCommitLog): the attached log
+  // and the dictionary watermark of the last appended record — terms
+  // with ids >= logged_terms_ still need shipping.
+  storage::CommitLog* log_ = nullptr;
+  rdf::TermId logged_terms_ = 0;
 };
 
 }  // namespace evorec::version

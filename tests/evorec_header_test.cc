@@ -21,6 +21,10 @@ TEST(EvorecHeaderTest, InstantiatesOneTypePerLayer) {
   rdf::Dictionary dictionary;
   EXPECT_EQ(dictionary.size(), 0u);
 
+  // storage
+  storage::SnapshotOptions snapshot_options;
+  EXPECT_FALSE(snapshot_options.sync);
+
   // schema
   schema::ClassHierarchy hierarchy;
   hierarchy.AddEdge(1, 0);
