@@ -53,13 +53,44 @@ done
 
 git_rev=$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)
 python3 - "${out}" "${date_tag}" "${label}" "${git_rev}" "${tmp_dir}" <<'EOF'
-import json, pathlib, sys
+import json, os, pathlib, sys
 
 out, date_tag, label, git_rev, tmp_dir = sys.argv[1:6]
 merged = {"date": date_tag, "label": label or None, "git": git_rev,
           "benchmarks": {}}
+build_types = set()
 for report in sorted(pathlib.Path(tmp_dir).glob("*.json")):
-    merged["benchmarks"][report.stem] = json.loads(report.read_text())
+    data = json.loads(report.read_text())
+    build_types.add(
+        data.get("context", {}).get("library_build_type", "unknown"))
+    merged["benchmarks"][report.stem] = data
+
+# Debug guard: numbers from a debug Google-Benchmark build are not
+# comparable across snapshots (the original BENCH_2026-07-26.json
+# baseline was recorded that way and had to be written off). A report
+# with no verifiable build type is just as uncomparable, so anything
+# other than a uniform "release" refuses by default;
+# BENCH_ALLOW_DEBUG=1 records anyway but labels the file so a later
+# reader cannot mistake it for a comparable release snapshot.
+label_type = ("release" if build_types == {"release"}
+              else "debug" if "debug" in build_types else "unknown")
+merged["library_build_type"] = label_type
+if label_type != "release":
+    if os.environ.get("BENCH_ALLOW_DEBUG") != "1":
+        sys.stderr.write(
+            "bench_record: REFUSING to record - Google Benchmark reports "
+            "library_build_type=%s.\n"
+            "Non-release-build timings are not comparable with the "
+            "committed BENCH_*.json trajectory.\n"
+            "Rebuild the benchmark library in release mode, or set "
+            "BENCH_ALLOW_DEBUG=1 to record anyway\n"
+            "(the snapshot will carry \"library_build_type\": \"%s\" "
+            "so it stays clearly labelled).\n" % (label_type, label_type))
+        sys.exit(1)
+    sys.stderr.write(
+        "bench_record: WARNING - recording with a %s benchmark "
+        "library build; snapshot labelled library_build_type=%s.\n"
+        % (label_type.upper(), label_type))
 pathlib.Path(out).write_text(json.dumps(merged, indent=1) + "\n")
 EOF
 echo "wrote ${out}"

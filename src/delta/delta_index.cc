@@ -1,6 +1,7 @@
 #include "delta/delta_index.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace evorec::delta {
 
@@ -21,20 +22,44 @@ DeltaIndex DeltaIndex::Build(const LowLevelDelta& delta,
                              const schema::SchemaView& before,
                              const schema::SchemaView& after,
                              const rdf::Vocabulary& vocabulary) {
+  // The reference overload may receive temporaries, so materialise the
+  // neighborhoods before the views go away.
+  DeltaIndex index =
+      Build(delta, std::shared_ptr<const schema::SchemaView>(
+                       &before, [](const schema::SchemaView*) {}),
+            std::shared_ptr<const schema::SchemaView>(
+                &after, [](const schema::SchemaView*) {}),
+            vocabulary);
+  (void)index.EnsureNeighborhoods();  // also drops the view aliases
+  return index;
+}
+
+DeltaIndex DeltaIndex::Build(
+    const LowLevelDelta& delta,
+    std::shared_ptr<const schema::SchemaView> before,
+    std::shared_ptr<const schema::SchemaView> after,
+    const rdf::Vocabulary& vocabulary) {
   DeltaIndex index;
   index.total_changes_ = delta.size();
   index.direct_ = PerTermChangeCounts(delta);
-  index.union_classes_ = SortedUnion(before.classes(), after.classes());
+  index.union_classes_ = SortedUnion(before->classes(), after->classes());
   index.union_properties_ =
-      SortedUnion(before.properties(), after.properties());
+      SortedUnion(before->properties(), after->properties());
+  const size_t n = index.union_classes_.size();
 
-  // Extended attribution starts from direct counts.
-  index.extended_ = index.direct_;
+  // Extended attribution starts from direct counts, laid out flat over
+  // the union class universe.
+  index.extended_class_.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    auto it = index.direct_.find(index.union_classes_[i]);
+    if (it != index.direct_.end()) index.extended_class_[i] = it->second;
+  }
 
-  auto class_of_instance = [&](rdf::TermId instance) -> rdf::TermId {
-    rdf::TermId cls = after.TypeOf(instance);
-    if (cls == rdf::kAnyTerm) cls = before.TypeOf(instance);
-    return cls;
+  auto class_index_of_instance = [&](rdf::TermId instance) -> size_t {
+    rdf::TermId cls = after->TypeOf(instance);
+    if (cls == rdf::kAnyTerm) cls = before->TypeOf(instance);
+    if (cls == rdf::kAnyTerm) return rdf::kNotInUniverse;
+    return index.UnionClassIndexOf(cls);
   };
 
   auto attribute = [&](const rdf::Triple& t) {
@@ -46,20 +71,44 @@ DeltaIndex DeltaIndex::Build(const LowLevelDelta& delta,
     }
     if (vocabulary.IsSchemaPredicate(t.predicate)) return;
     // Instance edge (x p y): credit the classes of x and y.
-    const rdf::TermId cs = class_of_instance(t.subject);
-    const rdf::TermId co = class_of_instance(t.object);
-    if (cs != rdf::kAnyTerm) ++index.extended_[cs];
-    if (co != rdf::kAnyTerm && co != cs) ++index.extended_[co];
+    const size_t cs = class_index_of_instance(t.subject);
+    const size_t co = class_index_of_instance(t.object);
+    if (cs != rdf::kNotInUniverse) ++index.extended_class_[cs];
+    if (co != rdf::kNotInUniverse && co != cs) ++index.extended_class_[co];
   };
   for (const rdf::Triple& t : delta.added) attribute(t);
   for (const rdf::Triple& t : delta.removed) attribute(t);
 
-  // Union neighborhoods for all classes of either version.
-  for (rdf::TermId cls : index.union_classes_) {
-    index.neighborhoods_[cls] =
-        SortedUnion(before.Neighborhood(cls), after.Neighborhood(cls));
-  }
+  index.neighborhoods_ = std::make_shared<Neighborhoods>();
+  index.neighborhoods_->before = std::move(before);
+  index.neighborhoods_->after = std::move(after);
   return index;
+}
+
+const DeltaIndex::Neighborhoods& DeltaIndex::EnsureNeighborhoods() const {
+  Neighborhoods& cell = *neighborhoods_;
+  std::call_once(cell.once, [&] {
+    const size_t n = union_classes_.size();
+    cell.lists.resize(n);
+    cell.changes.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const rdf::TermId cls = union_classes_[i];
+      cell.lists[i] = SortedUnion(cell.before->Neighborhood(cls),
+                                  cell.after->Neighborhood(cls));
+      size_t total = 0;
+      for (rdf::TermId neighbor : cell.lists[i]) {
+        const size_t j = UnionClassIndexOf(neighbor);
+        total += j != rdf::kNotInUniverse ? extended_class_[j]
+                                          : DirectChanges(neighbor);
+      }
+      cell.changes[i] = total;
+    }
+    // The views were only needed for this materialisation — don't pin
+    // two snapshots' worth of schema state for the index's lifetime.
+    cell.before.reset();
+    cell.after.reset();
+  });
+  return cell;
 }
 
 size_t DeltaIndex::DirectChanges(rdf::TermId term) const {
@@ -68,24 +117,23 @@ size_t DeltaIndex::DirectChanges(rdf::TermId term) const {
 }
 
 size_t DeltaIndex::ExtendedChanges(rdf::TermId term) const {
-  auto it = extended_.find(term);
-  return it == extended_.end() ? 0 : it->second;
+  const size_t i = UnionClassIndexOf(term);
+  return i != rdf::kNotInUniverse ? extended_class_[i] : DirectChanges(term);
 }
 
 size_t DeltaIndex::NeighborhoodChanges(rdf::TermId cls) const {
-  auto it = neighborhoods_.find(cls);
-  if (it == neighborhoods_.end()) return 0;
-  size_t total = 0;
-  for (rdf::TermId neighbor : it->second) {
-    total += ExtendedChanges(neighbor);
-  }
-  return total;
+  const size_t i = UnionClassIndexOf(cls);
+  return i != rdf::kNotInUniverse ? NeighborhoodChangesAt(i) : 0;
+}
+
+size_t DeltaIndex::NeighborhoodChangesAt(size_t i) const {
+  return EnsureNeighborhoods().changes[i];
 }
 
 std::vector<rdf::TermId> DeltaIndex::UnionNeighborhood(rdf::TermId cls) const {
-  auto it = neighborhoods_.find(cls);
-  if (it == neighborhoods_.end()) return {};
-  return it->second;
+  const size_t i = UnionClassIndexOf(cls);
+  if (i == rdf::kNotInUniverse) return {};
+  return EnsureNeighborhoods().lists[i];
 }
 
 }  // namespace evorec::delta

@@ -1,6 +1,8 @@
 #ifndef EVOREC_DELTA_DELTA_INDEX_H_
 #define EVOREC_DELTA_DELTA_INDEX_H_
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -22,14 +24,40 @@ namespace evorec::delta {
 /// The neighborhood aggregate implements §II.b:
 ///   |δN(n)| = Σ_{c ∈ N_{V1,V2}(n)} δ(c),
 /// with N taken as the union of the per-version neighborhoods.
+///
+/// Class-level statistics are stored flat, indexed by position in
+/// union_classes() (sorted TermIds double as a dense id space); the
+/// *_At accessors are the zero-hash fast path the measure kernels
+/// iterate with.
+///
+/// Neighborhoods are expensive (a sorted per-class union over both
+/// views) and many cold paths never ask for them, so they are
+/// computed lazily on first access — thread-safe, shared between
+/// copies of the index. The shared_ptr Build overload defers them; the
+/// reference overload (safe for temporaries) computes them eagerly.
 class DeltaIndex {
  public:
-  /// Builds the index from a computed delta and the schema views of the
-  /// two snapshots it connects.
+  /// Builds the index from a computed delta and the schema views of
+  /// the two snapshots it connects. Neighborhoods are materialised
+  /// eagerly (the views need not outlive the call).
   static DeltaIndex Build(const LowLevelDelta& delta,
                           const schema::SchemaView& before,
                           const schema::SchemaView& after,
                           const rdf::Vocabulary& vocabulary);
+
+  /// As above, but retains the views and defers the neighborhood
+  /// materialisation until first use — the cold-path form
+  /// EvolutionContext builds with (a betweenness-only walk never pays
+  /// for neighborhoods).
+  static DeltaIndex Build(const LowLevelDelta& delta,
+                          std::shared_ptr<const schema::SchemaView> before,
+                          std::shared_ptr<const schema::SchemaView> after,
+                          const rdf::Vocabulary& vocabulary);
+
+  /// Position of `cls` in union_classes(), or rdf::kNotInUniverse.
+  size_t UnionClassIndexOf(rdf::TermId cls) const {
+    return rdf::SortedIndexOf(union_classes_, cls);
+  }
 
   /// δ(n), direct attribution.
   size_t DirectChanges(rdf::TermId term) const;
@@ -38,8 +66,14 @@ class DeltaIndex {
   /// for other terms).
   size_t ExtendedChanges(rdf::TermId term) const;
 
+  /// Extended δ of union_classes()[i].
+  size_t ExtendedChangesAt(size_t i) const { return extended_class_[i]; }
+
   /// |δN(n)| over the union neighborhood, using extended attribution.
   size_t NeighborhoodChanges(rdf::TermId cls) const;
+
+  /// |δN| of union_classes()[i].
+  size_t NeighborhoodChangesAt(size_t i) const;
 
   /// Union neighborhood N_{V1,V2}(n).
   std::vector<rdf::TermId> UnionNeighborhood(rdf::TermId cls) const;
@@ -58,11 +92,28 @@ class DeltaIndex {
   size_t total_changes() const { return total_changes_; }
 
  private:
+  /// Lazily materialised per-class neighborhoods and their §II.b
+  /// aggregates, shared between copies of the index. The views are
+  /// retained only until the first materialisation.
+  struct Neighborhoods {
+    std::once_flag once;
+    std::shared_ptr<const schema::SchemaView> before;
+    std::shared_ptr<const schema::SchemaView> after;
+    std::vector<std::vector<rdf::TermId>> lists;  // by union-class index
+    std::vector<size_t> changes;                  // by union-class index
+  };
+
+  /// The materialised neighborhood data (computing it on first call).
+  const Neighborhoods& EnsureNeighborhoods() const;
+
+  // Per-term direct counts for arbitrary terms (classes, properties,
+  // instances, literals) — the only remaining hash map.
   std::unordered_map<rdf::TermId, size_t> direct_;
-  std::unordered_map<rdf::TermId, size_t> extended_;
-  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> neighborhoods_;
   std::vector<rdf::TermId> union_classes_;
   std::vector<rdf::TermId> union_properties_;
+  // Flat per-class statistics, aligned to union_classes_.
+  std::vector<size_t> extended_class_;
+  std::shared_ptr<Neighborhoods> neighborhoods_;
   size_t total_changes_ = 0;
 };
 

@@ -1,0 +1,141 @@
+#include "engine/artefact_cache.h"
+
+#include <chrono>
+#include <utility>
+
+namespace evorec::engine {
+
+ArtefactCache::ArtefactCache(size_t capacity, ThreadPool* pool)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      pool_(pool),
+      betweenness_runs_(std::make_shared<std::atomic<uint64_t>>(0)) {}
+
+Result<measures::VersionArtefacts> ArtefactCache::Get(
+    uint64_t fingerprint, const measures::ContextOptions& options,
+    const Materializer& materialize) {
+  std::promise<Result<SharedBase>> promise;
+  std::shared_future<Result<SharedBase>> future;
+  bool creator = false;
+  uint64_t my_generation = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = entries_.find(fingerprint);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);  // touch
+      future = it->second.base;
+      const bool ready =
+          future.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready;
+      ready ? ++stats_.hits : ++stats_.coalesced;
+    } else {
+      ++stats_.misses;
+      creator = true;
+      my_generation = ++generation_;
+      future = promise.get_future().share();
+      lru_.push_front(fingerprint);
+      Entry entry;
+      entry.base = future;
+      entry.generation = my_generation;
+      entry.lru_pos = lru_.begin();
+      entries_.emplace(fingerprint, std::move(entry));
+      while (lru_.size() > capacity_) {
+        // Never evict the entry we just inserted (it is at the front;
+        // capacity_ >= 1 guarantees the back is a different key).
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+  }
+
+  if (creator) {
+    // Build outside the lock: other fingerprints stay servable and
+    // same-key callers wait on the future.
+    auto built = [&]() -> Result<SharedBase> {
+      auto snapshot = materialize();
+      if (!snapshot.ok()) return snapshot.status();
+      if (*snapshot == nullptr) {
+        return InvalidArgumentError(
+            "artefact materializer returned a null snapshot");
+      }
+      auto base = std::make_shared<BaseArtefacts>();
+      base->snapshot = std::move(*snapshot);
+      base->view = std::make_shared<const schema::SchemaView>(
+          schema::SchemaView::Build(*base->snapshot));
+      base->graph = std::make_shared<const graph::SchemaGraph>(
+          graph::SchemaGraph::Build(*base->view, base->view->classes()));
+      return SharedBase(std::move(base));
+    }();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.snapshot_loads;
+      if (built.ok()) {
+        ++stats_.view_builds;
+        ++stats_.graph_builds;
+      } else {
+        // Failed builds are not cached: drop our entry (generation
+        // check: it may have been evicted and re-created meanwhile) so
+        // a later request retries.
+        auto it = entries_.find(fingerprint);
+        if (it != entries_.end() && it->second.generation == my_generation) {
+          lru_.erase(it->second.lru_pos);
+          entries_.erase(it);
+        }
+      }
+    }
+    promise.set_value(built);
+    if (!built.ok()) return built.status();
+  }
+
+  Result<SharedBase> base = future.get();
+  if (!base.ok()) return base.status();
+
+  measures::VersionArtefacts artefacts;
+  artefacts.snapshot = (*base)->snapshot;
+  artefacts.view = (*base)->view;
+  artefacts.graph = (*base)->graph;
+  artefacts.betweenness = CellFor(fingerprint, *base, options);
+  return artefacts;
+}
+
+std::shared_ptr<const measures::LazyBetweenness> ArtefactCache::CellFor(
+    uint64_t fingerprint, const SharedBase& base,
+    const measures::ContextOptions& options) {
+  const uint64_t options_fp = measures::ContextOptionsFingerprint(options);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it != entries_.end()) {
+    auto cell = it->second.betweenness.find(options_fp);
+    if (cell != it->second.betweenness.end()) return cell->second;
+  }
+  auto counter = betweenness_runs_;
+  auto cell = std::make_shared<const measures::LazyBetweenness>(
+      base->graph, options, pool_,
+      [counter] { counter->fetch_add(1, std::memory_order_relaxed); });
+  if (it != entries_.end()) {
+    it->second.betweenness.emplace(options_fp, cell);
+  }
+  // Entry evicted meanwhile: hand out a detached cell (still correct,
+  // just not shared with future requests).
+  return cell;
+}
+
+ArtefactCacheStats ArtefactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArtefactCacheStats out = stats_;
+  out.betweenness_runs = betweenness_runs_->load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t ArtefactCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ArtefactCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace evorec::engine

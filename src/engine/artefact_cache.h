@@ -1,0 +1,121 @@
+#ifndef EVOREC_ENGINE_ARTEFACT_CACHE_H_
+#define EVOREC_ENGINE_ARTEFACT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "measures/measure_context.h"
+
+namespace evorec::engine {
+
+/// Counters exposing the artefact cache's behaviour. The reuse
+/// contract of the cold path reads directly off them: walking a
+/// K-version chain must show `betweenness_runs == K` and
+/// `graph_builds == K` (the pre-cache pair-keyed path performed
+/// 2·(K−1) of each, rebuilding every middle version's artefacts for
+/// both pairs that touch it).
+struct ArtefactCacheStats {
+  uint64_t hits = 0;        ///< base artefacts served from the cache
+  uint64_t misses = 0;      ///< triggered a base build
+  uint64_t coalesced = 0;   ///< joined a concurrent in-flight build
+  uint64_t evictions = 0;   ///< LRU evictions
+  uint64_t snapshot_loads = 0;    ///< materializer invocations
+  uint64_t view_builds = 0;       ///< SchemaView::Build runs
+  uint64_t graph_builds = 0;      ///< SchemaGraph::Build runs
+  uint64_t betweenness_runs = 0;  ///< Brandes computations actually run
+};
+
+/// An LRU cache of per-*version* cold-path artefacts (snapshot, schema
+/// view, own-universe schema graph, lazy betweenness cell), keyed by
+/// the version's content fingerprint — NOT by version pair. Contexts
+/// for the pairs (V1,V2) and (V2,V3) therefore share every V2
+/// artefact, and a timeline walk over K versions builds each version's
+/// artefacts exactly once.
+///
+/// Thread-safe and single-flight: concurrent requests for one missing
+/// fingerprint coalesce into a single build (the materializer runs
+/// once), and the betweenness cells are single-flight per
+/// (fingerprint, context-options) — sharing one cache across
+/// concurrently building contexts never duplicates a Brandes run.
+/// Handed-out bundles are immutable shared state and survive eviction
+/// while referenced.
+class ArtefactCache {
+ public:
+  /// Supplies the snapshot of the version being cached on a miss.
+  /// Called outside the cache lock; must be safe to invoke
+  /// concurrently with materializers of *other* fingerprints (callers
+  /// that materialise from one non-thread-safe source must lock inside
+  /// the materializer — see EvaluationEngine).
+  using Materializer =
+      std::function<Result<std::shared_ptr<const rdf::KnowledgeBase>>()>;
+
+  /// `capacity` is clamped to >= 1. `pool` (optional, must outlive the
+  /// cache) parallelises the Brandes passes of the betweenness cells.
+  explicit ArtefactCache(size_t capacity, ThreadPool* pool = nullptr);
+
+  /// The artefact bundle of the version identified by `fingerprint`,
+  /// building it via `materialize` on a miss. The returned bundle's
+  /// betweenness cell matches `options` (per-options cells share the
+  /// base artefacts).
+  Result<measures::VersionArtefacts> Get(
+      uint64_t fingerprint, const measures::ContextOptions& options,
+      const Materializer& materialize);
+
+  ArtefactCacheStats stats() const;
+
+  /// Number of resident base entries.
+  size_t size() const;
+
+  /// Drops every cached entry (in-flight builds finish normally;
+  /// handed-out bundles stay valid).
+  void Clear();
+
+ private:
+  /// The options-independent artefacts of one version.
+  struct BaseArtefacts {
+    std::shared_ptr<const rdf::KnowledgeBase> snapshot;
+    std::shared_ptr<const schema::SchemaView> view;
+    std::shared_ptr<const graph::SchemaGraph> graph;
+  };
+  using SharedBase = std::shared_ptr<const BaseArtefacts>;
+
+  struct Entry {
+    std::shared_future<Result<SharedBase>> base;
+    /// Lazy betweenness cells keyed by ContextOptionsFingerprint.
+    std::unordered_map<uint64_t,
+                       std::shared_ptr<const measures::LazyBetweenness>>
+        betweenness;
+    std::list<uint64_t>::iterator lru_pos;
+    /// Distinguishes re-created entries from the one a failed builder
+    /// must clean up.
+    uint64_t generation = 0;
+  };
+
+  /// The cell for (entry, options), creating it on first request.
+  std::shared_ptr<const measures::LazyBetweenness> CellFor(
+      uint64_t fingerprint, const SharedBase& base,
+      const measures::ContextOptions& options);
+
+  size_t capacity_;
+  ThreadPool* pool_;
+  mutable std::mutex mu_;
+  std::list<uint64_t> lru_;  // most-recent first
+  std::unordered_map<uint64_t, Entry> entries_;
+  ArtefactCacheStats stats_;
+  uint64_t generation_ = 0;
+  // Brandes runs are counted from inside the lazy cells, which may
+  // outlive the cache (shared_ptr keeps the counter valid).
+  std::shared_ptr<std::atomic<uint64_t>> betweenness_runs_;
+};
+
+}  // namespace evorec::engine
+
+#endif  // EVOREC_ENGINE_ARTEFACT_CACHE_H_

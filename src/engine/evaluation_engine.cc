@@ -1,5 +1,6 @@
 #include "engine/evaluation_engine.h"
 
+#include <algorithm>
 #include <string>
 
 #include "common/hash.h"
@@ -98,7 +99,8 @@ EvaluationEngine::EvaluationEngine(const measures::MeasureRegistry& registry,
                                    EngineOptions options)
     : registry_(registry),
       options_(options),
-      pool_(options.threads) {
+      pool_(options.threads),
+      artefacts_(options.artefact_cache_capacity, &pool_) {
   if (options_.context_cache_capacity == 0) {
     options_.context_cache_capacity = 1;
   }
@@ -133,24 +135,53 @@ Result<std::shared_ptr<const SharedEvaluation>> EvaluationEngine::Evaluate(
     inflight_.emplace(key, future);
   }
 
-  // Snapshot under the vkb lock (VersionedKnowledgeBase's lazy
-  // snapshot cache is not thread-safe), then build outside any lock:
-  // other keys stay servable meanwhile, and same-key callers wait on
-  // `future`.
+  // Per-version artefacts come from the artefact cache (keyed by
+  // snapshot fingerprint): a version shared with any previously built
+  // pair contributes its snapshot copy, schema view, schema graph and
+  // betweenness for free, and only the pair-level delta work runs
+  // here. Cache misses snapshot under the vkb lock (the versioned
+  // KB's lazy snapshot cache is not thread-safe); everything else runs
+  // outside the engine lock, so other keys stay servable meanwhile and
+  // same-key callers wait on `future`.
   auto ctx = [&]() -> Result<measures::EvolutionContext> {
-    std::shared_ptr<const rdf::KnowledgeBase> before_snap;
-    std::shared_ptr<const rdf::KnowledgeBase> after_snap;
-    {
-      std::lock_guard<std::mutex> lock(vkb_mu_);
-      auto before_kb = vkb.Snapshot(v1);
-      if (!before_kb.ok()) return before_kb.status();
-      auto after_kb = vkb.Snapshot(v2);
-      if (!after_kb.ok()) return after_kb.status();
-      before_snap = std::make_shared<const rdf::KnowledgeBase>(**before_kb);
-      after_snap = std::make_shared<const rdf::KnowledgeBase>(**after_kb);
+    const auto materialize = [&](version::VersionId v) {
+      return [this, &vkb,
+              v]() -> Result<std::shared_ptr<const rdf::KnowledgeBase>> {
+        std::lock_guard<std::mutex> lock(vkb_mu_);
+        auto kb = vkb.Snapshot(v);
+        if (!kb.ok()) return kb.status();
+        return std::make_shared<const rdf::KnowledgeBase>(**kb);
+      };
+    };
+    auto before_art = artefacts_.Get(before->fingerprint, context_options,
+                                     materialize(v1));
+    if (!before_art.ok()) return before_art.status();
+    auto after_art = artefacts_.Get(after->fingerprint, context_options,
+                                    materialize(v2));
+    if (!after_art.ok()) return after_art.status();
+    if (before_art->snapshot->shared_dictionary() !=
+        after_art->snapshot->shared_dictionary()) {
+      // Fingerprint-equal versions of *distinct* VersionedKnowledgeBase
+      // instances (identical histories, e.g. a restored replica) carry
+      // identical TermId mappings but distinct Dictionary objects, so a
+      // cached artefact from one instance cannot pair with a freshly
+      // materialised one from the other. Rebuild both sides from the
+      // caller's vkb — correct, just uncached — rather than failing
+      // the request.
+      auto rebuild =
+          [&](version::VersionId v) -> Result<measures::VersionArtefacts> {
+        auto snapshot = materialize(v)();
+        if (!snapshot.ok()) return snapshot.status();
+        return measures::MakeVersionArtefacts(std::move(*snapshot),
+                                              context_options, &pool_);
+      };
+      before_art = rebuild(v1);
+      if (!before_art.ok()) return before_art.status();
+      after_art = rebuild(v2);
+      if (!after_art.ok()) return after_art.status();
     }
-    return measures::EvolutionContext::Build(std::move(before_snap),
-                                             std::move(after_snap),
+    return measures::EvolutionContext::Build(std::move(*before_art),
+                                             std::move(*after_art),
                                              context_options);
   }();
   if (!ctx.ok()) {
@@ -177,7 +208,32 @@ Result<std::shared_ptr<const SharedEvaluation>> EvaluationEngine::Evaluate(
   return evaluation;
 }
 
+Result<measures::EvolutionTimeline> EvaluationEngine::Timeline(
+    const version::VersionedKnowledgeBase& vkb, std::string_view measure,
+    version::VersionId first, version::VersionId last,
+    measures::ContextOptions context_options) {
+  if (vkb.version_count() < 2) {
+    return FailedPreconditionError("timeline needs at least two versions");
+  }
+  const version::VersionId end =
+      std::min<version::VersionId>(last, vkb.head());
+  if (first >= end) {
+    return InvalidArgumentError("empty version range for timeline");
+  }
+  std::vector<measures::MeasureReport> reports;
+  reports.reserve(end - first);
+  for (version::VersionId v = first; v < end; ++v) {
+    auto evaluation = Evaluate(vkb, v, v + 1, context_options);
+    if (!evaluation.ok()) return evaluation.status();
+    auto report = (*evaluation)->Report(measure);
+    if (!report.ok()) return report.status();
+    reports.push_back(**report);
+  }
+  return measures::EvolutionTimeline::FromReports(std::move(reports));
+}
+
 void EvaluationEngine::Clear() {
+  artefacts_.Clear();
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   lookup_.clear();

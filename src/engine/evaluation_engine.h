@@ -13,9 +13,11 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "engine/artefact_cache.h"
 #include "measures/evaluation.h"
 #include "measures/measure_context.h"
 #include "measures/registry.h"
+#include "measures/timeline.h"
 #include "recommend/recommender.h"
 #include "version/versioned_kb.h"
 
@@ -47,8 +49,13 @@ struct ContextKeyHash {
 struct EngineOptions {
   /// Max contexts kept warm (least-recently-used eviction).
   size_t context_cache_capacity = 16;
-  /// Worker threads for parallel measure evaluation and batched
-  /// serving; 0 means ThreadPool::DefaultThreadCount().
+  /// Max per-version artefact bundles kept warm (snapshot + schema
+  /// view + schema graph + betweenness). Versions are smaller than
+  /// contexts and shared across pairs, so this defaults higher.
+  size_t artefact_cache_capacity = 64;
+  /// Worker threads for parallel measure evaluation, batched serving,
+  /// and the chunked parallel Brandes passes of cold context builds;
+  /// 0 means ThreadPool::DefaultThreadCount().
   size_t threads = 0;
 };
 
@@ -153,10 +160,25 @@ class EvaluationEngine {
       const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
       version::VersionId v2, measures::ContextOptions context_options = {});
 
-  /// Drops every cached evaluation (in-flight builds finish normally).
+  /// The timeline of the registered measure `measure` over every
+  /// consecutive version pair of `vkb` in [first, last] — the fast
+  /// cold chain walk: every context is served through the engine's
+  /// caches, so each version's snapshot, schema view, schema graph
+  /// and betweenness are built exactly once (K builds for a K-version
+  /// chain; the pair-keyed EvolutionTimeline::Compute performs
+  /// 2·(K−1)), and reports of already-warm transitions are reused
+  /// outright.
+  Result<measures::EvolutionTimeline> Timeline(
+      const version::VersionedKnowledgeBase& vkb, std::string_view measure,
+      version::VersionId first = 0, version::VersionId last = UINT32_MAX,
+      measures::ContextOptions context_options = {});
+
+  /// Drops every cached evaluation and artefact (in-flight builds
+  /// finish normally).
   void Clear();
 
   EngineStats stats() const;
+  ArtefactCacheStats artefact_stats() const { return artefacts_.stats(); }
   size_t cached_contexts() const;
   ThreadPool& pool() { return pool_; }
   const measures::MeasureRegistry& registry() const { return registry_; }
@@ -168,6 +190,9 @@ class EvaluationEngine {
   const measures::MeasureRegistry& registry_;
   EngineOptions options_;
   ThreadPool pool_;
+  // Per-version artefacts shared across pair contexts (keyed by
+  // snapshot content fingerprint, not pair).
+  ArtefactCache artefacts_;
 
   mutable std::mutex mu_;
   // Serialises snapshot materialisation: the versioned KB's lazy

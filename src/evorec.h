@@ -44,6 +44,7 @@
 #include "delta/delta_io.h"
 #include "delta/high_level_delta.h"
 #include "delta/low_level_delta.h"
+#include "engine/artefact_cache.h"
 #include "engine/evaluation_engine.h"
 #include "engine/recommendation_service.h"
 #include "graph/betweenness.h"

@@ -1,71 +1,156 @@
 #include "graph/betweenness.h"
 
+#include <algorithm>
+#include <numeric>
+
 namespace evorec::graph {
 
 namespace {
 
+// Per-pass scratch buffers, reused across the sources of one chunk.
+// Predecessor lists live in one flat buffer laid out by the graph's
+// CSR offsets (a node's predecessors are a subset of its neighbors, so
+// its adjacency slot is always big enough) — no per-node vectors, so
+// constructing a scratch is a handful of allocations and the inner
+// loops never touch the heap.
+struct BrandesScratch {
+  std::vector<int32_t> distance;  // BFS level fits 32 bits (n < 2^31)
+  std::vector<double> sigma;
+  std::vector<double> dependency;
+  std::vector<NodeId> pred_count;   // predecessors of w found so far
+  std::vector<NodeId> pred_data;    // flat, slot of w starts at offset[w]
+  std::vector<size_t> pred_offset;  // CSR offsets mirrored from the graph
+  std::vector<NodeId> order;
+
+  explicit BrandesScratch(const Graph& g) {
+    const size_t n = g.node_count();
+    distance.assign(n, -1);
+    sigma.assign(n, 0.0);
+    dependency.assign(n, 0.0);
+    pred_count.assign(n, 0);
+    pred_offset.resize(n + 1);
+    pred_offset[0] = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      pred_offset[v + 1] = pred_offset[v] + g.Degree(v);
+    }
+    pred_data.resize(pred_offset[n]);
+    order.reserve(n);
+  }
+};
+
 // One Brandes single-source accumulation pass from `source`.
 // `scale` multiplies the dependency contribution (used by sampling).
 void BrandesPass(const Graph& g, NodeId source, double scale,
-                 std::vector<double>& centrality,
-                 std::vector<int64_t>& distance, std::vector<double>& sigma,
-                 std::vector<double>& dependency,
-                 std::vector<std::vector<NodeId>>& predecessors,
-                 std::vector<NodeId>& order) {
+                 std::vector<double>& centrality, BrandesScratch& s) {
+  // An isolated source reaches nothing and contributes no term to any
+  // centrality sum — skipping it is bit-exact, not an approximation.
+  if (g.Degree(source) == 0) return;
   const size_t n = g.node_count();
-  distance.assign(n, -1);
-  sigma.assign(n, 0.0);
-  dependency.assign(n, 0.0);
-  order.clear();
+  s.distance.assign(n, -1);
+  s.sigma.assign(n, 0.0);
+  s.dependency.assign(n, 0.0);
+  s.order.clear();
 
-  distance[source] = 0;
-  sigma[source] = 1.0;
-  predecessors[source].clear();
+  s.distance[source] = 0;
+  s.sigma[source] = 1.0;
+  s.pred_count[source] = 0;
   // `order` doubles as the BFS queue: `qi` is the read cursor and the
   // visited nodes accumulate behind it in BFS order. Predecessor
-  // lists are reset lazily on first visit, so a pass only touches the
+  // counts are reset lazily on first visit, so a pass only touches the
   // nodes it actually reaches.
-  order.push_back(source);
-  for (size_t qi = 0; qi < order.size(); ++qi) {
-    const NodeId v = order[qi];
+  s.order.push_back(source);
+  for (size_t qi = 0; qi < s.order.size(); ++qi) {
+    const NodeId v = s.order[qi];
+    // sigma[v] is final once v is dequeued (all of v's shortest-path
+    // predecessors sit on earlier BFS levels), so hoist the loads.
+    const int32_t dv1 = s.distance[v] + 1;
+    const double sigma_v = s.sigma[v];
     for (NodeId w : g.Neighbors(v)) {
-      if (distance[w] < 0) {
-        distance[w] = distance[v] + 1;
-        predecessors[w].clear();
-        order.push_back(w);
+      if (s.distance[w] < 0) {
+        s.distance[w] = dv1;
+        s.pred_count[w] = 0;
+        s.order.push_back(w);
       }
-      if (distance[w] == distance[v] + 1) {
-        sigma[w] += sigma[v];
-        predecessors[w].push_back(v);
+      if (s.distance[w] == dv1) {
+        s.sigma[w] += sigma_v;
+        s.pred_data[s.pred_offset[w] + s.pred_count[w]++] = v;
       }
     }
   }
-  // Back-propagate dependencies in reverse BFS order.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+  // Back-propagate dependencies in reverse BFS order. One division
+  // per node instead of one per predecessor edge:
+  //   δ(v) += σ(v) · (1 + δ(w)) / σ(w)  for each predecessor v of w.
+  for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
     const NodeId w = *it;
-    for (NodeId v : predecessors[w]) {
-      dependency[v] += sigma[v] / sigma[w] * (1.0 + dependency[w]);
+    const double coeff = (1.0 + s.dependency[w]) / s.sigma[w];
+    const size_t begin = s.pred_offset[w];
+    const size_t end = begin + s.pred_count[w];
+    for (size_t p = begin; p < end; ++p) {
+      const NodeId v = s.pred_data[p];
+      s.dependency[v] += s.sigma[v] * coeff;
     }
     if (w != source) {
-      centrality[w] += scale * dependency[w];
+      centrality[w] += scale * s.dependency[w];
     }
   }
 }
 
-}  // namespace
+// Upper bound on the chunk grid. Bounds the transient memory of the
+// parallel reduction (kMaxChunks partial vectors of n doubles) while
+// leaving enough chunks to keep a pool saturated.
+constexpr size_t kMaxChunks = 32;
 
-std::vector<double> BetweennessExact(const Graph& g) {
+// Runs Brandes passes from every source in `sources` (in order within
+// each chunk) and reduces the per-chunk partial sums in chunk order.
+// The chunk grid depends only on sources.size(), so serial and
+// parallel execution perform the identical sequence of floating-point
+// additions — the determinism contract of the public overloads.
+std::vector<double> RunBrandes(const Graph& g,
+                               std::span<const NodeId> sources, double scale,
+                               ThreadPool* pool) {
   const size_t n = g.node_count();
   std::vector<double> centrality(n, 0.0);
-  std::vector<int64_t> distance;
-  std::vector<double> sigma;
-  std::vector<double> dependency;
-  std::vector<std::vector<NodeId>> predecessors(n);
-  std::vector<NodeId> order;
-  order.reserve(n);
-  for (NodeId s = 0; s < n; ++s) {
-    BrandesPass(g, s, 1.0, centrality, distance, sigma, dependency,
-                predecessors, order);
+  if (n == 0 || sources.empty()) return centrality;
+
+  // Floor of 4 sources per chunk keeps scratch construction amortised
+  // on small graphs; the grid stays a pure function of sources.size().
+  const size_t chunk_count =
+      std::min(kMaxChunks, (sources.size() + 3) / 4);
+  const size_t per_chunk =
+      (sources.size() + chunk_count - 1) / chunk_count;
+
+  if (pool != nullptr && pool->size() > 1 && chunk_count > 1) {
+    std::vector<std::vector<double>> partials(chunk_count);
+    pool->ParallelFor(chunk_count, [&](size_t c) {
+      partials[c].assign(n, 0.0);
+      BrandesScratch scratch(g);
+      const size_t begin = c * per_chunk;
+      const size_t end = std::min(sources.size(), begin + per_chunk);
+      for (size_t i = begin; i < end; ++i) {
+        BrandesPass(g, sources[i], scale, partials[c], scratch);
+      }
+    });
+    // Ordered reduction: chunk 0 first, chunk by chunk — the grouping
+    // is the same as the serial branch below.
+    for (size_t c = 0; c < chunk_count; ++c) {
+      for (size_t v = 0; v < n; ++v) centrality[v] += partials[c][v];
+    }
+  } else {
+    // Serial: one scratch and one partial, reused chunk by chunk. The
+    // per-chunk partial still starts from zero and is folded in before
+    // the next chunk, so the floating-point grouping is identical to
+    // the parallel branch.
+    BrandesScratch scratch(g);
+    std::vector<double> partial;
+    for (size_t c = 0; c < chunk_count; ++c) {
+      partial.assign(n, 0.0);
+      const size_t begin = c * per_chunk;
+      const size_t end = std::min(sources.size(), begin + per_chunk);
+      for (size_t i = begin; i < end; ++i) {
+        BrandesPass(g, sources[i], scale, partial, scratch);
+      }
+      for (size_t v = 0; v < n; ++v) centrality[v] += partial[v];
+    }
   }
   // Each undirected pair is counted twice (once per endpoint as
   // source).
@@ -73,38 +158,50 @@ std::vector<double> BetweennessExact(const Graph& g) {
   return centrality;
 }
 
-std::vector<double> BetweennessSampled(const Graph& g, size_t pivots,
-                                       Rng& rng) {
-  const size_t n = g.node_count();
-  std::vector<double> centrality(n, 0.0);
-  if (n == 0 || pivots == 0) return centrality;
-  if (pivots >= n) return BetweennessExact(g);
+}  // namespace
 
-  std::vector<size_t> sources = rng.SampleWithoutReplacement(n, pivots);
-  const double scale = static_cast<double>(n) / static_cast<double>(pivots);
-  std::vector<int64_t> distance;
-  std::vector<double> sigma;
-  std::vector<double> dependency;
-  std::vector<std::vector<NodeId>> predecessors(n);
-  std::vector<NodeId> order;
-  order.reserve(n);
-  for (size_t s : sources) {
-    BrandesPass(g, static_cast<NodeId>(s), scale, centrality, distance, sigma,
-                dependency, predecessors, order);
-  }
-  for (double& c : centrality) c /= 2.0;
-  return centrality;
+std::vector<double> BetweennessExact(const Graph& g) {
+  return BetweennessExact(g, nullptr);
 }
 
-std::vector<double> NormalizeBetweenness(std::vector<double> scores) {
+std::vector<double> BetweennessExact(const Graph& g, ThreadPool* pool) {
+  std::vector<NodeId> sources(g.node_count());
+  std::iota(sources.begin(), sources.end(), NodeId{0});
+  return RunBrandes(g, sources, 1.0, pool);
+}
+
+std::vector<double> BetweennessSampled(const Graph& g, size_t pivots,
+                                       Rng& rng) {
+  return BetweennessSampled(g, pivots, rng, nullptr);
+}
+
+std::vector<double> BetweennessSampled(const Graph& g, size_t pivots,
+                                       Rng& rng, ThreadPool* pool) {
+  const size_t n = g.node_count();
+  if (n == 0 || pivots == 0) return std::vector<double>(n, 0.0);
+  if (pivots >= n) return BetweennessExact(g, pool);
+
+  const std::vector<size_t> drawn = rng.SampleWithoutReplacement(n, pivots);
+  std::vector<NodeId> sources;
+  sources.reserve(drawn.size());
+  for (size_t s : drawn) sources.push_back(static_cast<NodeId>(s));
+  const double scale = static_cast<double>(n) / static_cast<double>(pivots);
+  return RunBrandes(g, sources, scale, pool);
+}
+
+void NormalizeBetweennessInPlace(std::span<double> scores) {
   const size_t n = scores.size();
   if (n < 3) {
     for (double& s : scores) s = 0.0;
-    return scores;
+    return;
   }
   const double max_pairs =
       static_cast<double>(n - 1) * static_cast<double>(n - 2) / 2.0;
   for (double& s : scores) s /= max_pairs;
+}
+
+std::vector<double> NormalizeBetweenness(std::vector<double> scores) {
+  NormalizeBetweennessInPlace(scores);
   return scores;
 }
 

@@ -1,9 +1,11 @@
 #ifndef EVOREC_GRAPH_BETWEENNESS_H_
 #define EVOREC_GRAPH_BETWEENNESS_H_
 
+#include <span>
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "graph/graph.h"
 
 namespace evorec::graph {
@@ -13,17 +15,34 @@ namespace evorec::graph {
 /// are not normalised (divide by (n-1)(n-2)/2 if needed). Paper §II.c:
 /// "the Betweenness of a class counts the number of the shortest paths
 /// from all nodes to all others that pass through that node".
+///
+/// When `pool` is non-null the single-source passes fan out over its
+/// workers. Source indices are partitioned on a fixed chunk grid that
+/// depends only on the source count — never on the pool size — and
+/// per-chunk accumulators are reduced in chunk order, so the result is
+/// bit-identical to the serial path for every pool size (floating-point
+/// additions happen in the same grouping either way).
 std::vector<double> BetweennessExact(const Graph& g);
+std::vector<double> BetweennessExact(const Graph& g, ThreadPool* pool);
 
 /// Pivot-sampled approximation of betweenness: runs Brandes'
 /// single-source pass from `pivots` sources drawn uniformly and scales
 /// by n / pivots. Unbiased in expectation; used by the E3 ablation to
-/// trade accuracy for speed on large schema graphs.
+/// trade accuracy for speed on large schema graphs. The `pool`
+/// overload parallelises the pivot passes with the same deterministic
+/// reduction as BetweennessExact (the sample itself is drawn serially
+/// from `rng`, so results match the serial path bit for bit).
 std::vector<double> BetweennessSampled(const Graph& g, size_t pivots,
                                        Rng& rng);
+std::vector<double> BetweennessSampled(const Graph& g, size_t pivots,
+                                       Rng& rng, ThreadPool* pool);
 
-/// Normalises raw betweenness scores to [0,1] by the maximum possible
-/// pair count (n-1)(n-2)/2; returns zeros for n < 3.
+/// Normalises raw betweenness scores in place by the maximum possible
+/// pair count (n-1)(n-2)/2; zeroes everything for n < 3.
+void NormalizeBetweennessInPlace(std::span<double> scores);
+
+/// Convenience value form of NormalizeBetweennessInPlace — pass
+/// rvalues (std::move an lvalue) to avoid copying the score vector.
 std::vector<double> NormalizeBetweenness(std::vector<double> scores);
 
 }  // namespace evorec::graph

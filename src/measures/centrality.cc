@@ -16,38 +16,74 @@ double RelativeCardinality(const schema::SchemaView& view,
   return static_cast<double>(conn) / static_cast<double>(denom);
 }
 
-std::unordered_map<rdf::TermId, double> ComputeCentrality(
-    const schema::SchemaView& view, CentralityDirection direction) {
-  std::unordered_map<rdf::TermId, double> centrality;
-  for (rdf::TermId cls : view.classes()) {
-    centrality[cls] = 0.0;
-  }
+std::vector<size_t> PropertyInstanceTotals(const schema::SchemaView& view) {
   // Per-property edge totals, used as connection weights: a connection
   // that carries most of a property's instances matters more to the
-  // classes it links.
-  std::unordered_map<rdf::TermId, size_t> property_totals;
+  // entities it links. Dense over the view's sorted property list.
+  const std::vector<rdf::TermId>& properties = view.properties();
+  std::vector<size_t> totals(properties.size(), 0);
   for (const schema::PropertyConnection& conn : view.connections()) {
-    property_totals[conn.property] += conn.instance_count;
+    const size_t p = rdf::SortedIndexOf(properties, conn.property);
+    if (p != rdf::kNotInUniverse) totals[p] += conn.instance_count;
   }
+  return totals;
+}
+
+double ConnectionContribution(const schema::SchemaView& view,
+                              const schema::PropertyConnection& conn,
+                              size_t property_total) {
+  // conn.instance_count IS ConnectionCount(property, from, to) —
+  // connections() holds one deduplicated entry per key.
+  const size_t denom =
+      view.TotalConnectionsOf(conn.classes.from) +
+      (conn.classes.from == conn.classes.to
+           ? 0
+           : view.TotalConnectionsOf(conn.classes.to));
+  if (conn.instance_count == 0 || denom == 0 || property_total == 0) {
+    return 0.0;
+  }
+  const double rc = static_cast<double>(conn.instance_count) /
+                    static_cast<double>(denom);
+  const double weight = static_cast<double>(conn.instance_count) /
+                        static_cast<double>(property_total);
+  return rc * weight;
+}
+
+std::vector<double> ComputeCentralityDense(
+    const schema::SchemaView& view, CentralityDirection direction,
+    const std::vector<rdf::TermId>& universe) {
+  std::vector<double> centrality(universe.size(), 0.0);
+  const std::vector<rdf::TermId>& properties = view.properties();
+  const std::vector<size_t> property_totals = PropertyInstanceTotals(view);
   for (const schema::PropertyConnection& conn : view.connections()) {
-    const double rc = RelativeCardinality(view, conn.property,
-                                          conn.classes.from, conn.classes.to);
-    if (rc <= 0.0) continue;
-    const size_t prop_total = property_totals[conn.property];
-    const double weight =
-        prop_total == 0 ? 0.0
-                        : static_cast<double>(conn.instance_count) /
-                              static_cast<double>(prop_total);
-    const double contribution = rc * weight;
+    const size_t p = rdf::SortedIndexOf(properties, conn.property);
+    const double contribution = ConnectionContribution(
+        view, conn, p == rdf::kNotInUniverse ? 0 : property_totals[p]);
+    if (contribution <= 0.0) continue;
     // Outgoing for the subject class, incoming for the object class.
     if (direction == CentralityDirection::kOut ||
         direction == CentralityDirection::kTotal) {
-      centrality[conn.classes.from] += contribution;
+      const size_t i = rdf::SortedIndexOf(universe, conn.classes.from);
+      if (i != rdf::kNotInUniverse) centrality[i] += contribution;
     }
     if (direction == CentralityDirection::kIn ||
         direction == CentralityDirection::kTotal) {
-      centrality[conn.classes.to] += contribution;
+      const size_t i = rdf::SortedIndexOf(universe, conn.classes.to);
+      if (i != rdf::kNotInUniverse) centrality[i] += contribution;
     }
+  }
+  return centrality;
+}
+
+std::unordered_map<rdf::TermId, double> ComputeCentrality(
+    const schema::SchemaView& view, CentralityDirection direction) {
+  const std::vector<rdf::TermId>& classes = view.classes();
+  const std::vector<double> dense =
+      ComputeCentralityDense(view, direction, classes);
+  std::unordered_map<rdf::TermId, double> centrality;
+  centrality.reserve(classes.size());
+  for (size_t i = 0; i < classes.size(); ++i) {
+    centrality[classes[i]] = dense[i];
   }
   return centrality;
 }
@@ -81,17 +117,16 @@ CentralityShiftMeasure::CentralityShiftMeasure(CentralityDirection direction)
 
 Result<MeasureReport> CentralityShiftMeasure::Compute(
     const EvolutionContext& ctx) const {
-  const auto before = ComputeCentrality(ctx.view_before(), direction_);
-  const auto after = ComputeCentrality(ctx.view_after(), direction_);
-  MeasureReport report;
-  for (rdf::TermId cls : ctx.union_classes()) {
-    auto b = before.find(cls);
-    auto a = after.find(cls);
-    const double vb = b == before.end() ? 0.0 : b->second;
-    const double va = a == after.end() ? 0.0 : a->second;
-    report.Add(cls, std::abs(va - vb));
+  const std::vector<rdf::TermId>& classes = ctx.union_classes();
+  const std::vector<double> before =
+      ComputeCentralityDense(ctx.view_before(), direction_, classes);
+  const std::vector<double> after =
+      ComputeCentralityDense(ctx.view_after(), direction_, classes);
+  std::vector<ScoredTerm> scores(classes.size());
+  for (size_t i = 0; i < classes.size(); ++i) {
+    scores[i] = {classes[i], std::abs(after[i] - before[i])};
   }
-  return report;
+  return MeasureReport(std::move(scores));
 }
 
 }  // namespace evorec::measures

@@ -2,6 +2,7 @@
 #define EVOREC_MEASURES_CENTRALITY_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "measures/measure.h"
 #include "schema/schema_view.h"
@@ -34,6 +35,29 @@ double RelativeCardinality(const schema::SchemaView& view,
 /// connections score 0.
 std::unordered_map<rdf::TermId, double> ComputeCentrality(
     const schema::SchemaView& view, CentralityDirection direction);
+
+/// Per-property instance-edge totals, aligned to view.properties() —
+/// the weight denominators of the flat centrality/importance kernels.
+std::vector<size_t> PropertyInstanceTotals(const schema::SchemaView& view);
+
+/// The weighted relative-cardinality contribution of one connection:
+/// RC(e(n, ni)) × the fraction of the property's instance edges the
+/// connection carries (`property_total` from PropertyInstanceTotals).
+/// 0 for degenerate connections. The shared per-connection kernel of
+/// class centrality and property importance — keep the two measures
+/// consistent by construction.
+double ConnectionContribution(const schema::SchemaView& view,
+                              const schema::PropertyConnection& conn,
+                              size_t property_total);
+
+/// Flat-kernel form of ComputeCentrality: scores aligned to the sorted
+/// class list `universe` (0 for classes without connections or absent
+/// from the view). One linear pass over the view's connections into a
+/// dense vector — no per-class hashing. The map form above is a thin
+/// wrapper over this kernel.
+std::vector<double> ComputeCentralityDense(
+    const schema::SchemaView& view, CentralityDirection direction,
+    const std::vector<rdf::TermId>& universe);
 
 /// §II.d — importance-shift measure on semantic centrality:
 /// |C_{V2}(n) − C_{V1}(n)| per class, for the configured direction.

@@ -15,14 +15,15 @@ ClassChangeCountMeasure::ClassChangeCountMeasure(bool extended)
 
 Result<MeasureReport> ClassChangeCountMeasure::Compute(
     const EvolutionContext& ctx) const {
-  MeasureReport report;
   const delta::DeltaIndex& index = ctx.delta_index();
-  for (rdf::TermId cls : ctx.union_classes()) {
-    const size_t count =
-        extended_ ? index.ExtendedChanges(cls) : index.DirectChanges(cls);
-    report.Add(cls, static_cast<double>(count));
+  const std::vector<rdf::TermId>& classes = ctx.union_classes();
+  std::vector<ScoredTerm> scores(classes.size());
+  for (size_t i = 0; i < classes.size(); ++i) {
+    const size_t count = extended_ ? index.ExtendedChangesAt(i)
+                                   : index.DirectChanges(classes[i]);
+    scores[i] = {classes[i], static_cast<double>(count)};
   }
-  return report;
+  return MeasureReport(std::move(scores));
 }
 
 PropertyChangeCountMeasure::PropertyChangeCountMeasure() {

@@ -1,5 +1,7 @@
 #include "measures/measure_context.h"
 
+#include <utility>
+
 #include "common/hash.h"
 #include "graph/betweenness.h"
 
@@ -15,78 +17,150 @@ uint64_t ContextOptionsFingerprint(const ContextOptions& options) {
   return static_cast<uint64_t>(seed);
 }
 
+std::vector<double> ComputeBetweenness(const graph::Graph& g,
+                                       const ContextOptions& options,
+                                       ThreadPool* pool) {
+  if (options.betweenness_mode == BetweennessMode::kExact) {
+    return graph::BetweennessExact(g, pool);
+  }
+  Rng rng(options.seed);
+  return graph::BetweennessSampled(g, options.betweenness_pivots, rng, pool);
+}
+
+LazyBetweenness::LazyBetweenness(
+    std::shared_ptr<const graph::SchemaGraph> graph, ContextOptions options,
+    ThreadPool* pool, std::function<void()> on_compute)
+    : graph_(std::move(graph)),
+      options_(options),
+      pool_(pool),
+      on_compute_(std::move(on_compute)) {}
+
+const std::vector<double>& LazyBetweenness::Get() const {
+  std::call_once(once_, [&] {
+    if (on_compute_) on_compute_();
+    scores_ = ComputeBetweenness(graph_->graph(), options_, pool_);
+  });
+  return scores_;
+}
+
+VersionArtefacts MakeVersionArtefacts(
+    std::shared_ptr<const rdf::KnowledgeBase> snapshot,
+    const ContextOptions& options, ThreadPool* pool) {
+  VersionArtefacts artefacts;
+  artefacts.snapshot = std::move(snapshot);
+  artefacts.view = std::make_shared<const schema::SchemaView>(
+      schema::SchemaView::Build(*artefacts.snapshot));
+  artefacts.graph = std::make_shared<const graph::SchemaGraph>(
+      graph::SchemaGraph::Build(*artefacts.view,
+                                artefacts.view->classes()));
+  artefacts.betweenness =
+      std::make_shared<const LazyBetweenness>(artefacts.graph, options, pool);
+  return artefacts;
+}
+
 Result<EvolutionContext> EvolutionContext::Build(
     const rdf::KnowledgeBase& before, const rdf::KnowledgeBase& after,
-    ContextOptions options) {
+    ContextOptions options, ThreadPool* pool) {
   return Build(std::make_shared<const rdf::KnowledgeBase>(before),
-               std::make_shared<const rdf::KnowledgeBase>(after), options);
+               std::make_shared<const rdf::KnowledgeBase>(after), options,
+               pool);
 }
 
 Result<EvolutionContext> EvolutionContext::Build(
     std::shared_ptr<const rdf::KnowledgeBase> before,
-    std::shared_ptr<const rdf::KnowledgeBase> after, ContextOptions options) {
+    std::shared_ptr<const rdf::KnowledgeBase> after, ContextOptions options,
+    ThreadPool* pool) {
   if (before == nullptr || after == nullptr) {
     return InvalidArgumentError("EvolutionContext requires two snapshots");
   }
-  if (before->shared_dictionary() != after->shared_dictionary()) {
+  return Build(MakeVersionArtefacts(std::move(before), options, pool),
+               MakeVersionArtefacts(std::move(after), options, pool),
+               options);
+}
+
+Result<EvolutionContext> EvolutionContext::Build(VersionArtefacts before,
+                                                 VersionArtefacts after,
+                                                 ContextOptions options) {
+  if (before.snapshot == nullptr || before.view == nullptr ||
+      before.graph == nullptr || before.betweenness == nullptr ||
+      after.snapshot == nullptr || after.view == nullptr ||
+      after.graph == nullptr || after.betweenness == nullptr) {
+    return InvalidArgumentError(
+        "EvolutionContext requires fully populated artefact bundles");
+  }
+  if (before.snapshot->shared_dictionary() !=
+      after.snapshot->shared_dictionary()) {
     return InvalidArgumentError(
         "EvolutionContext requires snapshots sharing one dictionary");
   }
   EvolutionContext ctx;
   ctx.options_ = options;
-  ctx.before_ = std::move(before);
-  ctx.after_ = std::move(after);
-  ctx.view_before_ = schema::SchemaView::Build(*ctx.before_);
-  ctx.view_after_ = schema::SchemaView::Build(*ctx.after_);
+  ctx.before_ = std::move(before.snapshot);
+  ctx.after_ = std::move(after.snapshot);
+  ctx.view_before_ = std::move(before.view);
+  ctx.view_after_ = std::move(after.view);
+  ctx.graph_before_ = std::move(before.graph);
+  ctx.graph_after_ = std::move(after.graph);
+  ctx.raw_before_ = std::move(before.betweenness);
+  ctx.raw_after_ = std::move(after.betweenness);
   ctx.delta_ = delta::ComputeLowLevelDelta(*ctx.before_, *ctx.after_);
+  // Deferred-neighborhood build: a context whose measures never touch
+  // neighborhoods (e.g. a betweenness-only chain walk) skips the
+  // per-class neighborhood unions entirely.
   ctx.delta_index_ = delta::DeltaIndex::Build(
       ctx.delta_, ctx.view_before_, ctx.view_after_,
       ctx.before_->vocabulary());
-  ctx.graph_before_ = graph::SchemaGraph::Build(
-      ctx.view_before_, ctx.delta_index_.union_classes());
-  ctx.graph_after_ = graph::SchemaGraph::Build(
-      ctx.view_after_, ctx.delta_index_.union_classes());
   ctx.lazy_ = std::make_shared<LazyArtefacts>();
   return ctx;
 }
 
 Result<EvolutionContext> EvolutionContext::FromVersions(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
-    version::VersionId v2, ContextOptions options) {
+    version::VersionId v2, ContextOptions options, ThreadPool* pool) {
   auto before = vkb.Snapshot(v1);
   if (!before.ok()) return before.status();
   auto after = vkb.Snapshot(v2);
   if (!after.ok()) return after.status();
-  return Build(**before, **after, options);
+  return Build(**before, **after, options, pool);
 }
 
-namespace {
-
-std::vector<double> ComputeBetweenness(const graph::Graph& g,
-                                       const ContextOptions& options) {
-  if (options.betweenness_mode == BetweennessMode::kExact) {
-    return graph::BetweennessExact(g);
+std::vector<double> ScatterToUnion(
+    const std::vector<rdf::TermId>& own_classes,
+    const std::vector<double>& own_scores,
+    const std::vector<rdf::TermId>& union_classes) {
+  std::vector<double> out(union_classes.size(), 0.0);
+  size_t j = 0;
+  for (size_t i = 0; i < union_classes.size(); ++i) {
+    while (j < own_classes.size() && own_classes[j] < union_classes[i]) ++j;
+    if (j < own_classes.size() && own_classes[j] == union_classes[i]) {
+      out[i] = own_scores[j];
+    }
   }
-  Rng rng(options.seed);
-  return graph::BetweennessSampled(g, options.betweenness_pivots, rng);
+  return out;
 }
-
-}  // namespace
 
 const std::vector<double>& EvolutionContext::betweenness_before() const {
   std::call_once(lazy_->before_once, [&] {
-    lazy_->betweenness_before =
-        ComputeBetweenness(graph_before_.graph(), options_);
+    lazy_->betweenness_before = ScatterToUnion(
+        graph_before_->classes(), raw_before_->Get(), union_classes());
   });
   return lazy_->betweenness_before;
 }
 
 const std::vector<double>& EvolutionContext::betweenness_after() const {
   std::call_once(lazy_->after_once, [&] {
-    lazy_->betweenness_after =
-        ComputeBetweenness(graph_after_.graph(), options_);
+    lazy_->betweenness_after = ScatterToUnion(
+        graph_after_->classes(), raw_after_->Get(), union_classes());
   });
   return lazy_->betweenness_after;
+}
+
+const std::vector<double>& EvolutionContext::raw_betweenness_before() const {
+  return raw_before_->Get();
+}
+
+const std::vector<double>& EvolutionContext::raw_betweenness_after() const {
+  return raw_after_->Get();
 }
 
 }  // namespace evorec::measures

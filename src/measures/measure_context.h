@@ -2,12 +2,14 @@
 #define EVOREC_MEASURES_MEASURE_CONTEXT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "delta/delta_index.h"
 #include "delta/low_level_delta.h"
 #include "graph/schema_graph.h"
@@ -44,11 +46,86 @@ struct ContextOptions {
 /// Stable 64-bit fingerprint of `options` consistent with operator==.
 uint64_t ContextOptionsFingerprint(const ContextOptions& options);
 
+/// Betweenness of `g` per the configured mode. `pool` (optional)
+/// parallelises the Brandes passes; results are bit-identical with and
+/// without it.
+std::vector<double> ComputeBetweenness(const graph::Graph& g,
+                                       const ContextOptions& options,
+                                       ThreadPool* pool = nullptr);
+
+/// Scatters per-class scores aligned to the sorted class list
+/// `own_classes` into positions of the sorted superset
+/// `union_classes` (0 for classes absent from `own_classes`). The
+/// union-alignment primitive of the per-version artefact design; a
+/// two-pointer merge, no hashing.
+std::vector<double> ScatterToUnion(
+    const std::vector<rdf::TermId>& own_classes,
+    const std::vector<double>& own_scores,
+    const std::vector<rdf::TermId>& union_classes);
+
+/// A thread-safe, single-flight lazy cell for one version's raw
+/// betweenness vector (indexed like its schema graph). Cells are
+/// shared between every EvolutionContext that touches the version —
+/// and with the engine's ArtefactCache — so a version's Brandes run
+/// happens at most once no matter how many pairs include it.
+class LazyBetweenness {
+ public:
+  /// `on_compute`, when set, fires exactly once, right before the
+  /// computation actually runs (cache-stats hook).
+  LazyBetweenness(std::shared_ptr<const graph::SchemaGraph> graph,
+                  ContextOptions options, ThreadPool* pool = nullptr,
+                  std::function<void()> on_compute = nullptr);
+
+  /// The betweenness vector, computed on first call.
+  const std::vector<double>& Get() const;
+
+  const graph::SchemaGraph& graph() const { return *graph_; }
+
+ private:
+  std::shared_ptr<const graph::SchemaGraph> graph_;
+  ContextOptions options_;
+  ThreadPool* pool_;
+  std::function<void()> on_compute_;
+  mutable std::once_flag once_;
+  mutable std::vector<double> scores_;
+};
+
+/// One version's reusable cold-path artefacts: the snapshot, its
+/// schema view, the schema graph over the *version's own* class set
+/// (node i is view->classes()[i]), and the lazy betweenness cell of
+/// that graph. A version pair context is assembled from two of these,
+/// so a version shared by several pairs — e.g. the middle versions of
+/// a timeline chain walk — pays for its artefacts exactly once (see
+/// engine::ArtefactCache).
+struct VersionArtefacts {
+  std::shared_ptr<const rdf::KnowledgeBase> snapshot;
+  std::shared_ptr<const schema::SchemaView> view;
+  std::shared_ptr<const graph::SchemaGraph> graph;
+  std::shared_ptr<const LazyBetweenness> betweenness;
+};
+
+/// Builds the full artefact bundle for one snapshot (betweenness stays
+/// lazy). `snapshot` must be non-null.
+VersionArtefacts MakeVersionArtefacts(
+    std::shared_ptr<const rdf::KnowledgeBase> snapshot,
+    const ContextOptions& options, ThreadPool* pool = nullptr);
+
 /// Everything an evolution measure needs about one version pair
 /// (V1 → V2), computed once and shared by all measures:
 /// both snapshots, their schema views, the low-level delta and its
-/// index, index-aligned schema graphs over the union class universe,
-/// and cached betweenness vectors for both versions.
+/// index, per-version schema graphs, and cached betweenness for both
+/// versions.
+///
+/// Each version's schema graph covers that version's *own* class set
+/// (so it is reusable across pairs); union-universe alignment is
+/// provided by the scattered accessors: betweenness_before()/_after()
+/// are indexed by union_classes(), with 0 for classes absent from the
+/// respective version. In kExact mode the scatter is value-identical
+/// to computing over a union-universe graph (absent classes are
+/// isolated nodes with betweenness 0). In kSampled mode pivots are
+/// drawn from the version's own graph — a per-version sample that is
+/// stable across every pair including the version, rather than the
+/// pair-dependent union-universe sample of earlier revisions.
 ///
 /// Contexts are immutable after Build and cheap to pass by const
 /// reference; expensive artefacts (betweenness) are computed lazily on
@@ -60,7 +137,8 @@ class EvolutionContext {
   /// Builds a context from two snapshots that share a dictionary.
   static Result<EvolutionContext> Build(const rdf::KnowledgeBase& before,
                                         const rdf::KnowledgeBase& after,
-                                        ContextOptions options = {});
+                                        ContextOptions options = {},
+                                        ThreadPool* pool = nullptr);
 
   /// Adopts already-owned snapshots without copying them — the engine
   /// path, which snapshots under its own lock and hands the copies
@@ -69,25 +147,35 @@ class EvolutionContext {
   static Result<EvolutionContext> Build(
       std::shared_ptr<const rdf::KnowledgeBase> before,
       std::shared_ptr<const rdf::KnowledgeBase> after,
-      ContextOptions options = {});
+      ContextOptions options = {}, ThreadPool* pool = nullptr);
+
+  /// Assembles a context from prebuilt per-version artefact bundles
+  /// (the ArtefactCache fast path): only the pair-level delta work
+  /// runs; views, graphs and betweenness cells are adopted as-is.
+  /// Both bundles must be fully populated, share a dictionary, and
+  /// have been built with equivalent ContextOptions.
+  static Result<EvolutionContext> Build(VersionArtefacts before,
+                                        VersionArtefacts after,
+                                        ContextOptions options = {});
 
   /// Builds a context for versions (v1, v2) of `vkb`.
   static Result<EvolutionContext> FromVersions(
       const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
-      version::VersionId v2, ContextOptions options = {});
+      version::VersionId v2, ContextOptions options = {},
+      ThreadPool* pool = nullptr);
 
   const rdf::KnowledgeBase& before() const { return *before_; }
   const rdf::KnowledgeBase& after() const { return *after_; }
   const rdf::Vocabulary& vocabulary() const { return before_->vocabulary(); }
 
-  const schema::SchemaView& view_before() const { return view_before_; }
-  const schema::SchemaView& view_after() const { return view_after_; }
+  const schema::SchemaView& view_before() const { return *view_before_; }
+  const schema::SchemaView& view_after() const { return *view_after_; }
 
   const delta::LowLevelDelta& low_level_delta() const { return delta_; }
   const delta::DeltaIndex& delta_index() const { return delta_index_; }
 
-  /// Union class universe (sorted); node i of both schema graphs is
-  /// classes()[i].
+  /// Union class universe (sorted); betweenness_before()/_after()
+  /// index by it.
   const std::vector<rdf::TermId>& union_classes() const {
     return delta_index_.union_classes();
   }
@@ -95,20 +183,27 @@ class EvolutionContext {
     return delta_index_.union_properties();
   }
 
-  const graph::SchemaGraph& graph_before() const { return graph_before_; }
-  const graph::SchemaGraph& graph_after() const { return graph_after_; }
+  /// Schema graph of each version over that version's own class set
+  /// (node i ↔ view_*().classes()[i]).
+  const graph::SchemaGraph& graph_before() const { return *graph_before_; }
+  const graph::SchemaGraph& graph_after() const { return *graph_after_; }
 
-  /// Betweenness per node of graph_before()/graph_after(), per the
-  /// configured mode. Computed on first call, then cached.
+  /// Betweenness aligned to union_classes() (0 for classes absent from
+  /// the version). Computed on first call, then cached.
   const std::vector<double>& betweenness_before() const;
   const std::vector<double>& betweenness_after() const;
+
+  /// Raw betweenness indexed like graph_before()/graph_after() — the
+  /// form to pair with the graphs (bridging, endpoint lookups).
+  const std::vector<double>& raw_betweenness_before() const;
+  const std::vector<double>& raw_betweenness_after() const;
 
   const ContextOptions& options() const { return options_; }
 
  private:
   EvolutionContext() = default;
 
-  /// Lazily-computed per-context artefacts, shared between copies.
+  /// Lazily-computed union-aligned scatters, shared between copies.
   struct LazyArtefacts {
     std::once_flag before_once;
     std::once_flag after_once;
@@ -121,12 +216,14 @@ class EvolutionContext {
   // copy and valid independent of the VersionedKnowledgeBase cache.
   std::shared_ptr<const rdf::KnowledgeBase> before_;
   std::shared_ptr<const rdf::KnowledgeBase> after_;
-  schema::SchemaView view_before_;
-  schema::SchemaView view_after_;
+  std::shared_ptr<const schema::SchemaView> view_before_;
+  std::shared_ptr<const schema::SchemaView> view_after_;
   delta::LowLevelDelta delta_;
   delta::DeltaIndex delta_index_;
-  graph::SchemaGraph graph_before_;
-  graph::SchemaGraph graph_after_;
+  std::shared_ptr<const graph::SchemaGraph> graph_before_;
+  std::shared_ptr<const graph::SchemaGraph> graph_after_;
+  std::shared_ptr<const LazyBetweenness> raw_before_;
+  std::shared_ptr<const LazyBetweenness> raw_after_;
   std::shared_ptr<LazyArtefacts> lazy_;
 };
 

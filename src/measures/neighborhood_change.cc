@@ -13,12 +13,14 @@ NeighborhoodChangeCountMeasure::NeighborhoodChangeCountMeasure() {
 
 Result<MeasureReport> NeighborhoodChangeCountMeasure::Compute(
     const EvolutionContext& ctx) const {
-  MeasureReport report;
   const delta::DeltaIndex& index = ctx.delta_index();
-  for (rdf::TermId cls : ctx.union_classes()) {
-    report.Add(cls, static_cast<double>(index.NeighborhoodChanges(cls)));
+  const std::vector<rdf::TermId>& classes = ctx.union_classes();
+  std::vector<ScoredTerm> scores(classes.size());
+  for (size_t i = 0; i < classes.size(); ++i) {
+    scores[i] = {classes[i],
+                 static_cast<double>(index.NeighborhoodChangesAt(i))};
   }
-  return report;
+  return MeasureReport(std::move(scores));
 }
 
 }  // namespace evorec::measures

@@ -8,26 +8,32 @@
 
 namespace evorec::measures {
 
+std::vector<double> ComputePropertyImportanceDense(
+    const schema::SchemaView& view,
+    const std::vector<rdf::TermId>& universe) {
+  std::vector<double> importance(universe.size(), 0.0);
+  const std::vector<rdf::TermId>& properties = view.properties();
+  const std::vector<size_t> property_totals = PropertyInstanceTotals(view);
+  for (const schema::PropertyConnection& conn : view.connections()) {
+    const size_t p = rdf::SortedIndexOf(properties, conn.property);
+    const double contribution = ConnectionContribution(
+        view, conn, p == rdf::kNotInUniverse ? 0 : property_totals[p]);
+    if (contribution <= 0.0) continue;
+    const size_t i = rdf::SortedIndexOf(universe, conn.property);
+    if (i != rdf::kNotInUniverse) importance[i] += contribution;
+  }
+  return importance;
+}
+
 std::unordered_map<rdf::TermId, double> ComputePropertyImportance(
     const schema::SchemaView& view) {
+  const std::vector<rdf::TermId>& properties = view.properties();
+  const std::vector<double> dense =
+      ComputePropertyImportanceDense(view, properties);
   std::unordered_map<rdf::TermId, double> importance;
-  for (rdf::TermId property : view.properties()) {
-    importance[property] = 0.0;
-  }
-  std::unordered_map<rdf::TermId, size_t> property_totals;
-  for (const schema::PropertyConnection& conn : view.connections()) {
-    property_totals[conn.property] += conn.instance_count;
-  }
-  for (const schema::PropertyConnection& conn : view.connections()) {
-    const double rc = RelativeCardinality(view, conn.property,
-                                          conn.classes.from, conn.classes.to);
-    if (rc <= 0.0) continue;
-    const size_t total = property_totals[conn.property];
-    const double weight =
-        total == 0 ? 0.0
-                   : static_cast<double>(conn.instance_count) /
-                         static_cast<double>(total);
-    importance[conn.property] += rc * weight;
+  importance.reserve(properties.size());
+  for (size_t i = 0; i < properties.size(); ++i) {
+    importance[properties[i]] = dense[i];
   }
   return importance;
 }
@@ -43,17 +49,16 @@ PropertyCardinalityShiftMeasure::PropertyCardinalityShiftMeasure() {
 
 Result<MeasureReport> PropertyCardinalityShiftMeasure::Compute(
     const EvolutionContext& ctx) const {
-  const auto before = ComputePropertyImportance(ctx.view_before());
-  const auto after = ComputePropertyImportance(ctx.view_after());
-  MeasureReport report;
-  for (rdf::TermId property : ctx.union_properties()) {
-    auto b = before.find(property);
-    auto a = after.find(property);
-    const double vb = b == before.end() ? 0.0 : b->second;
-    const double va = a == after.end() ? 0.0 : a->second;
-    report.Add(property, std::abs(va - vb));
+  const std::vector<rdf::TermId>& properties = ctx.union_properties();
+  const std::vector<double> before =
+      ComputePropertyImportanceDense(ctx.view_before(), properties);
+  const std::vector<double> after =
+      ComputePropertyImportanceDense(ctx.view_after(), properties);
+  std::vector<ScoredTerm> scores(properties.size());
+  for (size_t i = 0; i < properties.size(); ++i) {
+    scores[i] = {properties[i], std::abs(after[i] - before[i])};
   }
-  return report;
+  return MeasureReport(std::move(scores));
 }
 
 PropertyEndpointShiftMeasure::PropertyEndpointShiftMeasure() {
@@ -91,10 +96,10 @@ Result<MeasureReport> PropertyEndpointShiftMeasure::Compute(
   for (rdf::TermId property : ctx.union_properties()) {
     const double before =
         EndpointBetweenness(ctx.view_before(), ctx.graph_before(),
-                            ctx.betweenness_before(), property);
+                            ctx.raw_betweenness_before(), property);
     const double after =
         EndpointBetweenness(ctx.view_after(), ctx.graph_after(),
-                            ctx.betweenness_after(), property);
+                            ctx.raw_betweenness_after(), property);
     report.Add(property, std::abs(after - before));
   }
   return report;

@@ -2,6 +2,7 @@
 #define EVOREC_MEASURES_PROPERTY_MEASURES_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "measures/measure.h"
 #include "measures/registry.h"
@@ -20,6 +21,13 @@ namespace evorec::measures {
 /// carries — the property-side analogue of class centrality.
 std::unordered_map<rdf::TermId, double> ComputePropertyImportance(
     const schema::SchemaView& view);
+
+/// Flat-kernel form of ComputePropertyImportance: scores aligned to
+/// the sorted property list `universe` (0 for properties without
+/// connections or absent from the view). One linear pass over the
+/// view's connections into a dense vector; the map form wraps this.
+std::vector<double> ComputePropertyImportanceDense(
+    const schema::SchemaView& view, const std::vector<rdf::TermId>& universe);
 
 /// Importance-shift measure on property semantic importance:
 /// |PI_{V2}(p) − PI_{V1}(p)| per property. Captures how the evolution

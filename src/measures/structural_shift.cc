@@ -20,11 +20,11 @@ Result<MeasureReport> BetweennessShiftMeasure::Compute(
   const std::vector<double>& before = ctx.betweenness_before();
   const std::vector<double>& after = ctx.betweenness_after();
   const std::vector<rdf::TermId>& classes = ctx.union_classes();
-  MeasureReport report;
+  std::vector<ScoredTerm> scores(classes.size());
   for (size_t i = 0; i < classes.size(); ++i) {
-    report.Add(classes[i], std::abs(after[i] - before[i]));
+    scores[i] = {classes[i], std::abs(after[i] - before[i])};
   }
-  return report;
+  return MeasureReport(std::move(scores));
 }
 
 BridgingShiftMeasure::BridgingShiftMeasure() {
@@ -36,18 +36,33 @@ BridgingShiftMeasure::BridgingShiftMeasure() {
   info_.scope = MeasureScope::kClass;
 }
 
+namespace {
+
+// Bridging centrality of one version, scattered to the union universe
+// (0 for classes absent from the version — they would be isolated
+// nodes, which bridge nothing).
+std::vector<double> UnionBridging(const graph::SchemaGraph& sg,
+                                  const std::vector<double>& raw_betweenness,
+                                  const std::vector<rdf::TermId>& universe) {
+  return ScatterToUnion(
+      sg.classes(), graph::BridgingCentrality(sg.graph(), raw_betweenness),
+      universe);
+}
+
+}  // namespace
+
 Result<MeasureReport> BridgingShiftMeasure::Compute(
     const EvolutionContext& ctx) const {
-  const std::vector<double> before = graph::BridgingCentrality(
-      ctx.graph_before().graph(), ctx.betweenness_before());
-  const std::vector<double> after = graph::BridgingCentrality(
-      ctx.graph_after().graph(), ctx.betweenness_after());
   const std::vector<rdf::TermId>& classes = ctx.union_classes();
-  MeasureReport report;
+  const std::vector<double> before = UnionBridging(
+      ctx.graph_before(), ctx.raw_betweenness_before(), classes);
+  const std::vector<double> after = UnionBridging(
+      ctx.graph_after(), ctx.raw_betweenness_after(), classes);
+  std::vector<ScoredTerm> scores(classes.size());
   for (size_t i = 0; i < classes.size(); ++i) {
-    report.Add(classes[i], std::abs(after[i] - before[i]));
+    scores[i] = {classes[i], std::abs(after[i] - before[i])};
   }
-  return report;
+  return MeasureReport(std::move(scores));
 }
 
 }  // namespace evorec::measures

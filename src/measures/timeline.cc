@@ -17,18 +17,31 @@ Result<EvolutionTimeline> EvolutionTimeline::Compute(
   if (first >= end) {
     return InvalidArgumentError("empty version range for timeline");
   }
-  EvolutionTimeline timeline;
-  std::vector<rdf::TermId> all_terms;
+  std::vector<MeasureReport> reports;
+  reports.reserve(end - first);
   for (version::VersionId v = first; v < end; ++v) {
     auto ctx = EvolutionContext::FromVersions(vkb, v, v + 1, options);
     if (!ctx.ok()) return ctx.status();
     auto report = measure.Compute(*ctx);
     if (!report.ok()) return report.status();
-    for (const ScoredTerm& s : report->scores()) {
+    reports.push_back(std::move(report).value());
+  }
+  return FromReports(std::move(reports));
+}
+
+Result<EvolutionTimeline> EvolutionTimeline::FromReports(
+    std::vector<MeasureReport> reports) {
+  if (reports.empty()) {
+    return InvalidArgumentError("timeline needs at least one transition");
+  }
+  EvolutionTimeline timeline;
+  std::vector<rdf::TermId> all_terms;
+  for (const MeasureReport& report : reports) {
+    for (const ScoredTerm& s : report.scores()) {
       all_terms.push_back(s.term);
     }
-    timeline.reports_.push_back(std::move(report).value());
   }
+  timeline.reports_ = std::move(reports);
   std::sort(all_terms.begin(), all_terms.end());
   all_terms.erase(std::unique(all_terms.begin(), all_terms.end()),
                   all_terms.end());

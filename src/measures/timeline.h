@@ -32,11 +32,20 @@ class EvolutionTimeline {
 
   /// Computes `measure` over every consecutive pair (v, v+1) of `vkb`
   /// from version `first` to `last` (defaults: full history). Each
-  /// transition builds its own EvolutionContext with `options`.
+  /// transition builds its own EvolutionContext with `options` — the
+  /// pair-keyed cold path, which rebuilds every middle version's
+  /// artefacts twice. Prefer EvaluationEngine::Timeline, whose
+  /// artefact cache builds each version's artefacts exactly once.
   static Result<EvolutionTimeline> Compute(
       const version::VersionedKnowledgeBase& vkb,
       const EvolutionMeasure& measure, version::VersionId first = 0,
       version::VersionId last = UINT32_MAX, ContextOptions options = {});
+
+  /// Assembles a timeline from per-transition reports computed
+  /// elsewhere (reports[i] covers transition first+i → first+i+1) —
+  /// the engine's chain-walk entry point. Fails on an empty sequence.
+  static Result<EvolutionTimeline> FromReports(
+      std::vector<MeasureReport> reports);
 
   /// Number of transitions covered.
   size_t transition_count() const { return reports_.size(); }

@@ -1,7 +1,10 @@
 #ifndef EVOREC_RDF_TERM_H_
 #define EVOREC_RDF_TERM_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -12,6 +15,20 @@ using TermId = uint32_t;
 
 /// Sentinel meaning "no term" / "any term" (pattern wildcard).
 inline constexpr TermId kAnyTerm = UINT32_MAX;
+
+/// Sentinel returned by SortedIndexOf for ids outside the universe.
+inline constexpr size_t kNotInUniverse = SIZE_MAX;
+
+/// Position of `id` in the sorted id list `universe`, or
+/// kNotInUniverse. The dense-id primitive of the flat measure kernels:
+/// sorted term universes (union classes/properties, a view's classes)
+/// double as contiguous index spaces, so per-term scores live in plain
+/// vectors instead of hash maps.
+inline size_t SortedIndexOf(std::span<const TermId> universe, TermId id) {
+  const auto it = std::lower_bound(universe.begin(), universe.end(), id);
+  if (it == universe.end() || *it != id) return kNotInUniverse;
+  return static_cast<size_t>(it - universe.begin());
+}
 
 /// RDF term kinds. Blank nodes are carried with a local label; literal
 /// language tags and datatypes are kept verbatim.

@@ -1,0 +1,292 @@
+// Version-level artefact cache: the counter-verified reuse contract of
+// the cold path. Walking a K-version chain through the engine must
+// build each version's snapshot, schema view, schema graph and
+// betweenness exactly once (the pair-keyed path performed 2·(K−1)
+// builds), while producing reports bit-identical to the classic
+// per-pair path. Plus a concurrency stress over one shared cache
+// (exercised by the TSan CI job).
+
+#include "engine/artefact_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/evaluation_engine.h"
+#include "measures/structural_shift.h"
+#include "measures/timeline.h"
+#include "workload/scenarios.h"
+
+namespace evorec::engine {
+namespace {
+
+workload::Scenario ChainScenario(size_t versions, uint64_t seed = 11) {
+  workload::ScenarioScale scale;
+  scale.classes = 40;
+  scale.properties = 14;
+  scale.instances = 250;
+  scale.edges = 500;
+  scale.versions = versions;
+  scale.operations = 90;
+  return workload::MakeDbpediaLike(seed, scale);
+}
+
+void ExpectIdenticalReports(const measures::MeasureReport& a,
+                            const measures::MeasureReport& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.scores()[i].term, b.scores()[i].term) << label;
+    // Exact equality: the engine path (shared artefacts + pooled
+    // Brandes) must be bit-identical to the serial per-pair path.
+    EXPECT_EQ(a.scores()[i].score, b.scores()[i].score)
+        << label << " term " << a.scores()[i].term;
+  }
+}
+
+TEST(ArtefactCacheChainWalkTest, ChainWalkBuildsEachVersionOnce) {
+  constexpr size_t kTransitions = 5;
+  const size_t kVersions = kTransitions + 1;
+  workload::Scenario scenario = ChainScenario(kTransitions);
+  ASSERT_EQ(scenario.vkb->version_count(), kVersions);
+
+  measures::MeasureRegistry registry = measures::DefaultRegistry();
+  EvaluationEngine engine(registry, {.context_cache_capacity = 16,
+                                     .threads = 4});
+  auto timeline = engine.Timeline(*scenario.vkb, "betweenness_shift");
+  ASSERT_TRUE(timeline.ok()) << timeline.status().ToString();
+  EXPECT_EQ(timeline->transition_count(), kTransitions);
+
+  // The reuse contract: K artefact builds, not 2·(K−1).
+  const ArtefactCacheStats stats = engine.artefact_stats();
+  EXPECT_EQ(stats.betweenness_runs, kVersions);
+  EXPECT_EQ(stats.graph_builds, kVersions);
+  EXPECT_EQ(stats.view_builds, kVersions);
+  EXPECT_EQ(stats.snapshot_loads, kVersions);
+  EXPECT_EQ(stats.misses, kVersions);
+  // Every middle version is requested a second time by the next pair.
+  EXPECT_EQ(stats.hits, kTransitions - 1);
+
+  // And the fast path changes nothing about the numbers: bit-identical
+  // to the classic pair-keyed walk.
+  measures::BetweennessShiftMeasure measure;
+  auto classic = measures::EvolutionTimeline::Compute(*scenario.vkb, measure);
+  ASSERT_TRUE(classic.ok());
+  ASSERT_EQ(classic->transition_count(), timeline->transition_count());
+  for (size_t t = 0; t < classic->transition_count(); ++t) {
+    ExpectIdenticalReports(classic->report(t), timeline->report(t),
+                           "transition " + std::to_string(t));
+  }
+}
+
+TEST(ArtefactCacheChainWalkTest, AdjacentPairsShareTheMiddleVersion) {
+  workload::Scenario scenario = ChainScenario(2);
+  measures::MeasureRegistry registry = measures::DefaultRegistry();
+  EvaluationEngine engine(registry, {.threads = 1});
+
+  ASSERT_TRUE(engine.Evaluate(*scenario.vkb, 0, 1).ok());
+  ASSERT_TRUE(engine.Evaluate(*scenario.vkb, 1, 2).ok());
+
+  const ArtefactCacheStats stats = engine.artefact_stats();
+  EXPECT_EQ(stats.snapshot_loads, 3u);  // V1 materialised once, not twice
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ArtefactCacheChainWalkTest, SecondWalkIsFullyWarm) {
+  workload::Scenario scenario = ChainScenario(3);
+  measures::MeasureRegistry registry = measures::DefaultRegistry();
+  EvaluationEngine engine(registry, {.context_cache_capacity = 8,
+                                     .threads = 2});
+  ASSERT_TRUE(engine.Timeline(*scenario.vkb, "betweenness_shift").ok());
+  const ArtefactCacheStats cold = engine.artefact_stats();
+  ASSERT_TRUE(engine.Timeline(*scenario.vkb, "betweenness_shift").ok());
+  const ArtefactCacheStats warm = engine.artefact_stats();
+  // The second walk is served entirely from the context cache: no new
+  // artefact traffic at all.
+  EXPECT_EQ(warm.snapshot_loads, cold.snapshot_loads);
+  EXPECT_EQ(warm.betweenness_runs, cold.betweenness_runs);
+  EXPECT_EQ(warm.misses, cold.misses);
+  EXPECT_EQ(warm.hits, cold.hits);
+}
+
+TEST(ArtefactCacheChainWalkTest, IdentityPairBuildsOneVersion) {
+  workload::Scenario scenario = ChainScenario(1);
+  measures::MeasureRegistry registry = measures::DefaultRegistry();
+  EvaluationEngine engine(registry, {.threads = 1});
+  auto eval = engine.Evaluate(*scenario.vkb, 1, 1);
+  ASSERT_TRUE(eval.ok());
+  auto report = (*eval)->Report("betweenness_shift");
+  ASSERT_TRUE(report.ok());
+  const ArtefactCacheStats stats = engine.artefact_stats();
+  EXPECT_EQ(stats.snapshot_loads, 1u);
+  EXPECT_EQ(stats.betweenness_runs, 1u);  // both sides share the cell
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ArtefactCacheChainWalkTest, CrossInstanceFingerprintHitFallsBackSafely) {
+  // Distinct VersionedKnowledgeBase instances with identical histories
+  // share fingerprints but carry distinct Dictionary objects. A pair
+  // mixing a cached artefact of instance A with a fresh one of
+  // instance B cannot share a dictionary; the engine must fall back to
+  // an uncached-but-correct build instead of failing the request.
+  workload::Scenario a = ChainScenario(2, 31);
+  workload::Scenario b = ChainScenario(2, 31);
+  measures::MeasureRegistry registry = measures::DefaultRegistry();
+  EvaluationEngine engine(registry, {.threads = 1});
+
+  ASSERT_TRUE(engine.Evaluate(*a.vkb, 0, 1).ok());  // caches fp0, fp1 from A
+  // (1,2) on B: fp1 hits A's artefacts, fp2 materialises from B.
+  auto eval = engine.Evaluate(*b.vkb, 1, 2);
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+  auto report = (*eval)->Report("betweenness_shift");
+  ASSERT_TRUE(report.ok());
+
+  auto ctx = measures::EvolutionContext::FromVersions(*a.vkb, 1, 2);
+  ASSERT_TRUE(ctx.ok());
+  measures::BetweennessShiftMeasure measure;
+  auto reference = measure.Compute(*ctx);
+  ASSERT_TRUE(reference.ok());
+  ExpectIdenticalReports(*reference, **report, "cross-instance pair");
+}
+
+TEST(ArtefactCacheTest, EvictionKeepsHandedOutBundlesValid) {
+  workload::Scenario scenario = ChainScenario(3);
+  measures::MeasureRegistry registry = measures::DefaultRegistry();
+  EvaluationEngine engine(registry, {.context_cache_capacity = 8,
+                                     .artefact_cache_capacity = 1,
+                                     .threads = 1});
+  auto timeline = engine.Timeline(*scenario.vkb, "betweenness_shift");
+  ASSERT_TRUE(timeline.ok()) << timeline.status().ToString();
+  EXPECT_EQ(timeline->transition_count(), 3u);
+  const ArtefactCacheStats stats = engine.artefact_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  // With capacity 1 the shared middle versions are rebuilt — the
+  // pair-keyed worst case, but never more than that.
+  EXPECT_LE(stats.snapshot_loads, 2u * 3u);
+}
+
+TEST(ArtefactCacheTest, FailedMaterializeIsNotCached) {
+  ArtefactCache cache(4);
+  measures::ContextOptions options;
+  auto failed = cache.Get(42, options, [] {
+    return Result<std::shared_ptr<const rdf::KnowledgeBase>>(
+        InternalError("boom"));
+  });
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(cache.size(), 0u);
+
+  workload::Scenario scenario = ChainScenario(1);
+  auto snapshot = scenario.vkb->Snapshot(0);
+  ASSERT_TRUE(snapshot.ok());
+  auto ok = cache.Get(42, options, [&] {
+    return Result<std::shared_ptr<const rdf::KnowledgeBase>>(
+        std::make_shared<const rdf::KnowledgeBase>(**snapshot));
+  });
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// Stress: many threads assemble contexts for random version pairs
+// through ONE shared cache. Exercised under TSan in CI; the
+// single-flight guarantee means each version's artefacts are built at
+// most once even under contention.
+TEST(ArtefactCacheConcurrencyTest, ConcurrentContextBuildsShareOneCache) {
+  constexpr size_t kTransitions = 4;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIterations = 12;
+  workload::Scenario scenario = ChainScenario(kTransitions, 29);
+  const size_t versions = scenario.vkb->version_count();
+
+  // Pre-fetch fingerprints; materializers serialise vkb access.
+  std::vector<uint64_t> fingerprints;
+  for (size_t v = 0; v < versions; ++v) {
+    auto handle = scenario.vkb->Handle(static_cast<version::VersionId>(v));
+    ASSERT_TRUE(handle.ok());
+    fingerprints.push_back(handle->fingerprint);
+  }
+
+  ThreadPool brandes_pool(2);
+  ArtefactCache cache(16, &brandes_pool);
+  std::mutex vkb_mu;
+  measures::ContextOptions options;
+
+  // Serial reference reports, one per transition.
+  measures::BetweennessShiftMeasure measure;
+  std::vector<measures::MeasureReport> reference;
+  for (size_t v = 0; v + 1 < versions; ++v) {
+    auto ctx = measures::EvolutionContext::FromVersions(
+        *scenario.vkb, static_cast<version::VersionId>(v),
+        static_cast<version::VersionId>(v + 1), options);
+    ASSERT_TRUE(ctx.ok());
+    auto report = measure.Compute(*ctx);
+    ASSERT_TRUE(report.ok());
+    reference.push_back(std::move(report).value());
+  }
+
+  const auto materialize = [&](size_t v) {
+    return [&scenario, &vkb_mu,
+            v]() -> Result<std::shared_ptr<const rdf::KnowledgeBase>> {
+      std::lock_guard<std::mutex> lock(vkb_mu);
+      auto kb = scenario.vkb->Snapshot(static_cast<version::VersionId>(v));
+      if (!kb.ok()) return kb.status();
+      return std::make_shared<const rdf::KnowledgeBase>(**kb);
+    };
+  };
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kIterations; ++i) {
+        const size_t v = (t + i) % (versions - 1);
+        auto before = cache.Get(fingerprints[v], options, materialize(v));
+        auto after =
+            cache.Get(fingerprints[v + 1], options, materialize(v + 1));
+        if (!before.ok() || !after.ok()) {
+          ++failures;
+          continue;
+        }
+        auto ctx = measures::EvolutionContext::Build(
+            std::move(*before), std::move(*after), options);
+        if (!ctx.ok()) {
+          ++failures;
+          continue;
+        }
+        auto report = measure.Compute(*ctx);
+        if (!report.ok() ||
+            report->scores().size() != reference[v].scores().size()) {
+          ++failures;
+          continue;
+        }
+        for (size_t s = 0; s < report->scores().size(); ++s) {
+          if (report->scores()[s].score != reference[v].scores()[s].score) {
+            ++failures;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const ArtefactCacheStats stats = cache.stats();
+  // Single-flight: every version built exactly once despite
+  // kThreads × kIterations × 2 requests.
+  EXPECT_EQ(stats.snapshot_loads, versions);
+  EXPECT_EQ(stats.betweenness_runs, versions);
+  EXPECT_EQ(stats.misses, versions);
+  EXPECT_EQ(stats.hits + stats.coalesced,
+            kThreads * kIterations * 2 - versions);
+}
+
+}  // namespace
+}  // namespace evorec::engine

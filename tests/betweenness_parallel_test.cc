@@ -1,0 +1,168 @@
+// Determinism suite for the parallel Brandes path: the ThreadPool
+// overloads of BetweennessExact/BetweennessSampled must be
+// bit-identical to the serial path for every pool size and graph
+// shape — the contract that lets the engine parallelise cold context
+// builds without perturbing any cached or recorded score.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "graph/betweenness.h"
+#include "graph/graph.h"
+
+namespace evorec::graph {
+namespace {
+
+Graph Path(size_t n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph Star(size_t leaves) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 1; i <= leaves; ++i) edges.emplace_back(0, i);
+  return Graph::FromEdges(leaves + 1, std::move(edges));
+}
+
+// Two cliques joined by a bridge plus isolated nodes — multiple
+// shortest paths (non-dyadic sigma ratios), so any reduction-order
+// difference would actually show up in the low bits.
+Graph Tangled() {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i < 6; ++i) {
+    for (NodeId j = i + 1; j < 6; ++j) edges.emplace_back(i, j);
+  }
+  for (NodeId i = 7; i < 13; ++i) {
+    for (NodeId j = i + 1; j < 13; ++j) edges.emplace_back(i, j);
+  }
+  edges.emplace_back(5, 6);
+  edges.emplace_back(6, 7);
+  edges.emplace_back(0, 7);  // second route between the cliques
+  return Graph::FromEdges(16, std::move(edges));  // 13..15 isolated
+}
+
+Graph Disconnected() {
+  return Graph::FromEdges(9, {{0, 1}, {1, 2}, {2, 0}, {4, 5}, {5, 6}});
+}
+
+// Random sparse graph, deterministic from `seed`.
+Graph RandomGraph(size_t n, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(m);
+  for (size_t e = 0; e < m; ++e) {
+    const auto a = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    const auto b = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    edges.emplace_back(a, b);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+std::vector<Graph> Shapes() {
+  std::vector<Graph> shapes;
+  shapes.push_back(Graph());        // empty
+  shapes.push_back(Path(1));        // single node
+  shapes.push_back(Path(16));
+  shapes.push_back(Star(9));
+  shapes.push_back(Disconnected());
+  shapes.push_back(Tangled());
+  shapes.push_back(RandomGraph(64, 160, 17));
+  shapes.push_back(RandomGraph(100, 90, 23));  // fragmented
+  return shapes;
+}
+
+void ExpectBitIdentical(const std::vector<double>& expected,
+                        const std::vector<double>& actual,
+                        const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    // memcmp, not ==: the contract is the bit pattern, not tolerance.
+    EXPECT_EQ(std::memcmp(&expected[i], &actual[i], sizeof(double)), 0)
+        << label << " node " << i << ": " << expected[i]
+        << " != " << actual[i];
+  }
+}
+
+TEST(ParallelBrandesTest, ExactBitIdenticalAcrossPoolSizes) {
+  const std::vector<Graph> shapes = Shapes();
+  for (size_t s = 0; s < shapes.size(); ++s) {
+    const std::vector<double> serial = BetweennessExact(shapes[s]);
+    for (size_t threads : {1u, 2u, 8u}) {
+      ThreadPool pool(threads);
+      const std::vector<double> parallel =
+          BetweennessExact(shapes[s], &pool);
+      ExpectBitIdentical(serial, parallel,
+                         "shape " + std::to_string(s) + " pool " +
+                             std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelBrandesTest, SampledBitIdenticalAcrossPoolSizes) {
+  const std::vector<Graph> shapes = Shapes();
+  for (size_t s = 0; s < shapes.size(); ++s) {
+    for (size_t pivots : {4u, 32u}) {
+      Rng serial_rng(99);
+      const std::vector<double> serial =
+          BetweennessSampled(shapes[s], pivots, serial_rng);
+      for (size_t threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        Rng rng(99);
+        const std::vector<double> parallel =
+            BetweennessSampled(shapes[s], pivots, rng, &pool);
+        ExpectBitIdentical(serial, parallel,
+                           "shape " + std::to_string(s) + " pivots " +
+                               std::to_string(pivots) + " pool " +
+                               std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ParallelBrandesTest, ParallelMatchesKnownValues) {
+  ThreadPool pool(4);
+  const auto path = BetweennessExact(Path(5), &pool);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_DOUBLE_EQ(path[0], 0.0);
+  EXPECT_DOUBLE_EQ(path[1], 3.0);
+  EXPECT_DOUBLE_EQ(path[2], 4.0);
+  EXPECT_DOUBLE_EQ(path[3], 3.0);
+  EXPECT_DOUBLE_EQ(path[4], 0.0);
+  const auto star = BetweennessExact(Star(4), &pool);
+  EXPECT_DOUBLE_EQ(star[0], 6.0);
+}
+
+TEST(ParallelBrandesTest, RepeatedParallelRunsAreStable) {
+  const Graph g = Tangled();
+  ThreadPool pool(8);
+  const std::vector<double> first = BetweennessExact(g, &pool);
+  for (int run = 0; run < 5; ++run) {
+    ExpectBitIdentical(first, BetweennessExact(g, &pool),
+                       "run " + std::to_string(run));
+  }
+}
+
+TEST(NormalizeBetweennessInPlaceTest, MatchesValueForm) {
+  std::vector<double> scores = BetweennessExact(Star(6));
+  const std::vector<double> by_value = NormalizeBetweenness(scores);
+  NormalizeBetweennessInPlace(scores);
+  ExpectBitIdentical(by_value, scores, "in-place vs value");
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);
+  // Tiny spans zero out.
+  std::vector<double> tiny{5.0, 5.0};
+  NormalizeBetweennessInPlace(tiny);
+  EXPECT_DOUBLE_EQ(tiny[0], 0.0);
+  EXPECT_DOUBLE_EQ(tiny[1], 0.0);
+}
+
+}  // namespace
+}  // namespace evorec::graph

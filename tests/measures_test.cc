@@ -82,12 +82,61 @@ TEST(EvolutionContextTest, ExposesAlignedArtifacts) {
   MeasureFixture f;
   const EvolutionContext ctx = f.Context();
   EXPECT_FALSE(ctx.union_classes().empty());
+  // Each version's graph covers that version's own class set (the
+  // per-version reusable artefact); the scattered accessors are the
+  // union-aligned view.
   EXPECT_EQ(ctx.graph_before().graph().node_count(),
-            ctx.union_classes().size());
+            ctx.view_before().classes().size());
   EXPECT_EQ(ctx.graph_after().graph().node_count(),
-            ctx.union_classes().size());
+            ctx.view_after().classes().size());
   EXPECT_EQ(ctx.betweenness_before().size(), ctx.union_classes().size());
+  EXPECT_EQ(ctx.betweenness_after().size(), ctx.union_classes().size());
+  EXPECT_EQ(ctx.raw_betweenness_before().size(),
+            ctx.graph_before().graph().node_count());
   EXPECT_GT(ctx.low_level_delta().size(), 0u);
+}
+
+TEST(EvolutionContextTest, UnionScatterZeroFillsAbsentClasses) {
+  // `after` drops class B entirely: B stays in the union universe with
+  // betweenness 0, and classes present in both versions keep the value
+  // of their own-universe graph.
+  rdf::KnowledgeBase before;
+  before.DeclareClass("http://x/A");
+  before.DeclareClass("http://x/B");
+  before.DeclareClass("http://x/C");
+  before.AddIriTriple("http://x/B",
+                      "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+                      "http://x/A");
+  before.AddIriTriple("http://x/C",
+                      "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+                      "http://x/B");
+  rdf::KnowledgeBase after = before;
+  const rdf::TermId b =
+      before.dictionary().Find(rdf::Term::Iri("http://x/B"));
+  const auto& voc = after.vocabulary();
+  const rdf::TermId a =
+      before.dictionary().Find(rdf::Term::Iri("http://x/A"));
+  const rdf::TermId c =
+      before.dictionary().Find(rdf::Term::Iri("http://x/C"));
+  after.store().Remove({b, voc.rdf_type, voc.rdfs_class});
+  after.store().Remove({b, voc.rdfs_subclass_of, a});
+  after.store().Remove({c, voc.rdfs_subclass_of, b});
+  auto ctx = EvolutionContext::Build(before, after);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  ASSERT_LT(ctx->view_after().classes().size(),
+            ctx->union_classes().size());
+  const auto& union_classes = ctx->union_classes();
+  const auto& scattered = ctx->betweenness_after();
+  for (size_t i = 0; i < union_classes.size(); ++i) {
+    if (union_classes[i] == b) {
+      EXPECT_DOUBLE_EQ(scattered[i], 0.0);  // absent → isolated → 0
+    }
+  }
+  // In `before`, B sits on the only A–C path.
+  const auto& before_scatter = ctx->betweenness_before();
+  const size_t bi = ctx->delta_index().UnionClassIndexOf(b);
+  ASSERT_NE(bi, rdf::kNotInUniverse);
+  EXPECT_GT(before_scatter[bi], 0.0);
 }
 
 TEST(ClassChangeCountTest, ScoresChurnedClassesHighest) {
