@@ -39,19 +39,50 @@ DeltaIndex DeltaIndex::Build(
     std::shared_ptr<const schema::SchemaView> before,
     std::shared_ptr<const schema::SchemaView> after,
     const rdf::Vocabulary& vocabulary) {
+  return BuildInternal(delta, std::move(before), std::move(after), vocabulary,
+                       /*previous=*/nullptr);
+}
+
+DeltaIndex DeltaIndex::Advance(
+    const DeltaIndex& previous, const LowLevelDelta& delta,
+    std::shared_ptr<const schema::SchemaView> before,
+    std::shared_ptr<const schema::SchemaView> after,
+    const rdf::Vocabulary& vocabulary) {
+  return BuildInternal(delta, std::move(before), std::move(after), vocabulary,
+                       &previous);
+}
+
+DeltaIndex DeltaIndex::BuildInternal(
+    const LowLevelDelta& delta,
+    std::shared_ptr<const schema::SchemaView> before,
+    std::shared_ptr<const schema::SchemaView> after,
+    const rdf::Vocabulary& vocabulary, const DeltaIndex* previous) {
   DeltaIndex index;
   index.total_changes_ = delta.size();
   index.direct_ = PerTermChangeCounts(delta);
-  index.union_classes_ = SortedUnion(before->classes(), after->classes());
+  // Adopt the previous pair's universe buffer when the merge comes out
+  // identical (stable universes across a chain of small commits) —
+  // every advanced index then shares one allocation.
+  const auto adopt = [&](std::vector<rdf::TermId> fresh,
+                         const UniverseRef& donor) -> UniverseRef {
+    if (previous != nullptr && *donor == fresh) return donor;
+    return std::make_shared<const std::vector<rdf::TermId>>(std::move(fresh));
+  };
+  index.union_classes_ =
+      adopt(SortedUnion(before->classes(), after->classes()),
+            previous != nullptr ? previous->union_classes_ : index.union_classes_);
   index.union_properties_ =
-      SortedUnion(before->properties(), after->properties());
-  const size_t n = index.union_classes_.size();
+      adopt(SortedUnion(before->properties(), after->properties()),
+            previous != nullptr ? previous->union_properties_
+                                : index.union_properties_);
+  const std::vector<rdf::TermId>& union_classes = *index.union_classes_;
+  const size_t n = union_classes.size();
 
   // Extended attribution starts from direct counts, laid out flat over
   // the union class universe.
   index.extended_class_.assign(n, 0);
   for (size_t i = 0; i < n; ++i) {
-    auto it = index.direct_.find(index.union_classes_[i]);
+    auto it = index.direct_.find(union_classes[i]);
     if (it != index.direct_.end()) index.extended_class_[i] = it->second;
   }
 
@@ -88,13 +119,23 @@ DeltaIndex DeltaIndex::Build(
 const DeltaIndex::Neighborhoods& DeltaIndex::EnsureNeighborhoods() const {
   Neighborhoods& cell = *neighborhoods_;
   std::call_once(cell.once, [&] {
-    const size_t n = union_classes_.size();
+    const size_t n = union_classes_->size();
     cell.lists.resize(n);
     cell.changes.assign(n, 0);
+    // Per-view neighborhoods come from the views' shared memos, so a
+    // view reused across pairs (chain walks, incremental refreshes)
+    // pays its neighborhood scan once. Classes absent from a view fall
+    // back to the live call — identical output, just unmemoized.
+    const auto list_of = [](const schema::SchemaView& view,
+                            rdf::TermId cls) -> std::vector<rdf::TermId> {
+      const size_t i = rdf::SortedIndexOf(view.classes(), cls);
+      if (i != rdf::kNotInUniverse) return view.NeighborhoodLists()[i];
+      return view.Neighborhood(cls);
+    };
     for (size_t i = 0; i < n; ++i) {
-      const rdf::TermId cls = union_classes_[i];
-      cell.lists[i] = SortedUnion(cell.before->Neighborhood(cls),
-                                  cell.after->Neighborhood(cls));
+      const rdf::TermId cls = (*union_classes_)[i];
+      cell.lists[i] = SortedUnion(list_of(*cell.before, cls),
+                                  list_of(*cell.after, cls));
       size_t total = 0;
       for (rdf::TermId neighbor : cell.lists[i]) {
         const size_t j = UnionClassIndexOf(neighbor);

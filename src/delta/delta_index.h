@@ -54,9 +54,24 @@ class DeltaIndex {
                           std::shared_ptr<const schema::SchemaView> after,
                           const rdf::Vocabulary& vocabulary);
 
+  /// The chain-walk form: the index for a pair (V2, V3) given the
+  /// index of the preceding pair (V1, V2) and the V2→V3 delta.
+  /// Observationally identical to Build(delta, before, after,
+  /// vocabulary) — `previous` only enables reuse: when the class and
+  /// property universes did not churn across the two pairs (the
+  /// common small-commit case), the new index shares the previous
+  /// one's union buffers instead of re-merging, and the flat stats are
+  /// refilled in O(|union| + |δ|). Neighborhoods stay lazy either way
+  /// and draw from the views' shared memos.
+  static DeltaIndex Advance(const DeltaIndex& previous,
+                            const LowLevelDelta& delta,
+                            std::shared_ptr<const schema::SchemaView> before,
+                            std::shared_ptr<const schema::SchemaView> after,
+                            const rdf::Vocabulary& vocabulary);
+
   /// Position of `cls` in union_classes(), or rdf::kNotInUniverse.
   size_t UnionClassIndexOf(rdf::TermId cls) const {
-    return rdf::SortedIndexOf(union_classes_, cls);
+    return rdf::SortedIndexOf(*union_classes_, cls);
   }
 
   /// δ(n), direct attribution.
@@ -80,12 +95,12 @@ class DeltaIndex {
 
   /// All classes present in either version, sorted.
   const std::vector<rdf::TermId>& union_classes() const {
-    return union_classes_;
+    return *union_classes_;
   }
 
   /// All properties present in either version, sorted.
   const std::vector<rdf::TermId>& union_properties() const {
-    return union_properties_;
+    return *union_properties_;
   }
 
   /// Total |δ|.
@@ -106,11 +121,24 @@ class DeltaIndex {
   /// The materialised neighborhood data (computing it on first call).
   const Neighborhoods& EnsureNeighborhoods() const;
 
+  using UniverseRef = std::shared_ptr<const std::vector<rdf::TermId>>;
+
+  /// Build and Advance share one body; `previous` (may be null) is the
+  /// reuse donor.
+  static DeltaIndex BuildInternal(
+      const LowLevelDelta& delta,
+      std::shared_ptr<const schema::SchemaView> before,
+      std::shared_ptr<const schema::SchemaView> after,
+      const rdf::Vocabulary& vocabulary, const DeltaIndex* previous);
+
   // Per-term direct counts for arbitrary terms (classes, properties,
   // instances, literals) — the only remaining hash map.
   std::unordered_map<rdf::TermId, size_t> direct_;
-  std::vector<rdf::TermId> union_classes_;
-  std::vector<rdf::TermId> union_properties_;
+  // Union universes are held by shared_ptr so that a chain of advanced
+  // indexes with a stable universe shares one buffer (never null).
+  UniverseRef union_classes_ = std::make_shared<std::vector<rdf::TermId>>();
+  UniverseRef union_properties_ =
+      std::make_shared<std::vector<rdf::TermId>>();
   // Flat per-class statistics, aligned to union_classes_.
   std::vector<size_t> extended_class_;
   std::shared_ptr<Neighborhoods> neighborhoods_;

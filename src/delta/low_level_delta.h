@@ -6,6 +6,7 @@
 
 #include "rdf/knowledge_base.h"
 #include "rdf/triple.h"
+#include "version/version.h"
 
 namespace evorec::delta {
 
@@ -24,6 +25,18 @@ struct LowLevelDelta {
 /// a dictionary; the function compares TermIds).
 LowLevelDelta ComputeLowLevelDelta(const rdf::KnowledgeBase& before,
                                    const rdf::KnowledgeBase& after);
+
+/// The low-level delta of applying `changes` on top of `before` —
+/// equal to ComputeLowLevelDelta(before, before + changes) but
+/// O(|changes| · log T) membership probes instead of an O(T) store
+/// diff: the incremental-refresh path, where the commit's ChangeSet is
+/// already in hand. Follows ChangeSet semantics (removals win over
+/// additions of the same triple): δ+ = additions that are neither
+/// removed in the same set nor already present, δ− = removals that
+/// were present. Both sides come out SPO-sorted and deduplicated, like
+/// the store-diff path.
+LowLevelDelta DeltaFromCandidates(const rdf::KnowledgeBase& before,
+                                  const version::ChangeSet& changes);
 
 /// Per-term change counts: δ(n) = number of changed triples in which
 /// term n appears (in any position; each changed triple contributes at

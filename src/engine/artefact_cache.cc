@@ -13,6 +13,19 @@ ArtefactCache::ArtefactCache(size_t capacity, ThreadPool* pool)
 Result<measures::VersionArtefacts> ArtefactCache::Get(
     uint64_t fingerprint, const measures::ContextOptions& options,
     const Materializer& materialize) {
+  Result<SharedBase> base = GetBase(fingerprint, materialize);
+  if (!base.ok()) return base.status();
+
+  measures::VersionArtefacts artefacts;
+  artefacts.snapshot = (*base)->snapshot;
+  artefacts.view = (*base)->view;
+  artefacts.graph = (*base)->graph;
+  artefacts.betweenness = CellFor(fingerprint, *base, options);
+  return artefacts;
+}
+
+Result<ArtefactCache::SharedBase> ArtefactCache::GetBase(
+    uint64_t fingerprint, const Materializer& materialize) {
   std::promise<Result<SharedBase>> promise;
   std::shared_future<Result<SharedBase>> future;
   bool creator = false;
@@ -87,14 +100,98 @@ Result<measures::VersionArtefacts> ArtefactCache::Get(
     if (!built.ok()) return built.status();
   }
 
-  Result<SharedBase> base = future.get();
+  return future.get();
+}
+
+Result<measures::VersionArtefacts> ArtefactCache::Refresh(
+    uint64_t from_fingerprint, uint64_t to_fingerprint,
+    const measures::ContextOptions& options, const Materializer& materialize_to,
+    double churn_threshold, graph::BetweennessAdvanceStats* advance_stats) {
+  // Capture the predecessor's state first (it may be evicted by the
+  // successor's insertion below — capacity 1 still advances).
+  SharedBase old_base;
+  std::shared_ptr<const measures::LazyBetweenness> old_cell;
+  const uint64_t options_fp = measures::ContextOptionsFingerprint(options);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++incremental_.refreshes;
+    auto it = entries_.find(from_fingerprint);
+    if (it != entries_.end() &&
+        it->second.base.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+      Result<SharedBase> ready = it->second.base.get();
+      if (ready.ok()) old_base = *ready;
+      auto cell = it->second.betweenness.find(options_fp);
+      if (cell != it->second.betweenness.end()) old_cell = cell->second;
+    }
+  }
+
+  Result<SharedBase> base = GetBase(to_fingerprint, materialize_to);
   if (!base.ok()) return base.status();
 
   measures::VersionArtefacts artefacts;
   artefacts.snapshot = (*base)->snapshot;
   artefacts.view = (*base)->view;
   artefacts.graph = (*base)->graph;
-  artefacts.betweenness = CellFor(fingerprint, *base, options);
+
+  // Reuse a cell someone already installed for this (version, options)
+  // — it is either the advance below from a racing refresh, or an
+  // ordinary lazy cell; both are observationally identical.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(to_fingerprint);
+    if (it != entries_.end()) {
+      auto cell = it->second.betweenness.find(options_fp);
+      if (cell != it->second.betweenness.end()) {
+        artefacts.betweenness = cell->second;
+        return artefacts;
+      }
+    }
+  }
+
+  const graph::BetweennessPartials* previous =
+      old_cell != nullptr ? old_cell->Partials() : nullptr;
+  if (old_base == nullptr || previous == nullptr) {
+    // Nothing to advance from (predecessor cold, evicted, or sampled
+    // mode): the successor starts lazy, exactly like a Get.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++incremental_.stayed_lazy;
+  } else {
+    graph::BetweennessAdvanceStats stats;
+    graph::BetweennessPartials advanced = graph::BetweennessAdvance(
+        old_base->graph->graph(), *previous, (*base)->graph->graph(),
+        churn_threshold, &stats, pool_);
+    if (advance_stats != nullptr) *advance_stats = stats;
+    auto cell = std::make_shared<const measures::LazyBetweenness>(
+        (*base)->graph, options, std::move(advanced));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats.incremental ? ++incremental_.advanced
+                        : ++incremental_.full_recomputes;
+      incremental_.touched_nodes += stats.touched_nodes;
+      incremental_.affected_sources += stats.affected_sources;
+      incremental_.recomputed_sources += stats.recomputed_sources;
+      incremental_.total_sources += (*base)->graph->graph().node_count();
+      auto it = entries_.find(to_fingerprint);
+      if (it != entries_.end()) {
+        auto existing = it->second.betweenness.find(options_fp);
+        if (existing == it->second.betweenness.end()) {
+          it->second.betweenness.emplace(options_fp, cell);
+        } else {
+          cell = existing->second;  // a racer won; results are identical
+        }
+      }
+    }
+    if (!stats.incremental) {
+      // The fallback inside the advance IS a full Brandes run — keep
+      // the headline counter honest.
+      betweenness_runs_->fetch_add(1, std::memory_order_relaxed);
+    }
+    artefacts.betweenness = std::move(cell);
+    return artefacts;
+  }
+
+  artefacts.betweenness = CellFor(to_fingerprint, *base, options);
   return artefacts;
 }
 
@@ -109,9 +206,14 @@ std::shared_ptr<const measures::LazyBetweenness> ArtefactCache::CellFor(
     if (cell != it->second.betweenness.end()) return cell->second;
   }
   auto counter = betweenness_runs_;
+  // The version fingerprint salts sampled-mode pivot selection: the
+  // sample becomes a stable property of the version's content, so
+  // sampled results agree across engine instances, restarts, and
+  // incremental vs cold rebuilds.
   auto cell = std::make_shared<const measures::LazyBetweenness>(
       base->graph, options, pool_,
-      [counter] { counter->fetch_add(1, std::memory_order_relaxed); });
+      [counter] { counter->fetch_add(1, std::memory_order_relaxed); },
+      /*sampling_salt=*/fingerprint);
   if (it != entries_.end()) {
     it->second.betweenness.emplace(options_fp, cell);
   }
@@ -125,6 +227,11 @@ ArtefactCacheStats ArtefactCache::stats() const {
   ArtefactCacheStats out = stats_;
   out.betweenness_runs = betweenness_runs_->load(std::memory_order_relaxed);
   return out;
+}
+
+IncrementalStats ArtefactCache::incremental_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return incremental_;
 }
 
 size_t ArtefactCache::size() const {

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "graph/betweenness.h"
 #include "measures/measure_context.h"
 
 namespace evorec::engine {
@@ -30,7 +31,26 @@ struct ArtefactCacheStats {
   uint64_t snapshot_loads = 0;    ///< materializer invocations
   uint64_t view_builds = 0;       ///< SchemaView::Build runs
   uint64_t graph_builds = 0;      ///< SchemaGraph::Build runs
-  uint64_t betweenness_runs = 0;  ///< Brandes computations actually run
+  uint64_t betweenness_runs = 0;  ///< full Brandes computations run
+};
+
+/// Counters of the incremental-refresh path. Together with
+/// ArtefactCacheStats they are the proof obligations of the O(|δ|)
+/// contract: below the churn threshold a commit must show `advanced`
+/// ticking (never `full_recomputes`) and the cumulative
+/// `recomputed_sources` staying proportional to the cumulative
+/// `affected_sources` — not to `total_sources`.
+struct IncrementalStats {
+  uint64_t refreshes = 0;        ///< Refresh calls
+  uint64_t advanced = 0;         ///< betweenness advanced incrementally
+  uint64_t full_recomputes = 0;  ///< advance fell back to a full run
+  /// Predecessor had no computed betweenness — the successor cell
+  /// stays lazy (pay-for-what-you-use is preserved across refreshes).
+  uint64_t stayed_lazy = 0;
+  uint64_t touched_nodes = 0;      ///< cumulative adjacency-diff sizes
+  uint64_t affected_sources = 0;   ///< cumulative frontier sizes
+  uint64_t recomputed_sources = 0; ///< cumulative sources re-run
+  uint64_t total_sources = 0;      ///< cumulative graph sizes (denominator)
 };
 
 /// An LRU cache of per-*version* cold-path artefacts (snapshot, schema
@@ -69,7 +89,25 @@ class ArtefactCache {
       uint64_t fingerprint, const measures::ContextOptions& options,
       const Materializer& materialize);
 
+  /// The incremental path: the bundle of `to_fingerprint` (a commit's
+  /// successor of `from_fingerprint`), advancing the predecessor's
+  /// computed betweenness through the affected-source frontier instead
+  /// of scheduling a cold Brandes run. Falls back gracefully at every
+  /// step — predecessor evicted, betweenness never forced, sampled
+  /// mode, or churn past `churn_threshold` — to the plain Get
+  /// behaviour, so the returned bundle is always observationally
+  /// identical to Get(to_fingerprint, options, materialize_to).
+  /// `advance_stats` (optional) receives the per-call frontier
+  /// counters when an advance was attempted.
+  Result<measures::VersionArtefacts> Refresh(
+      uint64_t from_fingerprint, uint64_t to_fingerprint,
+      const measures::ContextOptions& options,
+      const Materializer& materialize_to, double churn_threshold,
+      graph::BetweennessAdvanceStats* advance_stats = nullptr);
+
   ArtefactCacheStats stats() const;
+
+  IncrementalStats incremental_stats() const;
 
   /// Number of resident base entries.
   size_t size() const;
@@ -99,6 +137,11 @@ class ArtefactCache {
     uint64_t generation = 0;
   };
 
+  /// The ready base artefacts of `fingerprint`, building them via
+  /// `materialize` on a miss (single-flight).
+  Result<SharedBase> GetBase(uint64_t fingerprint,
+                             const Materializer& materialize);
+
   /// The cell for (entry, options), creating it on first request.
   std::shared_ptr<const measures::LazyBetweenness> CellFor(
       uint64_t fingerprint, const SharedBase& base,
@@ -110,6 +153,7 @@ class ArtefactCache {
   std::list<uint64_t> lru_;  // most-recent first
   std::unordered_map<uint64_t, Entry> entries_;
   ArtefactCacheStats stats_;
+  IncrementalStats incremental_;
   uint64_t generation_ = 0;
   // Brandes runs are counted from inside the lazy cells, which may
   // outlive the cache (shared_ptr keeps the counter valid).

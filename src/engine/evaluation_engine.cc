@@ -109,31 +109,18 @@ EvaluationEngine::EvaluationEngine(const measures::MeasureRegistry& registry,
 Result<std::shared_ptr<const SharedEvaluation>> EvaluationEngine::Evaluate(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2, measures::ContextOptions context_options) {
-  auto before = vkb.Handle(v1);
+  Result<version::SnapshotHandle> before = InternalError("unresolved");
+  Result<version::SnapshotHandle> after = InternalError("unresolved");
+  {
+    // Handles read the vkb's version vectors, which a concurrent
+    // CommitAndRefresh appends to — same lock as every other vkb touch.
+    std::lock_guard<std::mutex> lock(vkb_mu_);
+    before = vkb.Handle(v1);
+    after = vkb.Handle(v2);
+  }
   if (!before.ok()) return before.status();
-  auto after = vkb.Handle(v2);
   if (!after.ok()) return after.status();
   ContextKey key{before->fingerprint, after->fingerprint, context_options};
-
-  std::promise<Result<SharedEval>> promise;
-  std::shared_future<Result<SharedEval>> future;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (auto hit = lookup_.find(key); hit != lookup_.end()) {
-      lru_.splice(lru_.begin(), lru_, hit->second);  // touch
-      ++stats_.context_hits;
-      return hit->second->second;
-    }
-    if (auto flying = inflight_.find(key); flying != inflight_.end()) {
-      std::shared_future<Result<SharedEval>> existing = flying->second;
-      ++stats_.context_coalesced;
-      lock.unlock();
-      return existing.get();
-    }
-    ++stats_.context_misses;
-    future = promise.get_future().share();
-    inflight_.emplace(key, future);
-  }
 
   // Per-version artefacts come from the artefact cache (keyed by
   // snapshot fingerprint): a version shared with any previously built
@@ -142,8 +129,8 @@ Result<std::shared_ptr<const SharedEvaluation>> EvaluationEngine::Evaluate(
   // here. Cache misses snapshot under the vkb lock (the versioned
   // KB's lazy snapshot cache is not thread-safe); everything else runs
   // outside the engine lock, so other keys stay servable meanwhile and
-  // same-key callers wait on `future`.
-  auto ctx = [&]() -> Result<measures::EvolutionContext> {
+  // same-key callers wait on the in-flight future.
+  const auto build = [&]() -> Result<measures::EvolutionContext> {
     const auto materialize = [&](version::VersionId v) {
       return [this, &vkb,
               v]() -> Result<std::shared_ptr<const rdf::KnowledgeBase>> {
@@ -168,22 +155,51 @@ Result<std::shared_ptr<const SharedEvaluation>> EvaluationEngine::Evaluate(
       // materialised one from the other. Rebuild both sides from the
       // caller's vkb — correct, just uncached — rather than failing
       // the request.
-      auto rebuild =
-          [&](version::VersionId v) -> Result<measures::VersionArtefacts> {
+      auto rebuild = [&](version::VersionId v, uint64_t fingerprint)
+          -> Result<measures::VersionArtefacts> {
         auto snapshot = materialize(v)();
         if (!snapshot.ok()) return snapshot.status();
         return measures::MakeVersionArtefacts(std::move(*snapshot),
-                                              context_options, &pool_);
+                                              context_options, &pool_,
+                                              /*sampling_salt=*/fingerprint);
       };
-      before_art = rebuild(v1);
+      before_art = rebuild(v1, before->fingerprint);
       if (!before_art.ok()) return before_art.status();
-      after_art = rebuild(v2);
+      after_art = rebuild(v2, after->fingerprint);
       if (!after_art.ok()) return after_art.status();
     }
     return measures::EvolutionContext::Build(std::move(*before_art),
                                              std::move(*after_art),
                                              context_options);
-  }();
+  };
+  return GetOrBuild(key, build, /*refreshed=*/false);
+}
+
+Result<EvaluationEngine::SharedEval> EvaluationEngine::GetOrBuild(
+    const ContextKey& key,
+    const std::function<Result<measures::EvolutionContext>()>& build_context,
+    bool refreshed) {
+  std::promise<Result<SharedEval>> promise;
+  std::shared_future<Result<SharedEval>> future;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (auto hit = lookup_.find(key); hit != lookup_.end()) {
+      lru_.splice(lru_.begin(), lru_, hit->second);  // touch
+      ++stats_.context_hits;
+      return hit->second->second;
+    }
+    if (auto flying = inflight_.find(key); flying != inflight_.end()) {
+      std::shared_future<Result<SharedEval>> existing = flying->second;
+      ++stats_.context_coalesced;
+      lock.unlock();
+      return existing.get();
+    }
+    ++stats_.context_misses;
+    future = promise.get_future().share();
+    inflight_.emplace(key, future);
+  }
+
+  Result<measures::EvolutionContext> ctx = build_context();
   if (!ctx.ok()) {
     promise.set_value(ctx.status());
     std::lock_guard<std::mutex> lock(mu_);
@@ -196,6 +212,7 @@ Result<std::shared_ptr<const SharedEvaluation>> EvaluationEngine::Evaluate(
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.contexts_built;
+    if (refreshed) ++stats_.contexts_refreshed;
     inflight_.erase(key);
     lru_.emplace_front(key, evaluation);
     lookup_[key] = lru_.begin();
@@ -208,15 +225,127 @@ Result<std::shared_ptr<const SharedEvaluation>> EvaluationEngine::Evaluate(
   return evaluation;
 }
 
+EvaluationEngine::SharedEval EvaluationEngine::Peek(
+    const ContextKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto hit = lookup_.find(key);
+  return hit != lookup_.end() ? hit->second->second : nullptr;
+}
+
+Result<EvaluationEngine::RefreshResult> EvaluationEngine::Refresh(
+    const version::VersionedKnowledgeBase& vkb,
+    measures::ContextOptions context_options) {
+  version::VersionId head = 0;
+  Result<version::SnapshotHandle> prev = InternalError("unresolved");
+  Result<version::SnapshotHandle> curr = InternalError("unresolved");
+  uint64_t prev_prev_fingerprint = 0;
+  bool have_prev_prev = false;
+  version::ChangeSet changes;
+  {
+    std::lock_guard<std::mutex> lock(vkb_mu_);
+    if (vkb.version_count() < 2) {
+      return FailedPreconditionError(
+          "refresh needs at least one committed version");
+    }
+    head = vkb.head();
+    prev = vkb.Handle(head - 1);
+    curr = vkb.Handle(head);
+    if (head >= 2) {
+      auto pp = vkb.Handle(head - 2);
+      if (pp.ok()) {
+        prev_prev_fingerprint = pp->fingerprint;
+        have_prev_prev = true;
+      }
+    }
+    auto cs = vkb.Changes(head);
+    if (!cs.ok()) return cs.status();
+    changes = std::move(cs).value();
+  }
+  if (!prev.ok()) return prev.status();
+  if (!curr.ok()) return curr.status();
+  const ContextKey key{prev->fingerprint, curr->fingerprint, context_options};
+
+  const auto build = [&]() -> Result<measures::EvolutionContext> {
+    const auto materialize = [&](version::VersionId v) {
+      return [this, &vkb,
+              v]() -> Result<std::shared_ptr<const rdf::KnowledgeBase>> {
+        std::lock_guard<std::mutex> lock(vkb_mu_);
+        auto kb = vkb.Snapshot(v);
+        if (!kb.ok()) return kb.status();
+        return std::make_shared<const rdf::KnowledgeBase>(**kb);
+      };
+    };
+    auto prev_art = artefacts_.Get(prev->fingerprint, context_options,
+                                   materialize(head - 1));
+    if (!prev_art.ok()) return prev_art.status();
+    auto head_art = artefacts_.Refresh(
+        prev->fingerprint, curr->fingerprint, context_options,
+        materialize(head), options_.refresh_churn_threshold);
+    if (!head_art.ok()) return head_art.status();
+    if (prev_art->snapshot->shared_dictionary() !=
+        head_art->snapshot->shared_dictionary()) {
+      // Same replica situation as in Evaluate: cached artefacts from a
+      // fingerprint-twin vkb cannot pair with this one's. Rebuild both
+      // sides cold — nothing cached from the twin can be advanced.
+      auto rebuild = [&](version::VersionId v, uint64_t fingerprint)
+          -> Result<measures::VersionArtefacts> {
+        auto snapshot = materialize(v)();
+        if (!snapshot.ok()) return snapshot.status();
+        return measures::MakeVersionArtefacts(std::move(*snapshot),
+                                              context_options, &pool_,
+                                              /*sampling_salt=*/fingerprint);
+      };
+      prev_art = rebuild(head - 1, prev->fingerprint);
+      if (!prev_art.ok()) return prev_art.status();
+      head_art = rebuild(head, curr->fingerprint);
+      if (!head_art.ok()) return head_art.status();
+    }
+    // O(|δ|): the pair delta comes from the commit's archived change
+    // set via membership probes, not an O(T) store diff.
+    delta::LowLevelDelta delta =
+        delta::DeltaFromCandidates(*prev_art->snapshot, changes);
+    // Advance the delta index from the preceding pair's when that
+    // evaluation is still warm (keep it alive across the build).
+    SharedEval preceding;
+    if (have_prev_prev) {
+      preceding = Peek(
+          ContextKey{prev_prev_fingerprint, prev->fingerprint, context_options});
+    }
+    return measures::EvolutionContext::Build(
+        std::move(*prev_art), std::move(*head_art), std::move(delta),
+        preceding != nullptr ? &preceding->context().delta_index() : nullptr,
+        context_options);
+  };
+  auto evaluation = GetOrBuild(key, build, /*refreshed=*/true);
+  if (!evaluation.ok()) return evaluation.status();
+  return RefreshResult{head, std::move(evaluation).value()};
+}
+
+Result<EvaluationEngine::RefreshResult> EvaluationEngine::CommitAndRefresh(
+    version::VersionedKnowledgeBase& vkb, version::ChangeSet changes,
+    std::string author, std::string message, uint64_t timestamp,
+    measures::ContextOptions context_options) {
+  {
+    std::lock_guard<std::mutex> lock(vkb_mu_);
+    auto committed = vkb.Commit(std::move(changes), std::move(author),
+                                std::move(message), timestamp);
+    if (!committed.ok()) return committed.status();
+  }
+  return Refresh(vkb, context_options);
+}
+
 Result<measures::EvolutionTimeline> EvaluationEngine::Timeline(
     const version::VersionedKnowledgeBase& vkb, std::string_view measure,
     version::VersionId first, version::VersionId last,
     measures::ContextOptions context_options) {
-  if (vkb.version_count() < 2) {
-    return FailedPreconditionError("timeline needs at least two versions");
+  version::VersionId end = 0;
+  {
+    std::lock_guard<std::mutex> lock(vkb_mu_);
+    if (vkb.version_count() < 2) {
+      return FailedPreconditionError("timeline needs at least two versions");
+    }
+    end = std::min<version::VersionId>(last, vkb.head());
   }
-  const version::VersionId end =
-      std::min<version::VersionId>(last, vkb.head());
   if (first >= end) {
     return InvalidArgumentError("empty version range for timeline");
   }

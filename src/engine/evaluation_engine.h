@@ -57,6 +57,13 @@ struct EngineOptions {
   /// and the chunked parallel Brandes passes of cold context builds;
   /// 0 means ThreadPool::DefaultThreadCount().
   size_t threads = 0;
+  /// Incremental-refresh fallback knob: when a commit's affected-source
+  /// frontier exceeds this fraction of the schema graph, Refresh runs a
+  /// full Brandes recompute instead of advancing (advancing would do
+  /// comparable work with extra bookkeeping). Results are bit-identical
+  /// either way — deliberately an EngineOptions field, not a
+  /// ContextOptions one, so it never enters a cache key.
+  double refresh_churn_threshold = 0.5;
 };
 
 /// Counters exposing the engine's cache behaviour. "Redundant context
@@ -69,6 +76,7 @@ struct EngineStats {
   uint64_t contexts_built = 0;     ///< EvolutionContext::Build actually ran
   uint64_t context_coalesced = 0;  ///< joined a concurrent in-flight build
   uint64_t context_evictions = 0;  ///< LRU evictions
+  uint64_t contexts_refreshed = 0; ///< built via the incremental path
 };
 
 /// One cached evaluation unit: the shared EvolutionContext of a
@@ -144,8 +152,10 @@ class SharedEvaluation {
 /// the same missing key coalesce into one build (single-flight), and
 /// snapshot materialisation is serialised internally (the versioned
 /// KB's lazy caches are not thread-safe). Route all concurrent access
-/// to one VersionedKnowledgeBase through one engine, and do not
-/// commit to it while requests are in flight.
+/// to one VersionedKnowledgeBase through one engine; commits that
+/// should interleave with in-flight requests must likewise go through
+/// the engine (CommitAndRefresh), which serialises every vkb touch —
+/// reads and writes — under one internal lock.
 class EvaluationEngine {
  public:
   /// `registry` must outlive the engine.
@@ -159,6 +169,35 @@ class EvaluationEngine {
   Result<std::shared_ptr<const SharedEvaluation>> Evaluate(
       const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
       version::VersionId v2, measures::ContextOptions context_options = {});
+
+  /// Outcome of an incremental refresh: the version refreshed to and
+  /// the (now cached) shared evaluation of its head transition.
+  struct RefreshResult {
+    version::VersionId version = 0;
+    std::shared_ptr<const SharedEvaluation> evaluation;
+  };
+
+  /// Incrementally refreshes the caches to `vkb`'s current head: the
+  /// head version's artefacts advance from its predecessor's (the
+  /// betweenness update re-runs only chunks the commit's
+  /// affected-source frontier reaches; see refresh_churn_threshold),
+  /// the pair delta derives from the commit's archived ChangeSet in
+  /// O(|δ|), and the delta index advances from the preceding pair's
+  /// when it is warm. The resulting (head−1, head) evaluation is
+  /// cached under the same key — and is bit-identical to the one
+  /// Evaluate would have built cold.
+  Result<RefreshResult> Refresh(const version::VersionedKnowledgeBase& vkb,
+                                measures::ContextOptions context_options = {});
+
+  /// The serving loop's write path: commits `changes` to `vkb` and
+  /// refreshes in one step. All vkb access (the commit included) runs
+  /// under the engine's internal lock, so this is safe to call while
+  /// other threads serve requests through the same engine — one
+  /// committer at a time.
+  Result<RefreshResult> CommitAndRefresh(
+      version::VersionedKnowledgeBase& vkb, version::ChangeSet changes,
+      std::string author, std::string message, uint64_t timestamp = 0,
+      measures::ContextOptions context_options = {});
 
   /// The timeline of the registered measure `measure` over every
   /// consecutive version pair of `vkb` in [first, last] — the fast
@@ -179,6 +218,9 @@ class EvaluationEngine {
 
   EngineStats stats() const;
   ArtefactCacheStats artefact_stats() const { return artefacts_.stats(); }
+  IncrementalStats incremental_stats() const {
+    return artefacts_.incremental_stats();
+  }
   size_t cached_contexts() const;
   ThreadPool& pool() { return pool_; }
   const measures::MeasureRegistry& registry() const { return registry_; }
@@ -186,6 +228,19 @@ class EvaluationEngine {
 
  private:
   using SharedEval = std::shared_ptr<const SharedEvaluation>;
+
+  /// Shared single-flight LRU machinery of Evaluate and Refresh:
+  /// serves `key` from the cache or in-flight build, otherwise runs
+  /// `build_context` (outside the engine lock) and installs the
+  /// result. `refreshed` marks builds that took the incremental path
+  /// (for EngineStats::contexts_refreshed).
+  Result<SharedEval> GetOrBuild(
+      const ContextKey& key,
+      const std::function<Result<measures::EvolutionContext>()>& build_context,
+      bool refreshed);
+
+  /// Cache-peek (no LRU touch) of the evaluation under `key`.
+  SharedEval Peek(const ContextKey& key) const;
 
   const measures::MeasureRegistry& registry_;
   EngineOptions options_;

@@ -46,6 +46,22 @@ Status RecommendationService::WarmStart(
   return reports.ok() ? OkStatus() : reports.status();
 }
 
+Result<version::VersionId> RecommendationService::Commit(
+    version::VersionedKnowledgeBase& vkb, version::ChangeSet changes,
+    std::string author, std::string message, uint64_t timestamp) {
+  auto refreshed =
+      engine_.CommitAndRefresh(vkb, std::move(changes), std::move(author),
+                               std::move(message), timestamp, options_.context);
+  if (!refreshed.ok()) return refreshed.status();
+  // The engine refresh covers the context; warm the derived layers too
+  // so the next request over the head pair is a pure hit.
+  auto shared = refreshed->evaluation->SharedStateFor(recommender_);
+  if (!shared.ok()) return shared.status();
+  auto reports = refreshed->evaluation->AllReports();
+  if (!reports.ok()) return reports.status();
+  return refreshed->version;
+}
+
 Result<recommend::RecommendationList> RecommendationService::Recommend(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2, profile::HumanProfile& prof) {

@@ -91,6 +91,17 @@ class RecommendationService {
   Status WarmStart(const version::VersionedKnowledgeBase& vkb,
                    version::VersionId v1, version::VersionId v2);
 
+  /// The serving loop's write path: commits `changes` to `vkb` and
+  /// incrementally refreshes the engine so the head transition is warm
+  /// — context, every measure report, and the recommender's shared run
+  /// state — before this returns. Requests racing the refresh simply
+  /// coalesce with it. Safe to call while other threads serve through
+  /// this service (one committer at a time); returns the new head id.
+  Result<version::VersionId> Commit(version::VersionedKnowledgeBase& vkb,
+                                    version::ChangeSet changes,
+                                    std::string author, std::string message,
+                                    uint64_t timestamp = 0);
+
   EvaluationEngine& engine() { return engine_; }
   const recommend::Recommender& recommender() const { return recommender_; }
   EngineStats engine_stats() const { return engine_.stats(); }

@@ -100,65 +100,105 @@ void BrandesPass(const Graph& g, NodeId source, double scale,
 // leaving enough chunks to keep a pool saturated.
 constexpr size_t kMaxChunks = 32;
 
+// Runs the Brandes passes of one chunk into `partial` (which must be
+// zeroed, sized n), reusing `scratch`.
+void RunChunk(const Graph& g, std::span<const NodeId> sources, double scale,
+              const BrandesChunkGrid& grid, size_t chunk,
+              std::vector<double>& partial, BrandesScratch& scratch) {
+  const size_t begin = chunk * grid.per_chunk;
+  const size_t end = std::min(sources.size(), begin + grid.per_chunk);
+  for (size_t i = begin; i < end; ++i) {
+    BrandesPass(g, sources[i], scale, partial, scratch);
+  }
+}
+
 // Runs Brandes passes from every source in `sources` (in order within
-// each chunk) and reduces the per-chunk partial sums in chunk order.
-// The chunk grid depends only on sources.size(), so serial and
-// parallel execution perform the identical sequence of floating-point
-// additions — the determinism contract of the public overloads.
-std::vector<double> RunBrandes(const Graph& g,
-                               std::span<const NodeId> sources, double scale,
-                               ThreadPool* pool) {
+// each chunk) and materialises the per-chunk partial sums. The chunk
+// grid depends only on sources.size(), so serial and parallel
+// execution perform the identical per-chunk floating-point additions —
+// the determinism contract of the public overloads.
+std::vector<std::vector<double>> RunBrandesChunks(
+    const Graph& g, std::span<const NodeId> sources, double scale,
+    ThreadPool* pool) {
   const size_t n = g.node_count();
-  std::vector<double> centrality(n, 0.0);
-  if (n == 0 || sources.empty()) return centrality;
+  const BrandesChunkGrid grid = BrandesGridFor(sources.size());
+  std::vector<std::vector<double>> partials(grid.chunk_count);
+  if (n == 0 || sources.empty()) return partials;
 
-  // Floor of 4 sources per chunk keeps scratch construction amortised
-  // on small graphs; the grid stays a pure function of sources.size().
-  const size_t chunk_count =
-      std::min(kMaxChunks, (sources.size() + 3) / 4);
-  const size_t per_chunk =
-      (sources.size() + chunk_count - 1) / chunk_count;
-
-  if (pool != nullptr && pool->size() > 1 && chunk_count > 1) {
-    std::vector<std::vector<double>> partials(chunk_count);
-    pool->ParallelFor(chunk_count, [&](size_t c) {
+  if (pool != nullptr && pool->size() > 1 && grid.chunk_count > 1) {
+    pool->ParallelFor(grid.chunk_count, [&](size_t c) {
       partials[c].assign(n, 0.0);
       BrandesScratch scratch(g);
-      const size_t begin = c * per_chunk;
-      const size_t end = std::min(sources.size(), begin + per_chunk);
-      for (size_t i = begin; i < end; ++i) {
-        BrandesPass(g, sources[i], scale, partials[c], scratch);
-      }
+      RunChunk(g, sources, scale, grid, c, partials[c], scratch);
     });
-    // Ordered reduction: chunk 0 first, chunk by chunk — the grouping
-    // is the same as the serial branch below.
-    for (size_t c = 0; c < chunk_count; ++c) {
-      for (size_t v = 0; v < n; ++v) centrality[v] += partials[c][v];
-    }
   } else {
-    // Serial: one scratch and one partial, reused chunk by chunk. The
-    // per-chunk partial still starts from zero and is folded in before
-    // the next chunk, so the floating-point grouping is identical to
-    // the parallel branch.
+    // Serial: one scratch reused chunk by chunk; each chunk's partial
+    // still starts from zero, so the floating-point grouping is
+    // identical to the parallel branch.
     BrandesScratch scratch(g);
-    std::vector<double> partial;
-    for (size_t c = 0; c < chunk_count; ++c) {
-      partial.assign(n, 0.0);
-      const size_t begin = c * per_chunk;
-      const size_t end = std::min(sources.size(), begin + per_chunk);
-      for (size_t i = begin; i < end; ++i) {
-        BrandesPass(g, sources[i], scale, partial, scratch);
-      }
-      for (size_t v = 0; v < n; ++v) centrality[v] += partial[v];
+    for (size_t c = 0; c < grid.chunk_count; ++c) {
+      partials[c].assign(n, 0.0);
+      RunChunk(g, sources, scale, grid, c, partials[c], scratch);
     }
   }
-  // Each undirected pair is counted twice (once per endpoint as
-  // source).
+  return partials;
+}
+
+// Reduces per-chunk partials in chunk order and halves (each
+// undirected pair is counted twice, once per endpoint as source).
+// Every public entry point — full, sampled, or incremental advance —
+// funnels through this one reduction, which is what makes their
+// outputs bit-comparable.
+std::vector<double> FoldChunks(
+    size_t n, const std::vector<std::vector<double>>& partials) {
+  std::vector<double> centrality(n, 0.0);
+  for (const std::vector<double>& partial : partials) {
+    for (size_t v = 0; v < n; ++v) centrality[v] += partial[v];
+  }
   for (double& c : centrality) c /= 2.0;
   return centrality;
 }
 
+std::vector<double> RunBrandes(const Graph& g,
+                               std::span<const NodeId> sources, double scale,
+                               ThreadPool* pool) {
+  return FoldChunks(g.node_count(),
+                    RunBrandesChunks(g, sources, scale, pool));
+}
+
+// Marks every node that can reach a node of `frontier` in `g`
+// (multi-source BFS; undirected, so reachability is symmetric).
+void MarkReachable(const Graph& g, const std::vector<NodeId>& frontier,
+                   std::vector<char>& reached) {
+  std::vector<NodeId> queue;
+  queue.reserve(frontier.size());
+  for (NodeId v : frontier) {
+    if (!reached[v]) {
+      reached[v] = 1;
+      queue.push_back(v);
+    }
+  }
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    for (NodeId w : g.Neighbors(queue[qi])) {
+      if (!reached[w]) {
+        reached[w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+}
+
 }  // namespace
+
+BrandesChunkGrid BrandesGridFor(size_t source_count) {
+  if (source_count == 0) return {};
+  // Floor of 4 sources per chunk keeps scratch construction amortised
+  // on small graphs; the grid stays a pure function of source_count.
+  BrandesChunkGrid grid;
+  grid.chunk_count = std::min(kMaxChunks, (source_count + 3) / 4);
+  grid.per_chunk = (source_count + grid.chunk_count - 1) / grid.chunk_count;
+  return grid;
+}
 
 std::vector<double> BetweennessExact(const Graph& g) {
   return BetweennessExact(g, nullptr);
@@ -168,6 +208,118 @@ std::vector<double> BetweennessExact(const Graph& g, ThreadPool* pool) {
   std::vector<NodeId> sources(g.node_count());
   std::iota(sources.begin(), sources.end(), NodeId{0});
   return RunBrandes(g, sources, 1.0, pool);
+}
+
+BetweennessPartials BetweennessExactWithPartials(const Graph& g,
+                                                 ThreadPool* pool) {
+  std::vector<NodeId> sources(g.node_count());
+  std::iota(sources.begin(), sources.end(), NodeId{0});
+  BetweennessPartials out;
+  out.chunks = RunBrandesChunks(g, sources, 1.0, pool);
+  out.scores = FoldChunks(g.node_count(), out.chunks);
+  return out;
+}
+
+BetweennessPartials BetweennessAdvance(const Graph& old_g,
+                                       const BetweennessPartials& previous,
+                                       const Graph& new_g,
+                                       double churn_threshold,
+                                       BetweennessAdvanceStats* stats,
+                                       ThreadPool* pool) {
+  BetweennessAdvanceStats local;
+  BetweennessAdvanceStats& s = stats != nullptr ? *stats : local;
+  s = {};
+  const size_t n = new_g.node_count();
+  const BrandesChunkGrid grid = BrandesGridFor(n);
+  s.total_chunks = grid.chunk_count;
+
+  const auto full = [&]() -> BetweennessPartials {
+    s.incremental = false;
+    s.recomputed_sources = n;
+    s.recomputed_chunks = grid.chunk_count;
+    return BetweennessExactWithPartials(new_g, pool);
+  };
+  // A node-count change means the underlying universe churned: node
+  // indices no longer denote the same entities, so the cached partials
+  // are not comparable. (The chunk-count check is defensive — it
+  // follows from equal node counts.)
+  if (old_g.node_count() != n || previous.chunks.size() != grid.chunk_count) {
+    return full();
+  }
+
+  // Touched nodes: adjacency differs between the graphs. Comparing the
+  // CSR rows directly (instead of mapping the commit's triple delta to
+  // nodes) is exact by construction — any modelling change that leaves
+  // the topology alone costs nothing, and none can slip through.
+  std::vector<NodeId> touched;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::span<const NodeId> a = old_g.Neighbors(v);
+    const std::span<const NodeId> b = new_g.Neighbors(v);
+    if (a.size() != b.size() || !std::equal(a.begin(), a.end(), b.begin())) {
+      touched.push_back(v);
+    }
+  }
+  s.touched_nodes = touched.size();
+  if (touched.empty()) {
+    // Identical topology: the cached state is the answer.
+    s.incremental = true;
+    return previous;
+  }
+
+  // The affected-source frontier: a single-source pass can only differ
+  // if its source reaches a touched node in the old graph (its old
+  // DAG saw a changed adjacency) or in the new one (its new DAG does).
+  // Undirected reachability is symmetric, so one multi-source BFS from
+  // the touched set per graph finds every such source.
+  std::vector<char> affected(n, 0);
+  MarkReachable(old_g, touched, affected);
+  MarkReachable(new_g, touched, affected);
+  size_t affected_count = 0;
+  for (char a : affected) affected_count += a != 0;
+  s.affected_sources = affected_count;
+  if (static_cast<double>(affected_count) >
+      churn_threshold * static_cast<double>(n)) {
+    return full();
+  }
+
+  // Chunk granularity: a chunk re-runs when any of its sources is
+  // affected; all other chunks reuse their cached partial sums, which
+  // are bit-identical because every pass they contain explores only
+  // untouched adjacency.
+  std::vector<size_t> rerun;
+  for (size_t c = 0; c < grid.chunk_count; ++c) {
+    const size_t begin = c * grid.per_chunk;
+    const size_t end = std::min(n, begin + grid.per_chunk);
+    bool hit = false;
+    for (size_t i = begin; i < end && !hit; ++i) hit = affected[i] != 0;
+    if (hit) {
+      rerun.push_back(c);
+      s.recomputed_sources += end - begin;
+    }
+  }
+  s.recomputed_chunks = rerun.size();
+  s.incremental = true;
+
+  std::vector<NodeId> sources(n);
+  std::iota(sources.begin(), sources.end(), NodeId{0});
+  BetweennessPartials out;
+  out.chunks = previous.chunks;
+  if (pool != nullptr && pool->size() > 1 && rerun.size() > 1) {
+    pool->ParallelFor(rerun.size(), [&](size_t i) {
+      const size_t c = rerun[i];
+      out.chunks[c].assign(n, 0.0);
+      BrandesScratch scratch(new_g);
+      RunChunk(new_g, sources, 1.0, grid, c, out.chunks[c], scratch);
+    });
+  } else {
+    BrandesScratch scratch(new_g);
+    for (size_t c : rerun) {
+      out.chunks[c].assign(n, 0.0);
+      RunChunk(new_g, sources, 1.0, grid, c, out.chunks[c], scratch);
+    }
+  }
+  out.scores = FoldChunks(n, out.chunks);
+  return out;
 }
 
 std::vector<double> BetweennessSampled(const Graph& g, size_t pivots,

@@ -37,6 +37,82 @@ std::vector<double> BetweennessSampled(const Graph& g, size_t pivots,
 std::vector<double> BetweennessSampled(const Graph& g, size_t pivots,
                                        Rng& rng, ThreadPool* pool);
 
+/// The deterministic source-chunk grid of the chunked Brandes
+/// reduction: a pure function of the source count, never of the pool
+/// size. Chunk c covers source indices [c·per_chunk, (c+1)·per_chunk).
+struct BrandesChunkGrid {
+  size_t chunk_count = 0;
+  size_t per_chunk = 0;
+
+  /// Chunk containing source index `i`.
+  size_t ChunkOf(size_t i) const { return per_chunk == 0 ? 0 : i / per_chunk; }
+};
+
+/// The grid used for `source_count` sources.
+BrandesChunkGrid BrandesGridFor(size_t source_count);
+
+/// Resumable exact-betweenness state: the final scores plus the raw
+/// per-chunk partial sums (before the final halving) of the
+/// deterministic chunked reduction. Retaining the partials is what
+/// lets BetweennessAdvance splice freshly recomputed chunks in
+/// between untouched cached ones without changing the floating-point
+/// grouping — the incremental result stays bit-identical to a
+/// from-scratch run.
+struct BetweennessPartials {
+  /// Final scores; always equal to BetweennessExact of the same graph.
+  std::vector<double> scores;
+  /// Raw per-chunk sums, indexed by BrandesGridFor(node_count) chunk.
+  std::vector<std::vector<double>> chunks;
+};
+
+/// BetweennessExact with the per-chunk partials captured for later
+/// incremental advancement. Same determinism contract as the plain
+/// overloads: bit-identical for every pool size.
+BetweennessPartials BetweennessExactWithPartials(const Graph& g,
+                                                 ThreadPool* pool = nullptr);
+
+/// Per-call outcome of BetweennessAdvance — the counters the
+/// incremental-refresh harness asserts work ∝ |delta| with.
+struct BetweennessAdvanceStats {
+  /// False when the call fell back to a full recompute (node-count
+  /// change or churn threshold exceeded).
+  bool incremental = false;
+  /// Nodes whose adjacency list differs between the two graphs.
+  size_t touched_nodes = 0;
+  /// Sources whose single-source pass the change can affect: every
+  /// node that reaches a touched node in either graph (the
+  /// affected-source frontier, found by multi-source BFS from the
+  /// touched set over both graphs).
+  size_t affected_sources = 0;
+  /// Sources actually re-run (chunk granularity: a chunk reruns when
+  /// any of its sources is affected).
+  size_t recomputed_sources = 0;
+  size_t recomputed_chunks = 0;
+  size_t total_chunks = 0;
+};
+
+/// Dynamic update: the exact betweenness of `new_g`, advanced from
+/// `previous` (the partials of `old_g`) instead of recomputed from
+/// scratch. A single-source pass can only change if its source
+/// reaches — in either graph — a node whose adjacency the change
+/// touched, so chunks containing no such source reuse their cached
+/// partial sums verbatim; only affected chunks re-run. The final
+/// chunk-order reduction is re-executed either way, so the result is
+/// **bit-identical** to BetweennessExactWithPartials(new_g, pool) for
+/// every pool size.
+///
+/// Falls back to a full recompute (stats->incremental == false) when
+/// the node count changed (the class universe churned — node indices
+/// no longer align) or when the affected-source fraction exceeds
+/// `churn_threshold` (in [0,1]; past it, advancing would do more work
+/// than starting over).
+BetweennessPartials BetweennessAdvance(const Graph& old_g,
+                                       const BetweennessPartials& previous,
+                                       const Graph& new_g,
+                                       double churn_threshold,
+                                       BetweennessAdvanceStats* stats = nullptr,
+                                       ThreadPool* pool = nullptr);
+
 /// Normalises raw betweenness scores in place by the maximum possible
 /// pair count (n-1)(n-2)/2; zeroes everything for n < 3.
 void NormalizeBetweennessInPlace(std::span<double> scores);

@@ -17,6 +17,14 @@ uint64_t ContextOptionsFingerprint(const ContextOptions& options) {
   return static_cast<uint64_t>(seed);
 }
 
+uint64_t SampledSeedFor(const ContextOptions& options, uint64_t salt) {
+  if (salt == 0) return options.seed;
+  size_t seed = 0;
+  HashCombine(seed, options.seed);
+  HashCombine(seed, salt);
+  return static_cast<uint64_t>(seed);
+}
+
 std::vector<double> ComputeBetweenness(const graph::Graph& g,
                                        const ContextOptions& options,
                                        ThreadPool* pool) {
@@ -29,23 +37,49 @@ std::vector<double> ComputeBetweenness(const graph::Graph& g,
 
 LazyBetweenness::LazyBetweenness(
     std::shared_ptr<const graph::SchemaGraph> graph, ContextOptions options,
-    ThreadPool* pool, std::function<void()> on_compute)
+    ThreadPool* pool, std::function<void()> on_compute, uint64_t sampling_salt)
     : graph_(std::move(graph)),
       options_(options),
       pool_(pool),
-      on_compute_(std::move(on_compute)) {}
+      on_compute_(std::move(on_compute)),
+      sampling_salt_(sampling_salt) {}
+
+LazyBetweenness::LazyBetweenness(
+    std::shared_ptr<const graph::SchemaGraph> graph, ContextOptions options,
+    graph::BetweennessPartials partials)
+    : graph_(std::move(graph)), options_(options) {
+  partials_ = std::move(partials);
+  ready_.store(true, std::memory_order_release);
+}
 
 const std::vector<double>& LazyBetweenness::Get() const {
   std::call_once(once_, [&] {
+    // Pre-seeded by the advance path — nothing to compute.
+    if (ready_.load(std::memory_order_acquire)) return;
     if (on_compute_) on_compute_();
-    scores_ = ComputeBetweenness(graph_->graph(), options_, pool_);
+    if (options_.betweenness_mode == BetweennessMode::kExact) {
+      // Capture the per-chunk partials so a later commit can advance
+      // this cell instead of starting over.
+      partials_ = graph::BetweennessExactWithPartials(graph_->graph(), pool_);
+    } else {
+      ContextOptions salted = options_;
+      salted.seed = SampledSeedFor(options_, sampling_salt_);
+      partials_.scores = ComputeBetweenness(graph_->graph(), salted, pool_);
+    }
+    ready_.store(true, std::memory_order_release);
   });
-  return scores_;
+  return partials_.scores;
+}
+
+const graph::BetweennessPartials* LazyBetweenness::Partials() const {
+  if (options_.betweenness_mode != BetweennessMode::kExact) return nullptr;
+  if (!ready_.load(std::memory_order_acquire)) return nullptr;
+  return &partials_;
 }
 
 VersionArtefacts MakeVersionArtefacts(
     std::shared_ptr<const rdf::KnowledgeBase> snapshot,
-    const ContextOptions& options, ThreadPool* pool) {
+    const ContextOptions& options, ThreadPool* pool, uint64_t sampling_salt) {
   VersionArtefacts artefacts;
   artefacts.snapshot = std::move(snapshot);
   artefacts.view = std::make_shared<const schema::SchemaView>(
@@ -53,8 +87,8 @@ VersionArtefacts MakeVersionArtefacts(
   artefacts.graph = std::make_shared<const graph::SchemaGraph>(
       graph::SchemaGraph::Build(*artefacts.view,
                                 artefacts.view->classes()));
-  artefacts.betweenness =
-      std::make_shared<const LazyBetweenness>(artefacts.graph, options, pool);
+  artefacts.betweenness = std::make_shared<const LazyBetweenness>(
+      artefacts.graph, options, pool, nullptr, sampling_salt);
   return artefacts;
 }
 
@@ -81,6 +115,20 @@ Result<EvolutionContext> EvolutionContext::Build(
 Result<EvolutionContext> EvolutionContext::Build(VersionArtefacts before,
                                                  VersionArtefacts after,
                                                  ContextOptions options) {
+  if (before.snapshot == nullptr || after.snapshot == nullptr) {
+    return InvalidArgumentError(
+        "EvolutionContext requires fully populated artefact bundles");
+  }
+  delta::LowLevelDelta delta =
+      delta::ComputeLowLevelDelta(*before.snapshot, *after.snapshot);
+  return Build(std::move(before), std::move(after), std::move(delta),
+               /*advance_from=*/nullptr, options);
+}
+
+Result<EvolutionContext> EvolutionContext::Build(
+    VersionArtefacts before, VersionArtefacts after,
+    delta::LowLevelDelta delta, const delta::DeltaIndex* advance_from,
+    ContextOptions options) {
   if (before.snapshot == nullptr || before.view == nullptr ||
       before.graph == nullptr || before.betweenness == nullptr ||
       after.snapshot == nullptr || after.view == nullptr ||
@@ -103,13 +151,18 @@ Result<EvolutionContext> EvolutionContext::Build(VersionArtefacts before,
   ctx.graph_after_ = std::move(after.graph);
   ctx.raw_before_ = std::move(before.betweenness);
   ctx.raw_after_ = std::move(after.betweenness);
-  ctx.delta_ = delta::ComputeLowLevelDelta(*ctx.before_, *ctx.after_);
+  ctx.delta_ = std::move(delta);
   // Deferred-neighborhood build: a context whose measures never touch
   // neighborhoods (e.g. a betweenness-only chain walk) skips the
   // per-class neighborhood unions entirely.
-  ctx.delta_index_ = delta::DeltaIndex::Build(
-      ctx.delta_, ctx.view_before_, ctx.view_after_,
-      ctx.before_->vocabulary());
+  ctx.delta_index_ =
+      advance_from != nullptr
+          ? delta::DeltaIndex::Advance(*advance_from, ctx.delta_,
+                                       ctx.view_before_, ctx.view_after_,
+                                       ctx.before_->vocabulary())
+          : delta::DeltaIndex::Build(ctx.delta_, ctx.view_before_,
+                                     ctx.view_after_,
+                                     ctx.before_->vocabulary());
   ctx.lazy_ = std::make_shared<LazyArtefacts>();
   return ctx;
 }

@@ -1,6 +1,7 @@
 #ifndef EVOREC_MEASURES_MEASURE_CONTEXT_H_
 #define EVOREC_MEASURES_MEASURE_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "delta/delta_index.h"
 #include "delta/low_level_delta.h"
+#include "graph/betweenness.h"
 #include "graph/schema_graph.h"
 #include "rdf/knowledge_base.h"
 #include "schema/schema_view.h"
@@ -46,6 +48,16 @@ struct ContextOptions {
 /// Stable 64-bit fingerprint of `options` consistent with operator==.
 uint64_t ContextOptionsFingerprint(const ContextOptions& options);
 
+/// Effective sampling seed for a context bound to one version:
+/// options.seed mixed with `salt` (the engine passes the version's
+/// content fingerprint, so pivot selection is a stable property of
+/// the version's *content* — identical across engine instances,
+/// across cold builds vs incremental refreshes, and across runs —
+/// rather than one shared ad-hoc default). Salt 0 is the identity:
+/// the non-engine path keeps the raw options.seed and its historical
+/// outputs.
+uint64_t SampledSeedFor(const ContextOptions& options, uint64_t salt);
+
 /// Betweenness of `g` per the configured mode. `pool` (optional)
 /// parallelises the Brandes passes; results are bit-identical with and
 /// without it.
@@ -71,23 +83,40 @@ std::vector<double> ScatterToUnion(
 class LazyBetweenness {
  public:
   /// `on_compute`, when set, fires exactly once, right before the
-  /// computation actually runs (cache-stats hook).
+  /// computation actually runs (cache-stats hook). `sampling_salt`
+  /// feeds SampledSeedFor in kSampled mode (0 = raw options.seed).
   LazyBetweenness(std::shared_ptr<const graph::SchemaGraph> graph,
                   ContextOptions options, ThreadPool* pool = nullptr,
-                  std::function<void()> on_compute = nullptr);
+                  std::function<void()> on_compute = nullptr,
+                  uint64_t sampling_salt = 0);
+
+  /// Adopts an already-advanced result (the incremental-refresh path):
+  /// Get() serves `partials.scores` immediately and no pass ever runs,
+  /// so `on_compute`-style counters stay untouched. kExact only —
+  /// sampled cells are never advanced.
+  LazyBetweenness(std::shared_ptr<const graph::SchemaGraph> graph,
+                  ContextOptions options, graph::BetweennessPartials partials);
 
   /// The betweenness vector, computed on first call.
   const std::vector<double>& Get() const;
+
+  /// The resumable per-chunk Brandes state, or nullptr when nothing
+  /// has been computed yet or the mode is sampled (no advance path).
+  /// Never forces the computation — a cell that stayed lazy stays
+  /// lazy, and its successor simply starts cold too.
+  const graph::BetweennessPartials* Partials() const;
 
   const graph::SchemaGraph& graph() const { return *graph_; }
 
  private:
   std::shared_ptr<const graph::SchemaGraph> graph_;
   ContextOptions options_;
-  ThreadPool* pool_;
+  ThreadPool* pool_ = nullptr;
   std::function<void()> on_compute_;
+  uint64_t sampling_salt_ = 0;
   mutable std::once_flag once_;
-  mutable std::vector<double> scores_;
+  mutable graph::BetweennessPartials partials_;
+  mutable std::atomic<bool> ready_{false};
 };
 
 /// One version's reusable cold-path artefacts: the snapshot, its
@@ -105,10 +134,13 @@ struct VersionArtefacts {
 };
 
 /// Builds the full artefact bundle for one snapshot (betweenness stays
-/// lazy). `snapshot` must be non-null.
+/// lazy). `snapshot` must be non-null. `sampling_salt` is forwarded to
+/// the betweenness cell (the engine passes the version fingerprint; 0
+/// keeps the legacy unsalted sampling of the non-engine path).
 VersionArtefacts MakeVersionArtefacts(
     std::shared_ptr<const rdf::KnowledgeBase> snapshot,
-    const ContextOptions& options, ThreadPool* pool = nullptr);
+    const ContextOptions& options, ThreadPool* pool = nullptr,
+    uint64_t sampling_salt = 0);
 
 /// Everything an evolution measure needs about one version pair
 /// (V1 → V2), computed once and shared by all measures:
@@ -156,6 +188,19 @@ class EvolutionContext {
   /// have been built with equivalent ContextOptions.
   static Result<EvolutionContext> Build(VersionArtefacts before,
                                         VersionArtefacts after,
+                                        ContextOptions options = {});
+
+  /// The incremental-refresh form: as above, but adopts an
+  /// already-derived low-level delta (O(|δ|) from the commit's
+  /// ChangeSet instead of an O(T) store diff) and, when `advance_from`
+  /// is non-null, advances the delta index from the preceding pair's
+  /// index instead of building it cold. Observationally identical to
+  /// the plain bundle overload — `advance_from` must be the index of a
+  /// pair whose after-version is this pair's before-version.
+  static Result<EvolutionContext> Build(VersionArtefacts before,
+                                        VersionArtefacts after,
+                                        delta::LowLevelDelta delta,
+                                        const delta::DeltaIndex* advance_from,
                                         ContextOptions options = {});
 
   /// Builds a context for versions (v1, v2) of `vkb`.

@@ -203,6 +203,18 @@ std::vector<rdf::TermId> SchemaView::Neighborhood(rdf::TermId n) const {
   return out;
 }
 
+const std::vector<std::vector<rdf::TermId>>& SchemaView::NeighborhoodLists()
+    const {
+  NeighborhoodMemo& memo = *neighborhood_memo_;
+  std::call_once(memo.once, [&] {
+    memo.lists.resize(classes_.size());
+    for (size_t i = 0; i < classes_.size(); ++i) {
+      memo.lists[i] = Neighborhood(classes_[i]);
+    }
+  });
+  return memo.lists;
+}
+
 std::vector<rdf::TermId> SchemaView::PropertyNeighbors(rdf::TermId n) const {
   auto it = property_adjacent_.find(n);
   if (it == property_adjacent_.end()) return {};

@@ -2,6 +2,8 @@
 #define EVOREC_SCHEMA_SCHEMA_VIEW_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -112,6 +114,15 @@ class SchemaView {
   /// them (paper §II.b). Sorted, excludes `n`.
   std::vector<rdf::TermId> Neighborhood(rdf::TermId n) const;
 
+  /// All class neighborhoods at once, memoized: lists()[i] equals
+  /// Neighborhood(classes()[i]). The scan runs once per view
+  /// (thread-safe) and the memo is shared by every copy, so the many
+  /// version *pairs* that include one version — a timeline chain walk,
+  /// or consecutive incremental refreshes sharing views through the
+  /// engine's artefact cache — pay for the version's neighborhood
+  /// extraction exactly once instead of once per pair.
+  const std::vector<std::vector<rdf::TermId>>& NeighborhoodLists() const;
+
   /// Classes adjacent to `n` via property domain/range declarations
   /// only.
   std::vector<rdf::TermId> PropertyNeighbors(rdf::TermId n) const;
@@ -137,6 +148,13 @@ class SchemaView {
       property_adjacent_;
   std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>
       properties_touching_;
+  // Lazily filled per-class neighborhood memo, shared between copies.
+  struct NeighborhoodMemo {
+    std::once_flag once;
+    std::vector<std::vector<rdf::TermId>> lists;
+  };
+  std::shared_ptr<NeighborhoodMemo> neighborhood_memo_ =
+      std::make_shared<NeighborhoodMemo>();
 };
 
 }  // namespace evorec::schema

@@ -1,0 +1,239 @@
+// Differential suite for the dynamic betweenness path:
+// BetweennessAdvance must be bit-identical to a from-scratch
+// BetweennessExactWithPartials of the new graph — for every pool
+// size, every delta shape, and across long chains of updates — while
+// its stats prove the work stays proportional to the affected-source
+// frontier, not the graph.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "graph/betweenness.h"
+#include "graph/graph.h"
+
+namespace evorec::graph {
+namespace {
+
+using EdgeSet = std::set<std::pair<NodeId, NodeId>>;
+
+Graph FromSet(size_t n, const EdgeSet& edges) {
+  std::vector<std::pair<NodeId, NodeId>> list(edges.begin(), edges.end());
+  return Graph::FromEdges(n, std::move(list));
+}
+
+// Canonical (a < b) random edge avoiding self-loops.
+std::pair<NodeId, NodeId> RandomEdge(size_t n, Rng& rng) {
+  while (true) {
+    const auto a = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    const auto b = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    if (a == b) continue;
+    return {std::min(a, b), std::max(a, b)};
+  }
+}
+
+EdgeSet RandomEdges(size_t n, size_t m, Rng& rng) {
+  EdgeSet edges;
+  while (edges.size() < m) edges.insert(RandomEdge(n, rng));
+  return edges;
+}
+
+// Flips `k` random edge slots: present edges are removed, absent ones
+// added — both delta directions in one step.
+void FlipEdges(size_t n, EdgeSet& edges, size_t k, Rng& rng) {
+  for (size_t i = 0; i < k; ++i) {
+    const auto e = RandomEdge(n, rng);
+    if (!edges.erase(e)) edges.insert(e);
+  }
+}
+
+void ExpectBitIdentical(const std::vector<double>& expected,
+                        const std::vector<double>& actual,
+                        const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&expected[i], &actual[i], sizeof(double)), 0)
+        << label << " index " << i << ": " << expected[i]
+        << " != " << actual[i];
+  }
+}
+
+// The full resumable state must match — the scores callers read and
+// the per-chunk sums the *next* advance will splice from.
+void ExpectPartialsIdentical(const BetweennessPartials& expected,
+                             const BetweennessPartials& actual,
+                             const std::string& label) {
+  ExpectBitIdentical(expected.scores, actual.scores, label + " scores");
+  ASSERT_EQ(expected.chunks.size(), actual.chunks.size()) << label;
+  for (size_t c = 0; c < expected.chunks.size(); ++c) {
+    ExpectBitIdentical(expected.chunks[c], actual.chunks[c],
+                       label + " chunk " + std::to_string(c));
+  }
+}
+
+TEST(DynamicBetweennessTest, AdvanceMatchesFullRecomputeBitwise) {
+  const size_t n = 80;
+  for (uint64_t seed : {3u, 19u, 71u}) {
+    Rng rng(seed);
+    EdgeSet edges = RandomEdges(n, 180, rng);
+    Graph old_g = FromSet(n, edges);
+    BetweennessPartials previous = BetweennessExactWithPartials(old_g);
+    for (size_t step = 0; step < 8; ++step) {
+      FlipEdges(n, edges, 1 + step % 4, rng);
+      Graph new_g = FromSet(n, edges);
+      const BetweennessPartials fresh = BetweennessExactWithPartials(new_g);
+      const std::string label =
+          "seed " + std::to_string(seed) + " step " + std::to_string(step);
+      // Serial advance.
+      BetweennessAdvanceStats stats;
+      BetweennessPartials advanced =
+          BetweennessAdvance(old_g, previous, new_g, 1.0, &stats);
+      ExpectPartialsIdentical(fresh, advanced, label + " serial");
+      EXPECT_TRUE(stats.incremental) << label;
+      // Pool sizes must not perturb a single bit.
+      for (size_t threads : {2u, 8u}) {
+        ThreadPool pool(threads);
+        BetweennessPartials pooled = BetweennessAdvance(
+            old_g, previous, new_g, 1.0, nullptr, &pool);
+        ExpectPartialsIdentical(fresh, pooled,
+                                label + " pool " + std::to_string(threads));
+      }
+      old_g = std::move(new_g);
+      previous = std::move(advanced);  // chain: advance from advanced state
+    }
+  }
+}
+
+TEST(DynamicBetweennessTest, EmptyDeltaReturnsPreviousUntouched) {
+  Rng rng(5);
+  const size_t n = 40;
+  const EdgeSet edges = RandomEdges(n, 90, rng);
+  const Graph g = FromSet(n, edges);
+  const BetweennessPartials previous = BetweennessExactWithPartials(g);
+  BetweennessAdvanceStats stats;
+  const BetweennessPartials same =
+      BetweennessAdvance(g, previous, FromSet(n, edges), 0.5, &stats);
+  EXPECT_TRUE(stats.incremental);
+  EXPECT_EQ(stats.touched_nodes, 0u);
+  EXPECT_EQ(stats.affected_sources, 0u);
+  EXPECT_EQ(stats.recomputed_sources, 0u);
+  EXPECT_EQ(stats.recomputed_chunks, 0u);
+  ExpectPartialsIdentical(previous, same, "no-op advance");
+}
+
+TEST(DynamicBetweennessTest, ChurnThresholdForcesFullRecompute) {
+  Rng rng(9);
+  const size_t n = 40;
+  EdgeSet edges = RandomEdges(n, 90, rng);
+  const Graph old_g = FromSet(n, edges);
+  const BetweennessPartials previous = BetweennessExactWithPartials(old_g);
+  FlipEdges(n, edges, 2, rng);
+  const Graph new_g = FromSet(n, edges);
+  // Threshold 0: any touched node at all exceeds it.
+  BetweennessAdvanceStats stats;
+  const BetweennessPartials full =
+      BetweennessAdvance(old_g, previous, new_g, 0.0, &stats);
+  EXPECT_FALSE(stats.incremental);
+  EXPECT_EQ(stats.recomputed_sources, n);
+  EXPECT_EQ(stats.recomputed_chunks, stats.total_chunks);
+  ExpectPartialsIdentical(BetweennessExactWithPartials(new_g), full,
+                          "forced full");
+}
+
+TEST(DynamicBetweennessTest, NodeCountChangeFallsBackToFull) {
+  Rng rng(13);
+  const EdgeSet edges = RandomEdges(30, 60, rng);
+  const Graph old_g = FromSet(30, edges);
+  const BetweennessPartials previous = BetweennessExactWithPartials(old_g);
+  const Graph grown = FromSet(31, edges);  // universe churn: indices shift
+  BetweennessAdvanceStats stats;
+  const BetweennessPartials result =
+      BetweennessAdvance(old_g, previous, grown, 1.0, &stats);
+  EXPECT_FALSE(stats.incremental);
+  ExpectPartialsIdentical(BetweennessExactWithPartials(grown), result,
+                          "node-count fallback");
+}
+
+TEST(DynamicBetweennessTest, ComponentIsolationBoundsAffectedSources) {
+  // Two components: a 6-clique (nodes 0..5) and a long path (6..59).
+  // An edge flip inside the clique can only affect sources that reach
+  // it — the frontier must stop at the component boundary.
+  const size_t n = 60;
+  EdgeSet edges;
+  for (NodeId i = 0; i < 6; ++i) {
+    for (NodeId j = i + 1; j < 6; ++j) edges.insert({i, j});
+  }
+  for (NodeId i = 6; i + 1 < n; ++i) edges.insert({i, static_cast<NodeId>(i + 1)});
+  const Graph old_g = FromSet(n, edges);
+  const BetweennessPartials previous = BetweennessExactWithPartials(old_g);
+  edges.erase({0, 1});
+  const Graph new_g = FromSet(n, edges);
+  BetweennessAdvanceStats stats;
+  const BetweennessPartials advanced =
+      BetweennessAdvance(old_g, previous, new_g, 1.0, &stats);
+  EXPECT_TRUE(stats.incremental);
+  EXPECT_EQ(stats.touched_nodes, 2u);
+  EXPECT_EQ(stats.affected_sources, 6u);  // the clique, nothing of the path
+  EXPECT_LT(stats.recomputed_chunks, stats.total_chunks);
+  ExpectPartialsIdentical(BetweennessExactWithPartials(new_g), advanced,
+                          "component isolation");
+}
+
+TEST(DynamicBetweennessTest, WorkStaysProportionalOnFragmentedGraph) {
+  // Many small components: one flipped edge must leave almost every
+  // chunk untouched. 32 separate 8-node cycles.
+  const size_t kComponents = 32, kSize = 8;
+  const size_t n = kComponents * kSize;
+  EdgeSet edges;
+  for (size_t c = 0; c < kComponents; ++c) {
+    const auto base = static_cast<NodeId>(c * kSize);
+    for (size_t i = 0; i < kSize; ++i) {
+      const auto a = static_cast<NodeId>(base + i);
+      const auto b = static_cast<NodeId>(base + (i + 1) % kSize);
+      edges.insert({std::min(a, b), std::max(a, b)});
+    }
+  }
+  const Graph old_g = FromSet(n, edges);
+  const BetweennessPartials previous = BetweennessExactWithPartials(old_g);
+  edges.insert({0, 4});  // chord inside component 0 only
+  const Graph new_g = FromSet(n, edges);
+  BetweennessAdvanceStats stats;
+  const BetweennessPartials advanced =
+      BetweennessAdvance(old_g, previous, new_g, 0.5, &stats);
+  EXPECT_TRUE(stats.incremental);
+  EXPECT_EQ(stats.affected_sources, kSize);  // exactly component 0
+  // Chunk granularity may round up, but never past two grid cells for
+  // an 8-source frontier on a 256-source grid.
+  EXPECT_LE(stats.recomputed_chunks, 2u);
+  EXPECT_GT(stats.total_chunks, 8u);
+  ExpectPartialsIdentical(BetweennessExactWithPartials(new_g), advanced,
+                          "fragmented");
+}
+
+TEST(DynamicBetweennessTest, GridIsPureFunctionOfSourceCount) {
+  for (size_t count : {0u, 1u, 3u, 4u, 5u, 127u, 128u, 129u, 4096u}) {
+    const BrandesChunkGrid grid = BrandesGridFor(count);
+    if (count == 0) {
+      EXPECT_EQ(grid.chunk_count, 0u);
+      continue;
+    }
+    // Chunks cover every source (trailing chunks may be empty — the
+    // count is capped, so per_chunk is a ceiling).
+    EXPECT_GE(grid.per_chunk, 1u);
+    EXPECT_GE(grid.chunk_count * grid.per_chunk, count);
+    EXPECT_EQ(grid.ChunkOf(0), 0u);
+    EXPECT_LT(grid.ChunkOf(count - 1), grid.chunk_count);
+  }
+}
+
+}  // namespace
+}  // namespace evorec::graph
