@@ -124,5 +124,92 @@ int main() {
       "principals (%llu cache hits)\n",
       static_cast<unsigned long long>(stats.contexts_built),
       static_cast<unsigned long long>(stats.context_hits));
+
+  // --- 4. Operations under failure: a clinical monitor cannot go
+  // dark because a disk does. The service runs on durable storage
+  // (checkpoints + write-ahead log); when a commit fails it flips to
+  // an explicit DEGRADED state and keeps serving the last committed
+  // evaluation, flagged, until a commit succeeds again. Scripted here
+  // with the fault-injection environment (docs/STORAGE.md).
+  const auto state_name = [](engine::HealthState s) {
+    return s == engine::HealthState::kDegraded ? "DEGRADED" : "OK";
+  };
+  storage::FaultInjectionEnv disk;  // the demo's scriptable "disk"
+  storage::SnapshotOptions snap_options;
+  snap_options.sync = true;
+  snap_options.env = &disk;
+  if (!version::SaveCheckpoint(*scenario.vkb, head, "ops/checkpoints", 3,
+                               snap_options)
+           .ok()) {
+    std::fprintf(stderr, "checkpoint failed\n");
+    return 1;
+  }
+  storage::LogOptions log_options;
+  log_options.sync_on_append = true;
+  log_options.env = &disk;
+  auto wal = storage::CommitLog::Open("ops/wal.evlog", log_options);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "wal open failed\n");
+    return 1;
+  }
+  scenario.vkb->AttachCommitLog(&*wal);
+
+  const auto next_changes = [&scenario](uint32_t epoch) {
+    const auto now = scenario.vkb->Snapshot(scenario.vkb->head());
+    workload::EvolutionOptions options;
+    options.operations = 40;
+    options.epoch = epoch;
+    options.seed = 778 + epoch;
+    return workload::GenerateEvolution(**now, scenario.vkb->dictionary(),
+                                       options)
+        .changes;
+  };
+
+  std::printf("\n[ops] health: %s\n", state_name(service.health_state()));
+  storage::FaultPlan outage;
+  outage.fail_writes = 10;  // outlasts the WAL's retry budget
+  disk.set_plan(outage);
+  auto broken = service.Commit(*scenario.vkb, next_changes(50), "ops",
+                               "during outage");
+  engine::ServiceHealth ops_health = service.health();
+  std::printf(
+      "[ops] commit during disk outage: %s\n[ops] health: %s "
+      "(failed commits: %llu, last error: %s)\n",
+      broken.ok() ? "ok?!" : "failed (history untouched)",
+      state_name(ops_health.state),
+      static_cast<unsigned long long>(ops_health.failed_commits),
+      ops_health.last_error.c_str());
+
+  auto stale_view = service.Recommend(*scenario.vkb, head - 1, head, dpo);
+  if (stale_view.ok()) {
+    std::printf(
+        "[ops] dpo read while degraded: %zu item(s), degraded flag: %s\n",
+        stale_view->items.size(), stale_view->degraded ? "true" : "false");
+  }
+
+  disk.ClearFaults();  // the disk comes back
+  auto healed = service.Commit(*scenario.vkb, next_changes(51), "ops",
+                               "after repair");
+  ops_health = service.health();
+  std::printf(
+      "[ops] commit after repair: %s\n[ops] health: %s (recoveries: %llu, "
+      "degraded reads served: %llu)\n",
+      healed.ok() ? "ok" : "failed", state_name(ops_health.state),
+      static_cast<unsigned long long>(ops_health.recoveries),
+      static_cast<unsigned long long>(ops_health.degraded_serves));
+
+  // A restart self-heals from the checkpoint directory + WAL and says
+  // exactly what it did:
+  version::RecoveryOptions recovery_options;
+  recovery_options.env = &disk;
+  auto recovered = version::RecoverFromCheckpoints(
+      "ops/checkpoints", "ops/wal.evlog", recovery_options);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n[ops] restart recovery:\n%s",
+              recovered->report.ToString().c_str());
   return 0;
 }

@@ -3,16 +3,52 @@
 # examples), run the full ctest suite. This is the exact sequence CI
 # runs and the gate every PR must keep green.
 #
-#   scripts/check.sh [build-dir]
+#   scripts/check.sh [--torture] [build-dir]
+#
+#   --torture  run only the fault-injection and crash-recovery suites
+#              (the crash-point matrix) instead of the full suite —
+#              the quick loop while working on the storage layer.
 #
 # Extra CMake arguments can be passed via CMAKE_ARGS, e.g.
 #   CMAKE_ARGS="-DEVOREC_BUILD_BENCHMARKS=OFF" scripts/check.sh
+#
+# Also enforces the Env-layer boundary: raw POSIX/stdio file I/O
+# (fopen/fwrite/fsync/...) is allowed only inside src/common/env.cc
+# (PosixEnv). Everything else must go through evorec::Env, or fault
+# injection and the crash-point torture harness silently lose
+# coverage of those bytes.
 
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"${repo_root}/build"}
 
+torture=0
+build_dir=""
+for arg in "$@"; do
+  case "${arg}" in
+    --torture) torture=1 ;;
+    *) build_dir="${arg}" ;;
+  esac
+done
+build_dir=${build_dir:-"${repo_root}/build"}
+
+# --- Env-layer guard (cheap; runs before the build) ---
+raw_io=$(grep -rnE '[^_[:alnum:]](fopen|fwrite|fread|fsync|fdatasync|fclose|ftruncate|unlink)[[:space:]]*\(' \
+           "${repo_root}/src" --include='*.cc' \
+         | grep -v 'src/common/env\.cc' \
+         | grep -vE '^[^:]*:[0-9]+:[[:space:]]*(//|\*)' || true)
+if [ -n "${raw_io}" ]; then
+  echo "error: raw file I/O outside src/common/env.cc — route it through evorec::Env:" >&2
+  echo "${raw_io}" >&2
+  exit 1
+fi
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 cmake -B "${build_dir}" -S "${repo_root}" ${CMAKE_ARGS:-}
-cmake --build "${build_dir}" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
-cd "${build_dir}" && ctest --output-on-failure -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+cmake --build "${build_dir}" -j "${jobs}"
+cd "${build_dir}"
+if [ "${torture}" -eq 1 ]; then
+  ctest --output-on-failure -j "${jobs}" -R 'Fault|Torture|Degraded|RetryBackoff'
+else
+  ctest --output-on-failure -j "${jobs}"
+fi

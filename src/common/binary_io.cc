@@ -1,14 +1,8 @@
 #include "common/binary_io.h"
 
 #include <array>
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
 
-#ifndef _WIN32
-#include <fcntl.h>
-#include <unistd.h>
-#endif
+#include "common/env.h"
 
 namespace evorec {
 
@@ -140,76 +134,39 @@ bool ByteReader::Skip(size_t n) {
   return true;
 }
 
-Result<std::string> ReadFileToString(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return NotFoundError("cannot open '" + path + "': " +
-                         std::strerror(errno));
-  }
-  std::string data;
-  char buffer[1 << 16];
-  size_t n = 0;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    data.append(buffer, n);
-  }
-  const bool failed = std::ferror(f) != 0;
-  std::fclose(f);
-  if (failed) {
-    return InternalError("read error on '" + path + "'");
-  }
-  return data;
+Result<std::string> ReadFileToString(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  return env->ReadFileToString(path);
 }
 
 Status WriteFileAtomic(const std::string& path, std::string_view data,
-                       bool sync) {
+                       bool sync, Env* env) {
+  if (env == nullptr) env = Env::Default();
   const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return InternalError("cannot create '" + tmp + "': " +
-                         std::strerror(errno));
+  auto file = env->NewWritableFile(tmp);
+  if (!file.ok()) return file.status();
+  Status written = (*file)->Append(data);
+  if (written.ok() && sync) written = (*file)->Sync();
+  Status closed = (*file)->Close();
+  if (written.ok()) written = closed;
+  if (!written.ok()) {
+    // A half-written temp file is useless and would accumulate across
+    // failed saves; remove it so the directory stays exactly as it
+    // was (the target keeps its previous content untouched).
+    (void)env->RemoveFile(tmp);
+    return written;
   }
-  bool ok = data.empty() ||
-            std::fwrite(data.data(), 1, data.size(), f) == data.size();
-  ok = std::fflush(f) == 0 && ok;
-#ifndef _WIN32
-  if (ok && sync) {
-    ok = fsync(fileno(f)) == 0;
+  Status renamed = env->RenameFile(tmp, path);
+  if (!renamed.ok()) {
+    (void)env->RemoveFile(tmp);
+    return renamed;
   }
-#else
-  (void)sync;
-#endif
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return InternalError("write error on '" + tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return InternalError("cannot rename '" + tmp + "' to '" + path +
-                         "': " + std::strerror(errno));
-  }
-#ifndef _WIN32
   if (sync) {
     // The rename itself is only durable once the containing
     // directory's entry is; without this a crash can leave the
     // directory pointing at neither the old nor the new file.
-    const size_t slash = path.find_last_of('/');
-    const std::string dir = slash == std::string::npos
-                                ? std::string(".")
-                                : path.substr(0, slash + 1);
-    const int dir_fd = open(dir.c_str(), O_RDONLY);
-    if (dir_fd < 0) {
-      return InternalError("cannot open directory '" + dir +
-                           "' for fsync: " + std::strerror(errno));
-    }
-    const bool dir_synced = fsync(dir_fd) == 0;
-    close(dir_fd);
-    if (!dir_synced) {
-      return InternalError("fsync of directory '" + dir +
-                           "' failed: " + std::strerror(errno));
-    }
+    EVOREC_RETURN_IF_ERROR(env->SyncDir(ParentDirOf(path)));
   }
-#endif
   return OkStatus();
 }
 

@@ -79,18 +79,27 @@ class ByteReader {
 };
 
 // ---- Whole-file I/O ----
+//
+// Both helpers run on a pluggable Env (common/env.h); pass nullptr
+// for the process default. Storage-layer callers thread their
+// configured environment through so fault injection covers every
+// byte they persist.
+
+class Env;
 
 /// Reads the entire file at `path` into a string.
-Result<std::string> ReadFileToString(const std::string& path);
+Result<std::string> ReadFileToString(const std::string& path,
+                                     Env* env = nullptr);
 
 /// Writes `data` to `path` atomically (temp file + rename), so
 /// readers never observe a half-written file. With `sync`, the data
 /// is fsync'd before the rename and the containing directory after
 /// it (POSIX rename durability needs both) — the path either keeps
 /// its old content or holds the new bytes completely, even across a
-/// crash.
+/// crash. On any failure the orphaned `path + ".tmp"` is removed, so
+/// a failed write never leaves stray temp files next to the target.
 Status WriteFileAtomic(const std::string& path, std::string_view data,
-                       bool sync = false);
+                       bool sync = false, Env* env = nullptr);
 
 }  // namespace evorec
 

@@ -1,0 +1,242 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace evorec {
+
+namespace {
+
+/// Maps an errno to the library's error space. Device-level conditions
+/// the caller may reasonably retry map to kUnavailable; everything
+/// else is permanent.
+Status ErrnoStatus(const std::string& context, int err) {
+  const std::string message = context + ": " + std::strerror(err);
+  switch (err) {
+    case EIO:
+    case ENOSPC:
+    case EAGAIN:
+    case EINTR:
+    case EBUSY:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return UnavailableError(message);
+    case ENOENT:
+      return NotFoundError(message);
+    default:
+      return InternalError(message);
+  }
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixWritableFile() override { (void)Close(); }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) {
+      return FailedPreconditionError("append to closed file '" + path_ + "'");
+    }
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write error on '" + path_ + "'", errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return OkStatus();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) {
+      return FailedPreconditionError("sync of closed file '" + path_ + "'");
+    }
+    if (::fsync(fd_) != 0) {
+      return ErrnoStatus("fsync error on '" + path_ + "'", errno);
+    }
+    return OkStatus();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return OkStatus();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return ErrnoStatus("close error on '" + path_ + "'", errno);
+    }
+    return OkStatus();
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+class PosixReadableFile : public ReadableFile {
+ public:
+  PosixReadableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixReadableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> Read(size_t n, char* scratch) override {
+    while (true) {
+      const ssize_t got = ::read(fd_, scratch, n);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("read error on '" + path_ + "'", errno);
+      }
+      return static_cast<size_t>(got);
+    }
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) override {
+    const int flags = O_WRONLY | O_CREAT | (append ? O_APPEND : O_TRUNC);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return ErrnoStatus("cannot open '" + path + "' for writing", errno);
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(path, fd));
+  }
+
+  Result<std::unique_ptr<ReadableFile>> NewReadableFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return ErrnoStatus("cannot open '" + path + "'", errno);
+    }
+    return std::unique_ptr<ReadableFile>(
+        std::make_unique<PosixReadableFile>(path, fd));
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus("cannot stat '" + path + "'", errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("cannot rename '" + from + "' to '" + to + "'",
+                         errno);
+    }
+    return OkStatus();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("cannot remove '" + path + "'", errno);
+    }
+    return OkStatus();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("cannot truncate '" + path + "'", errno);
+    }
+    return OkStatus();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("cannot create directory '" + path + "'", errno);
+    }
+    return OkStatus();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      return ErrnoStatus("cannot open directory '" + path + "'", errno);
+    }
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return ErrnoStatus("cannot open directory '" + path + "' for fsync",
+                         errno);
+    }
+    const bool synced = ::fsync(fd) == 0;
+    const int err = errno;
+    ::close(fd);
+    if (!synced) {
+      return ErrnoStatus("fsync of directory '" + path + "' failed", err);
+    }
+    return OkStatus();
+  }
+
+  void SleepForMicroseconds(uint64_t micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv;  // never destroyed (used at exit)
+  return env;
+}
+
+Result<std::string> Env::ReadFileToString(const std::string& path) {
+  auto file = NewReadableFile(path);
+  if (!file.ok()) return file.status();
+  std::string data;
+  char buffer[1 << 16];
+  while (true) {
+    auto n = (*file)->Read(sizeof(buffer), buffer);
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;
+    data.append(buffer, *n);
+  }
+  return data;
+}
+
+std::string ParentDirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash);
+}
+
+}  // namespace evorec

@@ -1,0 +1,115 @@
+#ifndef EVOREC_COMMON_ENV_H_
+#define EVOREC_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace evorec {
+
+/// Pluggable environment boundary for all file I/O in the storage and
+/// version layers (the LevelDB Env idiom). Every byte the library
+/// persists — snapshots, checkpoints, the commit log — flows through
+/// one of these interfaces, so a test environment can script failures
+/// (storage::FaultInjectionEnv injects EIO/ENOSPC, short writes, lying
+/// fsyncs, rename failures and power-loss crash points) while
+/// production runs on the default PosixEnv. scripts/check.sh enforces
+/// the boundary: no raw fopen/fwrite/fsync may appear outside
+/// common/env.cc.
+///
+/// Error contract: transient device failures surface as kUnavailable
+/// (retryable — see Status IsTransient); everything else is permanent.
+
+/// Sequential append handle to one file. Not thread-safe.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file (to the OS, not necessarily
+  /// to stable storage). A failed append may leave a prefix of `data`
+  /// in the file — callers that frame records must repair the tail
+  /// before appending again (storage::CommitLog does).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Forces everything appended so far to stable storage. An OK return
+  /// is the durability acknowledgement the WAL layer builds on.
+  virtual Status Sync() = 0;
+
+  /// Closes the handle. Idempotent; the destructor closes too.
+  virtual Status Close() = 0;
+};
+
+/// Sequential read handle to one file. Not thread-safe.
+class ReadableFile {
+ public:
+  virtual ~ReadableFile() = default;
+
+  /// Reads up to `n` bytes into `scratch`, returning the count read; 0
+  /// means end of file.
+  virtual Result<size_t> Read(size_t n, char* scratch) = 0;
+};
+
+/// The environment: file creation, metadata operations, directory
+/// handling, and the clock the retry/backoff policies sleep on. All
+/// methods are thread-safe.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide default environment (PosixEnv). Never null; not
+  /// owned by the caller.
+  static Env* Default();
+
+  /// Opens `path` for writing: truncated to empty, or positioned at
+  /// the end with `append`. Creates the file if missing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append = false) = 0;
+
+  /// Opens `path` for sequential reading.
+  virtual Result<std::unique_ptr<ReadableFile>> NewReadableFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Truncates (or extends with zeros) `path` to exactly `size` bytes.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Creates `path` as a directory; OK if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries of directory `path`, sorted.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  /// fsyncs the directory entry metadata of `path` — the second half
+  /// of POSIX rename durability (see WriteFileAtomic).
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// The clock behind retry backoff. Test environments record the
+  /// request instead of sleeping, which keeps backoff tests
+  /// deterministic and instant.
+  virtual void SleepForMicroseconds(uint64_t micros) = 0;
+
+  /// Reads the entire file at `path` into a string (convenience over
+  /// NewReadableFile).
+  Result<std::string> ReadFileToString(const std::string& path);
+};
+
+/// Directory part of `path` ("." when there is no slash), used for
+/// directory fsyncs.
+std::string ParentDirOf(const std::string& path);
+
+}  // namespace evorec
+
+#endif  // EVOREC_COMMON_ENV_H_

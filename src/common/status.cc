@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -68,6 +70,10 @@ Status UnimplementedError(std::string message) {
 
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace evorec

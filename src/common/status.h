@@ -20,6 +20,11 @@ enum class StatusCode {
   kPermissionDenied,
   kUnimplemented,
   kInternal,
+  /// A transient, retryable failure (e.g. an I/O error the device may
+  /// recover from). The storage layer's retry policies only ever retry
+  /// this code; corruption-class errors (kInvalidArgument,
+  /// kFailedPrecondition, kInternal) surface immediately.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NOT_FOUND").
@@ -69,6 +74,13 @@ Status FailedPreconditionError(std::string message);
 Status PermissionDeniedError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+
+/// True iff `status` is a transient failure worth retrying
+/// (kUnavailable). Corruption- and logic-class errors are permanent.
+inline bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
 
 }  // namespace evorec
 

@@ -318,7 +318,21 @@ Result<EvaluationEngine::RefreshResult> EvaluationEngine::Refresh(
   };
   auto evaluation = GetOrBuild(key, build, /*refreshed=*/true);
   if (!evaluation.ok()) return evaluation.status();
-  return RefreshResult{head, std::move(evaluation).value()};
+  RefreshResult result{head, std::move(evaluation).value()};
+  {
+    // Pin the refresh as the last-good serving state: if a later
+    // commit fails, the service keeps answering from this evaluation
+    // (flagged degraded) until a commit succeeds again.
+    std::lock_guard<std::mutex> lock(mu_);
+    last_good_ = result;
+  }
+  return result;
+}
+
+std::optional<EvaluationEngine::RefreshResult>
+EvaluationEngine::LastGoodRefresh() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_good_;
 }
 
 Result<EvaluationEngine::RefreshResult> EvaluationEngine::CommitAndRefresh(

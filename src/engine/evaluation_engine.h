@@ -6,6 +6,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -199,6 +200,12 @@ class EvaluationEngine {
       std::string author, std::string message, uint64_t timestamp = 0,
       measures::ContextOptions context_options = {});
 
+  /// The most recent successful Refresh/CommitAndRefresh outcome,
+  /// pinned independently of cache eviction — the stale-but-consistent
+  /// state the service serves (flagged) while a failed commit has it
+  /// in the DEGRADED health state. Empty until the first refresh.
+  std::optional<RefreshResult> LastGoodRefresh() const;
+
   /// The timeline of the registered measure `measure` over every
   /// consecutive version pair of `vkb` in [first, last] — the fast
   /// cold chain walk: every context is served through the engine's
@@ -265,6 +272,8 @@ class EvaluationEngine {
                      ContextKeyHash>
       inflight_;
   EngineStats stats_;
+  /// Last successful refresh, pinned for degraded-mode serving.
+  std::optional<RefreshResult> last_good_;
 };
 
 }  // namespace evorec::engine

@@ -34,6 +34,53 @@ Result<std::shared_ptr<const SharedEvaluation>> RecommendationService::Warm(
   return evaluation;
 }
 
+Result<std::shared_ptr<const SharedEvaluation>>
+RecommendationService::WarmOrFallback(
+    const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+    version::VersionId v2,
+    std::shared_ptr<const recommend::SharedRunState>* state,
+    bool* degraded) {
+  *degraded = health_state() == HealthState::kDegraded;
+  auto evaluation = Warm(vkb, v1, v2, state);
+  if (evaluation.ok() || !*degraded) return evaluation;
+  // Degraded and unable to serve fresh: answer from the pinned
+  // last-good evaluation rather than going dark. The caller sees a
+  // consistent list for the last successfully committed transition,
+  // flagged so nobody mistakes it for the requested pair.
+  auto last_good = engine_.LastGoodRefresh();
+  if (!last_good.has_value()) return evaluation;
+  auto shared = last_good->evaluation->SharedStateFor(recommender_);
+  if (!shared.ok()) return evaluation;  // original error is the story
+  *state = std::move(shared).value();
+  return Result<std::shared_ptr<const SharedEvaluation>>(
+      last_good->evaluation);
+}
+
+void RecommendationService::MarkCommitFailed(const Status& status) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  health_.state = HealthState::kDegraded;
+  ++health_.failed_commits;
+  health_.last_error = status.message();
+}
+
+void RecommendationService::MarkCommitSucceeded() {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  if (health_.state == HealthState::kDegraded) {
+    ++health_.recoveries;
+  }
+  health_.state = HealthState::kHealthy;
+}
+
+void RecommendationService::CountDegradedServes(uint64_t n) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  health_.degraded_serves += n;
+}
+
+ServiceHealth RecommendationService::health() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_;
+}
+
 Status RecommendationService::WarmStart(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2) {
@@ -52,13 +99,26 @@ Result<version::VersionId> RecommendationService::Commit(
   auto refreshed =
       engine_.CommitAndRefresh(vkb, std::move(changes), std::move(author),
                                std::move(message), timestamp, options_.context);
-  if (!refreshed.ok()) return refreshed.status();
+  if (!refreshed.ok()) {
+    // The commit is not in the history (the WAL is write-ahead: a
+    // failed append mutates nothing). Flip to DEGRADED — reads keep
+    // flowing from the engine's pinned last-good state, flagged.
+    MarkCommitFailed(refreshed.status());
+    return refreshed.status();
+  }
   // The engine refresh covers the context; warm the derived layers too
   // so the next request over the head pair is a pure hit.
   auto shared = refreshed->evaluation->SharedStateFor(recommender_);
-  if (!shared.ok()) return shared.status();
+  if (!shared.ok()) {
+    MarkCommitFailed(shared.status());
+    return shared.status();
+  }
   auto reports = refreshed->evaluation->AllReports();
-  if (!reports.ok()) return reports.status();
+  if (!reports.ok()) {
+    MarkCommitFailed(reports.status());
+    return reports.status();
+  }
+  MarkCommitSucceeded();
   return refreshed->version;
 }
 
@@ -66,18 +126,30 @@ Result<recommend::RecommendationList> RecommendationService::Recommend(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2, profile::HumanProfile& prof) {
   std::shared_ptr<const recommend::SharedRunState> state;
-  auto evaluation = Warm(vkb, v1, v2, &state);
+  bool degraded = false;
+  auto evaluation = WarmOrFallback(vkb, v1, v2, &state, &degraded);
   if (!evaluation.ok()) return evaluation.status();
-  return recommender_.RecommendForUser(*state, prof);
+  auto list = recommender_.RecommendForUser(*state, prof);
+  if (list.ok() && degraded) {
+    list->degraded = true;
+    CountDegradedServes(1);
+  }
+  return list;
 }
 
 Result<recommend::RecommendationList> RecommendationService::RecommendGroup(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2, profile::Group& group) {
   std::shared_ptr<const recommend::SharedRunState> state;
-  auto evaluation = Warm(vkb, v1, v2, &state);
+  bool degraded = false;
+  auto evaluation = WarmOrFallback(vkb, v1, v2, &state, &degraded);
   if (!evaluation.ok()) return evaluation.status();
-  return recommender_.RecommendForGroup(*state, group);
+  auto list = recommender_.RecommendForGroup(*state, group);
+  if (list.ok() && degraded) {
+    list->degraded = true;
+    CountDegradedServes(1);
+  }
+  return list;
 }
 
 namespace {
@@ -119,16 +191,25 @@ RecommendationService::RecommendBatch(
     }
   }
   std::shared_ptr<const recommend::SharedRunState> state;
-  auto evaluation = Warm(vkb, v1, v2, &state);
+  bool degraded = false;
+  auto evaluation = WarmOrFallback(vkb, v1, v2, &state, &degraded);
   if (!evaluation.ok()) return evaluation.status();
   // Provenance records must land in the same order as sequential
   // per-user calls would produce them, so batches with an attached
   // store stay on one thread.
   const bool parallel =
       options_.parallel_batches && provenance_ == nullptr;
-  return ServeAll(profiles.size(), parallel, engine_.pool(), [&](size_t i) {
-    return recommender_.RecommendForUser(*state, *profiles[i]);
-  });
+  auto results =
+      ServeAll(profiles.size(), parallel, engine_.pool(), [&](size_t i) {
+        return recommender_.RecommendForUser(*state, *profiles[i]);
+      });
+  if (results.ok() && degraded) {
+    for (recommend::RecommendationList& list : *results) {
+      list.degraded = true;
+    }
+    CountDegradedServes(results->size());
+  }
+  return results;
 }
 
 Result<std::vector<recommend::RecommendationList>>
@@ -141,13 +222,22 @@ RecommendationService::RecommendGroupBatch(
     }
   }
   std::shared_ptr<const recommend::SharedRunState> state;
-  auto evaluation = Warm(vkb, v1, v2, &state);
+  bool degraded = false;
+  auto evaluation = WarmOrFallback(vkb, v1, v2, &state, &degraded);
   if (!evaluation.ok()) return evaluation.status();
   const bool parallel =
       options_.parallel_batches && provenance_ == nullptr;
-  return ServeAll(groups.size(), parallel, engine_.pool(), [&](size_t i) {
-    return recommender_.RecommendForGroup(*state, *groups[i]);
-  });
+  auto results =
+      ServeAll(groups.size(), parallel, engine_.pool(), [&](size_t i) {
+        return recommender_.RecommendForGroup(*state, *groups[i]);
+      });
+  if (results.ok() && degraded) {
+    for (recommend::RecommendationList& list : *results) {
+      list.degraded = true;
+    }
+    CountDegradedServes(results->size());
+  }
+  return results;
 }
 
 }  // namespace evorec::engine

@@ -2,6 +2,8 @@
 #define EVOREC_ENGINE_RECOMMENDATION_SERVICE_H_
 
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "anonymity/access_policy.h"
@@ -27,6 +29,37 @@ struct ServiceOptions {
   /// Automatically disabled while a provenance store is attached, so
   /// the audit trail keeps the deterministic sequential record order.
   bool parallel_batches = true;
+};
+
+/// The service's explicit health state machine (docs/ARCHITECTURE.md
+/// has the diagram):
+///
+///   kHealthy --(Commit fails)--> kDegraded --(Commit succeeds)--> kHealthy
+///
+/// While DEGRADED the service refuses to go dark: reads that cannot be
+/// served fresh fall back to the engine's pinned last-good evaluation,
+/// and every result carries RecommendationList::degraded = true so
+/// callers know it may be stale (consistent, but possibly reflecting
+/// the last committed version rather than the requested one).
+enum class HealthState {
+  kHealthy,
+  /// A commit failed after reaching the durable layer's retry budget;
+  /// serving continues from the last-good state until a commit
+  /// succeeds.
+  kDegraded,
+};
+
+/// Health counters and the evidence behind the current state.
+struct ServiceHealth {
+  HealthState state = HealthState::kHealthy;
+  uint64_t failed_commits = 0;
+  /// Results served with the degraded flag set.
+  uint64_t degraded_serves = 0;
+  /// kDegraded -> kHealthy transitions (a commit succeeded again).
+  uint64_t recoveries = 0;
+  /// Message of the failure that caused the current (or most recent)
+  /// degradation.
+  std::string last_error;
 };
 
 /// The serving loop of the ROADMAP's many-users vision: N users (or
@@ -97,10 +130,20 @@ class RecommendationService {
   /// state — before this returns. Requests racing the refresh simply
   /// coalesce with it. Safe to call while other threads serve through
   /// this service (one committer at a time); returns the new head id.
+  ///
+  /// Health coupling: a failure here (the WAL append exhausted its
+  /// retries, the refresh broke, …) flips the service to
+  /// HealthState::kDegraded — the commit is not in the history, the
+  /// engine's pinned last-good state keeps serving — and the next
+  /// successful Commit flips it back to kHealthy.
   Result<version::VersionId> Commit(version::VersionedKnowledgeBase& vkb,
                                     version::ChangeSet changes,
                                     std::string author, std::string message,
                                     uint64_t timestamp = 0);
+
+  /// Snapshot of the current health state and counters. Thread-safe.
+  ServiceHealth health() const;
+  HealthState health_state() const { return health().state; }
 
   EvaluationEngine& engine() { return engine_; }
   const recommend::Recommender& recommender() const { return recommender_; }
@@ -113,10 +156,28 @@ class RecommendationService {
       version::VersionId v2,
       std::shared_ptr<const recommend::SharedRunState>* state);
 
+  /// Warm(), plus the degraded-mode fallback: when Warm fails *and*
+  /// the service is already degraded, serve the engine's pinned
+  /// last-good evaluation instead of going dark. Healthy-state errors
+  /// (e.g. a genuinely invalid version id) propagate unchanged — the
+  /// fallback only masks failures the degradation already explains.
+  /// `degraded` reports whether results must carry the flag.
+  Result<std::shared_ptr<const SharedEvaluation>> WarmOrFallback(
+      const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      version::VersionId v2,
+      std::shared_ptr<const recommend::SharedRunState>* state,
+      bool* degraded);
+
+  void MarkCommitFailed(const Status& status);
+  void MarkCommitSucceeded();
+  void CountDegradedServes(uint64_t n);
+
   ServiceOptions options_;
   EvaluationEngine engine_;
   recommend::Recommender recommender_;
   provenance::ProvenanceStore* provenance_ = nullptr;
+  mutable std::mutex health_mu_;
+  ServiceHealth health_;
 };
 
 }  // namespace evorec::engine

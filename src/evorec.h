@@ -32,6 +32,7 @@
 #include "anonymity/generalization.h"
 #include "anonymity/kanonymity.h"
 #include "common/binary_io.h"
+#include "common/env.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/statistics.h"
@@ -88,6 +89,7 @@
 #include "schema/hierarchy.h"
 #include "schema/schema_view.h"
 #include "storage/commit_log.h"
+#include "storage/fault_env.h"
 #include "storage/format.h"
 #include "storage/snapshot.h"
 #include "version/history_query.h"

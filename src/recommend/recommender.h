@@ -80,6 +80,11 @@ struct RecommendationList {
   /// Provenance records of the pipeline stages (empty when no store is
   /// attached).
   std::vector<provenance::RecordId> provenance_trail;
+  /// Set by the serving layer while it is in the DEGRADED health
+  /// state: the list is consistent but may reflect the last
+  /// successfully committed version rather than the requested one
+  /// (engine::RecommendationService, docs/STORAGE.md).
+  bool degraded = false;
 };
 
 /// The paper's processing model: generate measure candidates for a

@@ -1,12 +1,8 @@
 #include "storage/commit_log.h"
 
-#include <cerrno>
+#include <algorithm>
 #include <cstring>
 #include <utility>
-
-#ifndef _WIN32
-#include <unistd.h>
-#endif
 
 #include "common/binary_io.h"
 #include "storage/format.h"
@@ -188,13 +184,13 @@ std::string EncodeDeltaRecord(const DeltaRecord& record) {
 
 Result<CommitLog> CommitLog::Open(const std::string& path,
                                   LogOptions options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
   // Existing file: validate the header and repair a torn tail (a
   // crash mid-append) by truncating back to the last complete record
   // — appending after a tear would strand every later record behind
   // bytes no replay can cross.
-  if (std::FILE* existing = std::fopen(path.c_str(), "rb")) {
-    std::fclose(existing);
-    auto bytes = ReadFileToString(path);
+  if (env->FileExists(path)) {
+    auto bytes = env->ReadFileToString(path);
     if (!bytes.ok()) return bytes.status();
     EVOREC_RETURN_IF_ERROR(ValidateLogHeader(*bytes));
     const LogPrefix prefix = ScanLogPrefix(*bytes);
@@ -206,102 +202,135 @@ Result<CommitLog> CommitLog::Open(const std::string& path,
           "and rewrite the file)");
     }
     if (prefix.valid_bytes < bytes->size()) {
-#ifndef _WIN32
-      if (truncate(path.c_str(), static_cast<off_t>(prefix.valid_bytes)) !=
-          0) {
-        return InternalError("commit log: cannot truncate torn tail of '" +
-                             path + "': " + std::strerror(errno));
-      }
-#else
-      return FailedPreconditionError(
-          "commit log: '" + path +
-          "' has a torn tail; recover and rewrite it before appending");
-#endif
+      EVOREC_RETURN_IF_ERROR(env->TruncateFile(path, prefix.valid_bytes));
     }
-    std::FILE* f = std::fopen(path.c_str(), "ab");
-    if (f == nullptr) {
-      return InternalError("commit log: cannot open '" + path +
-                           "' for append: " + std::strerror(errno));
-    }
-    return CommitLog(path, f, options);
+    auto file = env->NewWritableFile(path, /*append=*/true);
+    if (!file.ok()) return file.status();
+    return CommitLog(path, env, std::move(*file), options,
+                     prefix.valid_bytes);
   }
   // Fresh log: create and write the file header.
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return InternalError("commit log: cannot create '" + path +
-                         "': " + std::strerror(errno));
-  }
+  auto file = env->NewWritableFile(path, /*append=*/false);
+  if (!file.ok()) return file.status();
   const std::string header = EncodeLogHeader();
-  if (std::fwrite(header.data(), 1, header.size(), f) != header.size() ||
-      std::fflush(f) != 0) {
-    std::fclose(f);
-    return InternalError("commit log: cannot write header to '" + path + "'");
+  Status written = (*file)->Append(header);
+  if (!written.ok()) {
+    // Leave no headerless stub behind — the next Open would reject it.
+    (void)(*file)->Close();
+    (void)env->RemoveFile(path);
+    return written;
   }
-  return CommitLog(path, f, options);
+  return CommitLog(path, env, std::move(*file), options, header.size());
 }
 
 CommitLog::CommitLog(CommitLog&& other) noexcept
     : path_(std::move(other.path_)),
-      file_(other.file_),
+      env_(other.env_),
+      file_(std::move(other.file_)),
       options_(other.options_),
-      records_appended_(other.records_appended_) {
-  other.file_ = nullptr;
+      records_appended_(other.records_appended_),
+      good_size_(other.good_size_),
+      tail_dirty_(other.tail_dirty_),
+      closed_(other.closed_) {
+  other.closed_ = true;
 }
 
 CommitLog& CommitLog::operator=(CommitLog&& other) noexcept {
   if (this != &other) {
     (void)Close();
     path_ = std::move(other.path_);
-    file_ = other.file_;
+    env_ = other.env_;
+    file_ = std::move(other.file_);
     options_ = other.options_;
     records_appended_ = other.records_appended_;
-    other.file_ = nullptr;
+    good_size_ = other.good_size_;
+    tail_dirty_ = other.tail_dirty_;
+    closed_ = other.closed_;
+    other.closed_ = true;
   }
   return *this;
 }
 
 CommitLog::~CommitLog() { (void)Close(); }
 
+Status CommitLog::RepairTail() {
+  if (file_ != nullptr) {
+    (void)file_->Close();
+    file_.reset();
+  }
+  // A failed append may have left any prefix of the record's bytes in
+  // the file (and a failed fsync leaves a complete record that was
+  // never acknowledged — re-appending it later would duplicate the
+  // version). Cut the file back to the last acknowledged byte.
+  EVOREC_RETURN_IF_ERROR(env_->TruncateFile(path_, good_size_));
+  auto file = env_->NewWritableFile(path_, /*append=*/true);
+  if (!file.ok()) return file.status();
+  file_ = std::move(*file);
+  tail_dirty_ = false;
+  return OkStatus();
+}
+
+Status CommitLog::AppendOnce(std::string_view bytes) {
+  EVOREC_RETURN_IF_ERROR(file_->Append(bytes));
+  if (options_.sync_on_append) {
+    EVOREC_RETURN_IF_ERROR(file_->Sync());
+  }
+  return OkStatus();
+}
+
 Status CommitLog::Append(const DeltaRecord& record) {
-  if (file_ == nullptr) {
+  if (closed_) {
     return FailedPreconditionError("commit log: appending to a closed log");
   }
   const std::string bytes = EncodeDeltaRecord(record);
-  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size() ||
-      std::fflush(file_) != 0) {
-    return InternalError("commit log: write error on '" + path_ + "'");
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  uint64_t backoff = options_.retry.backoff_micros;
+  Status last = OkStatus();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      env_->SleepForMicroseconds(backoff);
+      backoff *= options_.retry.backoff_multiplier;
+    }
+    if (tail_dirty_) {
+      last = RepairTail();
+      if (!last.ok()) {
+        if (IsTransient(last)) continue;
+        return last;
+      }
+    }
+    last = AppendOnce(bytes);
+    if (last.ok()) {
+      good_size_ += bytes.size();
+      ++records_appended_;
+      return OkStatus();
+    }
+    // The failed attempt may have landed any prefix of `bytes` (or,
+    // when the fsync failed, all of them un-acknowledged); repair
+    // before the next attempt — or before the next Append, if this
+    // one is out of attempts.
+    tail_dirty_ = true;
+    if (!IsTransient(last)) return last;
   }
-  if (options_.sync_on_append) {
-    EVOREC_RETURN_IF_ERROR(Sync());
-  }
-  ++records_appended_;
-  return OkStatus();
+  return last;
 }
 
 Status CommitLog::Sync() {
-  if (file_ == nullptr) {
+  if (closed_ || file_ == nullptr) {
     return FailedPreconditionError("commit log: syncing a closed log");
   }
-  if (std::fflush(file_) != 0) {
-    return InternalError("commit log: flush error on '" + path_ + "'");
+  if (tail_dirty_) {
+    EVOREC_RETURN_IF_ERROR(RepairTail());
   }
-#ifndef _WIN32
-  if (fsync(fileno(file_)) != 0) {
-    return InternalError("commit log: fsync error on '" + path_ +
-                         "': " + std::strerror(errno));
-  }
-#endif
-  return OkStatus();
+  return file_->Sync();
 }
 
 Status CommitLog::Close() {
+  if (closed_) return OkStatus();
+  closed_ = true;
   if (file_ == nullptr) return OkStatus();
-  std::FILE* f = file_;
-  file_ = nullptr;
-  if (std::fclose(f) != 0) {
-    return InternalError("commit log: close error on '" + path_ + "'");
-  }
-  return OkStatus();
+  Status status = file_->Close();
+  file_.reset();
+  return status;
 }
 
 Status ReplayLog(std::string_view bytes,
@@ -332,7 +361,7 @@ Status ReplayLog(std::string_view bytes,
 
 Result<std::vector<DeltaRecord>> ReadLog(const std::string& path,
                                          const ReplayOptions& options) {
-  auto bytes = ReadFileToString(path);
+  auto bytes = ReadFileToString(path, options.env);
   if (!bytes.ok()) return bytes.status();
   std::vector<DeltaRecord> records;
   EVOREC_RETURN_IF_ERROR(ReplayLog(*bytes,

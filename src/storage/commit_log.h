@@ -2,12 +2,13 @@
 #define EVOREC_STORAGE_COMMIT_LOG_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/env.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "rdf/term.h"
@@ -26,12 +27,34 @@ namespace evorec::storage {
 /// records. A crash can only ever tear the final record; replay with
 /// `allow_torn_tail` recovers everything before it (standard WAL
 /// semantics). Byte layout: docs/STORAGE.md.
+///
+/// All I/O runs through the pluggable Env (common/env.h), so the
+/// fault-injection environment can script every failure mode the
+/// durability contract in docs/STORAGE.md promises to survive.
+
+/// Bounded retry with exponential backoff for *transient* failures
+/// (IsTransient — kUnavailable only). Corruption- and logic-class
+/// errors are never retried: retrying a checksum mismatch cannot fix
+/// it, and retrying onto a corrupt tail would bury it deeper.
+struct RetryPolicy {
+  /// Total attempts, first try included; values < 1 mean one attempt.
+  int max_attempts = 4;
+  /// Sleep before the first re-attempt (on the Env clock, so tests
+  /// with a recording environment see the schedule without waiting).
+  uint64_t backoff_micros = 1000;
+  /// Each subsequent sleep is the previous one times this.
+  uint64_t backoff_multiplier = 2;
+};
 
 struct LogOptions {
   /// fsync after every Append — each commit is durable the moment
   /// Commit returns, at the cost of one disk flush per commit.
   /// Without it, durability is best-effort until Sync()/Close().
   bool sync_on_append = false;
+  /// Retry schedule for transient append/repair failures.
+  RetryPolicy retry;
+  /// Environment to run on; nullptr means Env::Default().
+  Env* env = nullptr;
 };
 
 /// One serialised commit.
@@ -71,28 +94,56 @@ class CommitLog {
   CommitLog& operator=(const CommitLog&) = delete;
   ~CommitLog();
 
-  /// Appends one record (flushed to the OS; fsync'd iff
-  /// sync_on_append).
+  /// Appends one record (to the OS; fsync'd iff sync_on_append).
+  /// Transient failures are retried per LogOptions::retry with
+  /// exponential backoff; before any (re-)attempt after a failure,
+  /// partial bytes of the broken append are truncated away, so the
+  /// file never accumulates a torn record mid-log and a retried
+  /// append never duplicates a half-written one. On a non-OK return
+  /// the record is not in the log (the next successful Append repairs
+  /// any leftover tail first).
   Status Append(const DeltaRecord& record);
 
   /// Forces everything appended so far to stable storage.
   Status Sync();
 
-  /// Flushes and closes; further Appends fail. Idempotent.
+  /// Closes the handle; further Appends fail. Idempotent.
   Status Close();
 
   const std::string& path() const { return path_; }
   uint64_t records_appended() const { return records_appended_; }
   const LogOptions& options() const { return options_; }
 
+  /// Bytes of header + complete, acknowledged records — what survives
+  /// tail repair. Exposed for the fault-injection regression tests.
+  uint64_t good_size() const { return good_size_; }
+  /// True while the file may end in partial bytes from a failed
+  /// append (repaired before the next attempt).
+  bool tail_dirty() const { return tail_dirty_; }
+
  private:
-  CommitLog(std::string path, std::FILE* file, LogOptions options)
-      : path_(std::move(path)), file_(file), options_(options) {}
+  CommitLog(std::string path, Env* env,
+            std::unique_ptr<WritableFile> file, LogOptions options,
+            uint64_t good_size)
+      : path_(std::move(path)),
+        env_(env),
+        file_(std::move(file)),
+        options_(options),
+        good_size_(good_size) {}
+
+  /// Closes the handle, truncates the file back to good_size_ and
+  /// reopens for append — recovery from a partial write.
+  Status RepairTail();
+  Status AppendOnce(std::string_view bytes);
 
   std::string path_;
-  std::FILE* file_ = nullptr;
+  Env* env_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
   LogOptions options_;
   uint64_t records_appended_ = 0;
+  uint64_t good_size_ = 0;
+  bool tail_dirty_ = false;
+  bool closed_ = false;
 };
 
 struct ReplayOptions {
@@ -105,6 +156,8 @@ struct ReplayOptions {
   /// records behind it. Recovery turns this on; strict readers (and
   /// the corruption tests) leave it off.
   bool allow_torn_tail = false;
+  /// Environment ReadLog reads through; nullptr means Env::Default().
+  Env* env = nullptr;
 };
 
 /// Streams every record of an in-memory log image through `fn`

@@ -1,0 +1,401 @@
+#include "storage/fault_env.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace evorec::storage {
+
+/// Handles keep the epoch of the environment they were opened in; a
+/// crash bumps the epoch, so every pre-crash handle is permanently
+/// dead even after Restart() — exactly like file descriptors of a
+/// process that lost power.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::string path, uint64_t epoch)
+      : env_(env), path_(std::move(path)), epoch_(epoch) {}
+
+  Status Append(std::string_view data) override {
+    if (closed_) {
+      return FailedPreconditionError("append to closed file '" + path_ + "'");
+    }
+    return env_->DoAppend(path_, epoch_, data);
+  }
+
+  Status Sync() override {
+    if (closed_) {
+      return FailedPreconditionError("sync of closed file '" + path_ + "'");
+    }
+    return env_->DoSync(path_, epoch_);
+  }
+
+  Status Close() override {
+    closed_ = true;
+    return OkStatus();
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  uint64_t epoch_;
+  bool closed_ = false;
+};
+
+class FaultReadableFile : public ReadableFile {
+ public:
+  FaultReadableFile(FaultInjectionEnv* env, std::string path, uint64_t epoch)
+      : env_(env), path_(std::move(path)), epoch_(epoch) {}
+
+  Result<size_t> Read(size_t n, char* scratch) override {
+    return env_->DoRead(path_, epoch_, &offset_, n, scratch);
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  uint64_t epoch_;
+  uint64_t offset_ = 0;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(uint64_t seed) : rng_(seed) {}
+
+void FaultInjectionEnv::set_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+}
+
+FaultPlan FaultInjectionEnv::plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = FaultPlan{};
+}
+
+void FaultInjectionEnv::CrashNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CrashLocked();
+}
+
+void FaultInjectionEnv::Restart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  down_ = false;
+}
+
+bool FaultInjectionEnv::down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return down_;
+}
+
+FaultCounters FaultInjectionEnv::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::vector<uint64_t> FaultInjectionEnv::recorded_sleeps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sleeps_;
+}
+
+Status FaultInjectionEnv::CorruptFile(const std::string& path,
+                                      uint64_t offset, uint8_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("no such file '" + path + "'");
+  }
+  FileState& state = it->second;
+  if (offset >= state.data.size()) {
+    return InvalidArgumentError("corrupt offset past end of '" + path + "'");
+  }
+  state.data[offset] = static_cast<char>(
+      static_cast<uint8_t>(state.data[offset]) ^ mask);
+  if (state.shadow.has_value() && offset < state.shadow->size()) {
+    (*state.shadow)[offset] = static_cast<char>(
+        static_cast<uint8_t>((*state.shadow)[offset]) ^ mask);
+  }
+  return OkStatus();
+}
+
+Status FaultInjectionEnv::CheckUpLocked(const char* what) const {
+  if (down_) {
+    return UnavailableError(std::string("environment is down after "
+                                        "simulated crash (") +
+                            what + ")");
+  }
+  return OkStatus();
+}
+
+Status FaultInjectionEnv::MutatingOpLocked(const char* what, int* countdown) {
+  ++counters_.mutating_ops;
+  if (plan_.crash_at_op > 0 &&
+      counters_.mutating_ops >= static_cast<uint64_t>(plan_.crash_at_op)) {
+    plan_.crash_at_op = 0;  // one-shot
+    CrashLocked();
+    // Power was cut before this operation took effect.
+    return UnavailableError(std::string("simulated power loss during ") +
+                            what);
+  }
+  if (countdown != nullptr && *countdown > 0) {
+    --*countdown;
+    ++counters_.injected_errors;
+    return Status(plan_.error_code,
+                  std::string("injected ") + what + " failure");
+  }
+  return OkStatus();
+}
+
+void FaultInjectionEnv::CrashLocked() {
+  ++counters_.crashes;
+  down_ = true;
+  ++epoch_;  // every open handle is now permanently stale
+  for (auto it = files_.begin(); it != files_.end();) {
+    FileState& state = it->second;
+    std::optional<std::string> durable;
+    if (state.entry_durable) {
+      size_t keep = state.synced;
+      if (plan_.torn_tails && state.data.size() > state.synced) {
+        // Some un-synced bytes may have reached the platter before the
+        // power died: keep a seeded random-length prefix of them — the
+        // torn tail the log replay must detect and drop.
+        const size_t unsynced = state.data.size() - state.synced;
+        keep += rng_() % (unsynced + 1);
+      }
+      durable = state.data.substr(0, keep);
+    } else {
+      durable = state.shadow;  // pre-rename target content, or nothing
+    }
+    if (!durable.has_value()) {
+      it = files_.erase(it);
+      continue;
+    }
+    state.data = std::move(*durable);
+    state.synced = state.data.size();
+    state.entry_durable = true;
+    state.shadow.reset();
+    ++it;
+  }
+}
+
+std::optional<std::string> FaultInjectionEnv::DurableContentLocked(
+    const FileState& state) const {
+  if (state.entry_durable) return state.data.substr(0, state.synced);
+  return state.shadow;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool append) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.opens;
+  EVOREC_RETURN_IF_ERROR(CheckUpLocked("open"));
+  FileState& state = files_[path];
+  if (!append) {
+    // O_TRUNC: the live file becomes empty, but until the new content
+    // is fsync'd a crash restores whatever was durable before.
+    state.shadow = DurableContentLocked(state);
+    state.data.clear();
+    state.synced = 0;
+    state.entry_durable = false;
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, path, epoch_));
+}
+
+Result<std::unique_ptr<ReadableFile>> FaultInjectionEnv::NewReadableFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.opens;
+  EVOREC_RETURN_IF_ERROR(CheckUpLocked("open"));
+  if (files_.find(path) == files_.end()) {
+    return NotFoundError("cannot open '" + path + "': no such file");
+  }
+  return std::unique_ptr<ReadableFile>(
+      std::make_unique<FaultReadableFile>(this, path, epoch_));
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.find(path) != files_.end();
+}
+
+Result<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EVOREC_RETURN_IF_ERROR(CheckUpLocked("stat"));
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("cannot stat '" + path + "': no such file");
+  }
+  return static_cast<uint64_t>(it->second.data.size());
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.renames;
+  EVOREC_RETURN_IF_ERROR(CheckUpLocked("rename"));
+  EVOREC_RETURN_IF_ERROR(MutatingOpLocked("rename", &plan_.fail_renames));
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return NotFoundError("cannot rename '" + from + "': no such file");
+  }
+  FileState moved = std::move(it->second);
+  files_.erase(it);
+  FileState& dest = files_[to];
+  // The new directory entry is volatile until the directory is synced;
+  // a crash before that rolls `to` back to its previous durable
+  // content (or removes it) — the window WriteFileAtomic closes with
+  // its trailing SyncDir.
+  moved.shadow = DurableContentLocked(dest);
+  moved.entry_durable = false;
+  dest = std::move(moved);
+  return OkStatus();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.removes;
+  EVOREC_RETURN_IF_ERROR(CheckUpLocked("remove"));
+  EVOREC_RETURN_IF_ERROR(MutatingOpLocked("remove", nullptr));
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("cannot remove '" + path + "': no such file");
+  }
+  files_.erase(it);
+  return OkStatus();
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.truncates;
+  EVOREC_RETURN_IF_ERROR(CheckUpLocked("truncate"));
+  EVOREC_RETURN_IF_ERROR(MutatingOpLocked("truncate", nullptr));
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("cannot truncate '" + path + "': no such file");
+  }
+  FileState& state = it->second;
+  state.data.resize(static_cast<size_t>(size), '\0');
+  state.synced = std::min(state.synced, state.data.size());
+  return OkStatus();
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EVOREC_RETURN_IF_ERROR(CheckUpLocked("mkdir"));
+  dirs_.insert(path);
+  return OkStatus();
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EVOREC_RETURN_IF_ERROR(CheckUpLocked("list"));
+  std::vector<std::string> names;
+  for (const auto& [file_path, state] : files_) {
+    (void)state;
+    if (ParentDirOf(file_path) == path) {
+      names.push_back(file_path.substr(file_path.find_last_of('/') + 1));
+    }
+  }
+  if (names.empty() && dirs_.find(path) == dirs_.end()) {
+    return NotFoundError("cannot open directory '" + path + "'");
+  }
+  return names;  // files_ is ordered, so names are already sorted
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.dir_syncs;
+  EVOREC_RETURN_IF_ERROR(CheckUpLocked("dir_sync"));
+  EVOREC_RETURN_IF_ERROR(MutatingOpLocked("dir_sync", nullptr));
+  for (auto& [file_path, state] : files_) {
+    if (ParentDirOf(file_path) == path) {
+      state.entry_durable = true;
+      state.shadow.reset();
+    }
+  }
+  return OkStatus();
+}
+
+void FaultInjectionEnv::SleepForMicroseconds(uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.sleeps;
+  sleeps_.push_back(micros);  // recorded, never slept — tests stay fast
+}
+
+Status FaultInjectionEnv::DoAppend(const std::string& path, uint64_t epoch,
+                                   std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.writes;
+  EVOREC_RETURN_IF_ERROR(CheckUpLocked("write"));
+  if (epoch != epoch_) {
+    return FailedPreconditionError("write through stale handle to '" + path +
+                                   "' (opened before a crash)");
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return FailedPreconditionError("write to removed file '" + path + "'");
+  }
+  EVOREC_RETURN_IF_ERROR(MutatingOpLocked("write", &plan_.fail_writes));
+  if (plan_.short_writes > 0) {
+    --plan_.short_writes;
+    ++counters_.injected_errors;
+    // Half the bytes land before the error — the torn-record hazard.
+    it->second.data.append(data.substr(0, data.size() / 2));
+    return Status(plan_.error_code, "injected short write on '" + path + "'");
+  }
+  it->second.data.append(data);
+  return OkStatus();
+}
+
+Status FaultInjectionEnv::DoSync(const std::string& path, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.syncs;
+  EVOREC_RETURN_IF_ERROR(CheckUpLocked("sync"));
+  if (epoch != epoch_) {
+    return FailedPreconditionError("sync through stale handle to '" + path +
+                                   "' (opened before a crash)");
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return FailedPreconditionError("sync of removed file '" + path + "'");
+  }
+  EVOREC_RETURN_IF_ERROR(MutatingOpLocked("sync", &plan_.fail_syncs));
+  if (plan_.lying_syncs > 0) {
+    --plan_.lying_syncs;
+    ++counters_.lied_syncs;
+    return OkStatus();  // acknowledged, but the watermark never moves
+  }
+  FileState& state = it->second;
+  state.synced = state.data.size();
+  state.entry_durable = true;
+  state.shadow.reset();
+  return OkStatus();
+}
+
+Result<size_t> FaultInjectionEnv::DoRead(const std::string& path,
+                                         uint64_t epoch, uint64_t* offset,
+                                         size_t n, char* scratch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.reads;
+  EVOREC_RETURN_IF_ERROR(CheckUpLocked("read"));
+  if (epoch != epoch_) {
+    return FailedPreconditionError("read through stale handle to '" + path +
+                                   "' (opened before a crash)");
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return FailedPreconditionError("read of removed file '" + path + "'");
+  }
+  const std::string& data = it->second.data;
+  if (*offset >= data.size()) return size_t{0};
+  const size_t got = std::min(n, data.size() - static_cast<size_t>(*offset));
+  std::memcpy(scratch, data.data() + *offset, got);
+  *offset += got;
+  return got;
+}
+
+}  // namespace evorec::storage

@@ -1,0 +1,188 @@
+#ifndef EVOREC_STORAGE_FAULT_ENV_H_
+#define EVOREC_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+
+namespace evorec::storage {
+
+/// Scripted faults, armed through FaultInjectionEnv::set_plan. The
+/// per-kind counters are countdowns: `fail_writes = 2` fails the next
+/// two data writes, then disarms. `crash_at_op` is different — it is a
+/// 1-based index into the environment's *mutating-operation* counter
+/// (writes, syncs, renames, removes, truncates, directory syncs), so a
+/// torture harness can replay one deterministic workload once per
+/// possible crash point.
+struct FaultPlan {
+  /// Status code injected failures carry. kUnavailable models
+  /// transient device errors (EIO/ENOSPC — the retryable class);
+  /// anything else models permanent failures the retry policies must
+  /// surface immediately.
+  StatusCode error_code = StatusCode::kUnavailable;
+  /// Fail the next N WritableFile::Append calls (no bytes written).
+  int fail_writes = 0;
+  /// Fail the next N Appends after writing only half their bytes —
+  /// the partial-record hazard a crashing disk produces.
+  int short_writes = 0;
+  /// Fail the next N Syncs (data stays unsynced).
+  int fail_syncs = 0;
+  /// The next N Syncs *lie*: they report success without advancing
+  /// the durability watermark, so a later crash drops bytes the
+  /// caller believed were stable.
+  int lying_syncs = 0;
+  /// Fail the next N RenameFile calls.
+  int fail_renames = 0;
+  /// Simulate power loss at the Nth mutating operation (1-based,
+  /// one-shot): all un-synced data is discarded atomically, the
+  /// environment goes down (every call fails) until Restart().
+  int64_t crash_at_op = 0;
+  /// With it, a crash keeps a seeded random partial suffix of each
+  /// file's un-synced bytes instead of dropping them all — producing
+  /// the torn tails real power loss leaves behind.
+  bool torn_tails = false;
+};
+
+/// Per-operation counters (cumulative since construction).
+struct FaultCounters {
+  uint64_t writes = 0;
+  uint64_t syncs = 0;
+  uint64_t dir_syncs = 0;
+  uint64_t renames = 0;
+  uint64_t removes = 0;
+  uint64_t truncates = 0;
+  uint64_t opens = 0;
+  uint64_t reads = 0;
+  uint64_t sleeps = 0;
+  uint64_t injected_errors = 0;
+  uint64_t lied_syncs = 0;
+  uint64_t crashes = 0;
+  /// Total mutating operations — the coordinate space of
+  /// FaultPlan::crash_at_op.
+  uint64_t mutating_ops = 0;
+};
+
+/// An Env over a fully in-memory filesystem with fault injection and
+/// faithful power-loss semantics (the LevelDB/RocksDB
+/// FaultInjectionTestEnv idiom, rebuilt for this Env interface):
+///
+///  - every file tracks its fsync watermark; CrashNow() rolls content
+///    back to it (optionally keeping a seeded torn suffix),
+///  - a created or renamed-in directory entry only survives a crash
+///    after the file is fsync'd or its directory is (so the
+///    temp+rename+dirsync protocol of WriteFileAtomic is exercised
+///    for real),
+///  - a rename before the directory sync rolls back to the *previous*
+///    durable content of the target on crash,
+///  - after a crash the environment is "down" — every operation fails
+///    with kUnavailable until Restart(), modelling process death —
+///    and all previously open handles stay dead forever,
+///  - SleepForMicroseconds records instead of sleeping, making
+///    retry/backoff tests deterministic and instant.
+///
+/// Thread-safe. Deterministic for a fixed seed and operation
+/// sequence.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(uint64_t seed = 0);
+
+  // ---- Fault scripting ----
+
+  void set_plan(const FaultPlan& plan);
+  FaultPlan plan() const;
+  void ClearFaults();
+
+  /// Simulates power loss now (see class comment). The environment
+  /// stays down until Restart().
+  void CrashNow();
+
+  /// Brings a crashed environment back up ("reboot"). State is
+  /// whatever survived the crash.
+  void Restart();
+
+  bool down() const;
+
+  FaultCounters counters() const;
+
+  /// Microsecond durations passed to SleepForMicroseconds, in call
+  /// order — the evidence backoff tests assert exponential spacing on.
+  std::vector<uint64_t> recorded_sleeps() const;
+
+  // ---- Test helpers ----
+
+  /// XORs `mask` into the byte at `offset` of `path` (live and
+  /// durable view alike) — simulated bit rot for quarantine tests.
+  Status CorruptFile(const std::string& path, uint64_t offset,
+                     uint8_t mask = 0xFF);
+
+  // ---- Env interface ----
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) override;
+  Result<std::unique_ptr<ReadableFile>> NewReadableFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  void SleepForMicroseconds(uint64_t micros) override;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultReadableFile;
+
+  struct FileState {
+    std::string data;      ///< live content (what reads observe)
+    size_t synced = 0;     ///< fsync watermark into `data`
+    /// Whether the directory entry survives a crash. Set by a file
+    /// fsync or a directory sync; cleared by creation and rename-in.
+    bool entry_durable = false;
+    /// Previous durable content of this path, restored on crash while
+    /// the current entry is not yet durable (the pre-rename target).
+    /// nullopt: the path did not durably exist.
+    std::optional<std::string> shadow;
+  };
+
+  // Handle-facing operations (epoch-checked; called under no lock).
+  Status DoAppend(const std::string& path, uint64_t epoch,
+                  std::string_view data);
+  Status DoSync(const std::string& path, uint64_t epoch);
+  Result<size_t> DoRead(const std::string& path, uint64_t epoch,
+                        uint64_t* offset, size_t n, char* scratch);
+
+  // All Locked helpers require mu_ held.
+  Status CheckUpLocked(const char* what) const;
+  /// Advances the mutating-op counter, fires a pending crash point,
+  /// and charges one injected failure from `countdown` when armed.
+  /// Returns the injected error, or OK to proceed.
+  Status MutatingOpLocked(const char* what, int* countdown);
+  void CrashLocked();
+  std::optional<std::string> DurableContentLocked(const FileState& state)
+      const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileState> files_;
+  std::set<std::string> dirs_;
+  FaultPlan plan_;
+  FaultCounters counters_;
+  std::vector<uint64_t> sleeps_;
+  std::mt19937_64 rng_;
+  uint64_t epoch_ = 0;  ///< bumped per crash; stale handles are dead
+  bool down_ = false;
+};
+
+}  // namespace evorec::storage
+
+#endif  // EVOREC_STORAGE_FAULT_ENV_H_

@@ -205,11 +205,11 @@ Status SaveSnapshot(const std::string& path, const rdf::TripleStore& store,
   return WriteFileAtomic(path,
                          EncodeSnapshot(store, dictionary, version_id,
                                         fingerprint),
-                         options.sync);
+                         options.sync, options.env);
 }
 
-Result<DecodedSnapshot> LoadSnapshot(const std::string& path) {
-  auto bytes = ReadFileToString(path);
+Result<DecodedSnapshot> LoadSnapshot(const std::string& path, Env* env) {
+  auto bytes = ReadFileToString(path, env);
   if (!bytes.ok()) return bytes.status();
   return DecodeSnapshot(*bytes);
 }

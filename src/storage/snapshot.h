@@ -11,6 +11,10 @@
 #include "rdf/dictionary.h"
 #include "rdf/triple_store.h"
 
+namespace evorec {
+class Env;
+}
+
 namespace evorec::storage {
 
 /// Compact binary snapshots of one KB version: the dictionary-encoded
@@ -27,6 +31,8 @@ struct SnapshotOptions {
   /// fsync the bytes before publishing the file (SaveSnapshot writes
   /// atomically via temp file + rename either way).
   bool sync = false;
+  /// Environment to write through; nullptr means Env::Default().
+  Env* env = nullptr;
 };
 
 /// Header metadata of a snapshot.
@@ -74,8 +80,10 @@ Status SaveSnapshot(const std::string& path, const rdf::TripleStore& store,
                     uint64_t fingerprint = 0,
                     const SnapshotOptions& options = {});
 
-/// Whole-file read + DecodeSnapshot.
-Result<DecodedSnapshot> LoadSnapshot(const std::string& path);
+/// Whole-file read + DecodeSnapshot. `env` nullptr means
+/// Env::Default().
+Result<DecodedSnapshot> LoadSnapshot(const std::string& path,
+                                     Env* env = nullptr);
 
 }  // namespace evorec::storage
 

@@ -1,0 +1,394 @@
+// Unit coverage of the fault-injection environment and the storage
+// primitives hardened against it: FaultInjectionEnv's power-loss
+// semantics, WriteFileAtomic's no-stray-temps / old-or-new contract
+// under injected ENOSPC-class failures, CommitLog's partial-append
+// repair, and the deterministic retry/backoff schedule (asserted on
+// the environment's recorded sleeps — no wall clock anywhere).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "evorec.h"
+
+namespace evorec {
+namespace {
+
+using storage::FaultInjectionEnv;
+using storage::FaultPlan;
+
+Status WriteWholeFile(Env* env, const std::string& path,
+                      std::string_view data, bool sync) {
+  auto file = env->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  EVOREC_RETURN_IF_ERROR((*file)->Append(data));
+  if (sync) EVOREC_RETURN_IF_ERROR((*file)->Sync());
+  return (*file)->Close();
+}
+
+TEST(FaultEnvTest, WriteSyncReadRoundTrip) {
+  FaultInjectionEnv env;
+  ASSERT_TRUE(WriteWholeFile(&env, "a.bin", "hello world", true).ok());
+  EXPECT_TRUE(env.FileExists("a.bin"));
+  auto size = env.FileSize("a.bin");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+  auto bytes = env.ReadFileToString("a.bin");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "hello world");
+}
+
+TEST(FaultEnvTest, CrashDropsUnsyncedBytesAndKeepsSyncedPrefix) {
+  FaultInjectionEnv env;
+  auto file = env.NewWritableFile("log.bin", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("-volatile").ok());
+
+  env.CrashNow();
+  EXPECT_TRUE(env.down());
+  // Everything fails while down.
+  EXPECT_EQ(env.FileSize("log.bin").status().code(),
+            StatusCode::kUnavailable);
+
+  env.Restart();
+  auto bytes = env.ReadFileToString("log.bin");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "durable");
+  // The pre-crash handle is permanently dead, like an fd of a killed
+  // process.
+  EXPECT_EQ((*file)->Append("zombie").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FaultEnvTest, CrashRemovesNeverSyncedFiles) {
+  FaultInjectionEnv env;
+  ASSERT_TRUE(WriteWholeFile(&env, "gone.bin", "bytes", false).ok());
+  env.CrashNow();
+  env.Restart();
+  EXPECT_FALSE(env.FileExists("gone.bin"));
+}
+
+TEST(FaultEnvTest, RenameIsVolatileUntilDirectorySync) {
+  // target holds durable "old"; a synced temp renamed over it is only
+  // crash-safe after the directory sync — exactly the window
+  // WriteFileAtomic closes.
+  FaultInjectionEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  ASSERT_TRUE(WriteWholeFile(&env, "d/target", "old", true).ok());
+  ASSERT_TRUE(WriteWholeFile(&env, "d/tmp", "new", true).ok());
+  ASSERT_TRUE(env.RenameFile("d/tmp", "d/target").ok());
+
+  env.CrashNow();
+  env.Restart();
+  auto bytes = env.ReadFileToString("d/target");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "old");  // rolled back: rename never became durable
+  EXPECT_FALSE(env.FileExists("d/tmp"));
+
+  // Same dance with the directory sync: the rename sticks.
+  ASSERT_TRUE(WriteWholeFile(&env, "d/tmp", "new", true).ok());
+  ASSERT_TRUE(env.RenameFile("d/tmp", "d/target").ok());
+  ASSERT_TRUE(env.SyncDir("d").ok());
+  env.CrashNow();
+  env.Restart();
+  bytes = env.ReadFileToString("d/target");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "new");
+}
+
+TEST(FaultEnvTest, ScriptedFailuresCountDownAndDisarm) {
+  FaultInjectionEnv env;
+  FaultPlan plan;
+  plan.fail_writes = 2;
+  env.set_plan(plan);
+  auto file = env.NewWritableFile("f.bin", false);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->Append("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*file)->Append("x").code(), StatusCode::kUnavailable);
+  EXPECT_TRUE((*file)->Append("x").ok());  // countdown exhausted
+  EXPECT_EQ(env.counters().injected_errors, 2u);
+}
+
+TEST(FaultEnvTest, LyingSyncReportsSuccessButDropsDataOnCrash) {
+  FaultInjectionEnv env;
+  FaultPlan plan;
+  plan.lying_syncs = 1;
+  env.set_plan(plan);
+  auto file = env.NewWritableFile("lie.bin", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("acked-but-volatile").ok());
+  ASSERT_TRUE((*file)->Sync().ok());  // the lie
+  EXPECT_EQ(env.counters().lied_syncs, 1u);
+
+  env.CrashNow();
+  env.Restart();
+  // The file was never truly durable; the "synced" bytes are gone.
+  EXPECT_FALSE(env.FileExists("lie.bin"));
+}
+
+TEST(FaultEnvTest, CrashAtOpFiresOnceAtTheExactOperation) {
+  FaultInjectionEnv env;
+  FaultPlan plan;
+  plan.crash_at_op = 2;  // first write survives, second one is the cut
+  env.set_plan(plan);
+  auto file = env.NewWritableFile("f.bin", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("one").ok());
+  EXPECT_EQ((*file)->Append("two").code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(env.down());
+  EXPECT_EQ(env.counters().crashes, 1u);
+}
+
+// ---- WriteFileAtomic under injected failures (satellite: temp-file
+// leak + previous-snapshot-intact) ----
+
+class AtomicWriteFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(env_.CreateDir("snaps").ok());
+    ASSERT_TRUE(
+        WriteFileAtomic("snaps/current", "generation-1", true, &env_).ok());
+  }
+
+  std::vector<std::string> Listing() {
+    auto names = env_.ListDir("snaps");
+    return names.ok() ? *names : std::vector<std::string>{};
+  }
+
+  FaultInjectionEnv env_;
+};
+
+TEST_F(AtomicWriteFaultTest, FailedWriteLeavesTargetIntactAndNoTemps) {
+  FaultPlan plan;
+  plan.fail_writes = 1;  // models ENOSPC mid-snapshot
+  env_.set_plan(plan);
+  const Status failed =
+      WriteFileAtomic("snaps/current", "generation-2", true, &env_);
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+
+  auto bytes = env_.ReadFileToString("snaps/current");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "generation-1");  // previous snapshot byte-identical
+  EXPECT_EQ(Listing(), std::vector<std::string>{"current"});  // no .tmp
+}
+
+TEST_F(AtomicWriteFaultTest, FailedSyncLeavesTargetIntactAndNoTemps) {
+  FaultPlan plan;
+  plan.fail_syncs = 1;
+  env_.set_plan(plan);
+  EXPECT_FALSE(
+      WriteFileAtomic("snaps/current", "generation-2", true, &env_).ok());
+  auto bytes = env_.ReadFileToString("snaps/current");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "generation-1");
+  EXPECT_EQ(Listing(), std::vector<std::string>{"current"});
+}
+
+TEST_F(AtomicWriteFaultTest, FailedRenameLeavesTargetIntactAndNoTemps) {
+  FaultPlan plan;
+  plan.fail_renames = 1;
+  env_.set_plan(plan);
+  EXPECT_FALSE(
+      WriteFileAtomic("snaps/current", "generation-2", true, &env_).ok());
+  auto bytes = env_.ReadFileToString("snaps/current");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "generation-1");
+  EXPECT_EQ(Listing(), std::vector<std::string>{"current"});
+}
+
+TEST_F(AtomicWriteFaultTest, CrashBetweenRenameAndDirSyncKeepsOldBytes) {
+  // Mutating ops of a synced WriteFileAtomic: write(1) sync(2)
+  // rename(3) dir_sync(4). Crash at the dir sync: the directory entry
+  // never became durable, so the old generation must come back.
+  FaultPlan plan;
+  plan.crash_at_op = 4;
+  env_.set_plan(plan);
+  EXPECT_FALSE(
+      WriteFileAtomic("snaps/current", "generation-2", true, &env_).ok());
+  env_.Restart();
+  auto bytes = env_.ReadFileToString("snaps/current");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "generation-1");
+}
+
+// ---- CommitLog under injected failures (satellite: partial-append
+// hazard) ----
+
+storage::DeltaRecord MakeRecord(uint32_t version_id) {
+  storage::DeltaRecord record;
+  record.version_id = version_id;
+  record.timestamp = 1700000000 + version_id;
+  record.author = "fault-test";
+  record.message = "record " + std::to_string(version_id);
+  record.fingerprint = 0x9E3779B97F4A7C15ULL * version_id;
+  return record;
+}
+
+TEST(CommitLogFaultTest, PartialAppendIsTruncatedBeforeTheNextAppend) {
+  FaultInjectionEnv env;
+  storage::LogOptions options;
+  options.env = &env;
+  options.retry.max_attempts = 1;  // isolate the repair from the retry
+  auto log = storage::CommitLog::Open("wal.evlog", options);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(log->Append(MakeRecord(1)).ok());
+  const uint64_t good = log->good_size();
+
+  FaultPlan plan;
+  plan.short_writes = 1;  // half the record lands, then the error
+  env.set_plan(plan);
+  EXPECT_FALSE(log->Append(MakeRecord(2)).ok());
+  EXPECT_TRUE(log->tail_dirty());
+  auto size = env.FileSize("wal.evlog");
+  ASSERT_TRUE(size.ok());
+  EXPECT_GT(*size, good);  // the partial bytes are really there
+
+  // Tolerant replay right now sees only the intact prefix.
+  storage::ReplayOptions tolerant;
+  tolerant.allow_torn_tail = true;
+  tolerant.env = &env;
+  auto before_repair = storage::ReadLog("wal.evlog", tolerant);
+  ASSERT_TRUE(before_repair.ok());
+  ASSERT_EQ(before_repair->size(), 1u);
+
+  // The next append repairs the tail first: afterwards even a strict
+  // reader sees exactly records 1 and 3 — no torn bytes mid-log.
+  env.ClearFaults();
+  ASSERT_TRUE(log->Append(MakeRecord(3)).ok());
+  EXPECT_FALSE(log->tail_dirty());
+  storage::ReplayOptions strict;
+  strict.env = &env;
+  auto records = storage::ReadLog("wal.evlog", strict);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].version_id, 1u);
+  EXPECT_EQ((*records)[1].version_id, 3u);
+  size = env.FileSize("wal.evlog");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, log->good_size());
+}
+
+TEST(CommitLogFaultTest, FailedFsyncNeverDuplicatesTheRecord) {
+  // A record whose fsync fails is complete on disk but was never
+  // acknowledged. The retried append must first truncate it, or the
+  // log would carry the same version twice.
+  FaultInjectionEnv env;
+  storage::LogOptions options;
+  options.env = &env;
+  options.sync_on_append = true;
+  options.retry.max_attempts = 3;
+  auto log = storage::CommitLog::Open("wal.evlog", options);
+  ASSERT_TRUE(log.ok());
+
+  FaultPlan plan;
+  plan.fail_syncs = 1;
+  env.set_plan(plan);
+  ASSERT_TRUE(log->Append(MakeRecord(1)).ok());  // retried internally
+
+  storage::ReplayOptions strict;
+  strict.env = &env;
+  auto records = storage::ReadLog("wal.evlog", strict);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);  // exactly once
+  EXPECT_EQ((*records)[0].version_id, 1u);
+}
+
+TEST(CommitLogFaultTest, ShortWriteRecoversWithinTheRetryBudget) {
+  FaultInjectionEnv env;
+  storage::LogOptions options;
+  options.env = &env;
+  options.retry.max_attempts = 4;
+  auto log = storage::CommitLog::Open("wal.evlog", options);
+  ASSERT_TRUE(log.ok());
+
+  FaultPlan plan;
+  plan.short_writes = 2;
+  env.set_plan(plan);
+  ASSERT_TRUE(log->Append(MakeRecord(1)).ok());
+  storage::ReplayOptions strict;
+  strict.env = &env;
+  auto records = storage::ReadLog("wal.evlog", strict);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+}
+
+// ---- Retry/backoff schedule (satellite: deterministic, injected
+// clock, bounded, corruption never retried) ----
+
+TEST(RetryBackoffTest, ExponentialSpacingOnTheInjectedClock) {
+  FaultInjectionEnv env;
+  storage::LogOptions options;
+  options.env = &env;
+  options.retry.max_attempts = 4;
+  options.retry.backoff_micros = 1000;
+  options.retry.backoff_multiplier = 2;
+  auto log = storage::CommitLog::Open("wal.evlog", options);
+  ASSERT_TRUE(log.ok());
+
+  FaultPlan plan;
+  plan.fail_writes = 3;  // attempts 1-3 fail, 4 succeeds
+  env.set_plan(plan);
+  ASSERT_TRUE(log->Append(MakeRecord(1)).ok());
+  EXPECT_EQ(env.recorded_sleeps(),
+            (std::vector<uint64_t>{1000, 2000, 4000}));
+}
+
+TEST(RetryBackoffTest, AttemptsAreBounded) {
+  FaultInjectionEnv env;
+  storage::LogOptions options;
+  options.env = &env;
+  options.retry.max_attempts = 3;
+  auto log = storage::CommitLog::Open("wal.evlog", options);
+  ASSERT_TRUE(log.ok());
+
+  FaultPlan plan;
+  plan.fail_writes = 100;  // never recovers
+  env.set_plan(plan);
+  const Status failed = log->Append(MakeRecord(1));
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(env.recorded_sleeps().size(), 2u);  // attempts - 1 sleeps
+  EXPECT_EQ(env.counters().injected_errors, 3u);
+
+  // The record is not in the log, and the log heals on the next try.
+  env.ClearFaults();
+  ASSERT_TRUE(log->Append(MakeRecord(1)).ok());
+  storage::ReplayOptions strict;
+  strict.env = &env;
+  auto records = storage::ReadLog("wal.evlog", strict);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+}
+
+TEST(RetryBackoffTest, CorruptionClassErrorsAreNeverRetried) {
+  FaultInjectionEnv env;
+  storage::LogOptions options;
+  options.env = &env;
+  options.retry.max_attempts = 5;
+  auto log = storage::CommitLog::Open("wal.evlog", options);
+  ASSERT_TRUE(log.ok());
+
+  FaultPlan plan;
+  plan.fail_writes = 5;
+  plan.error_code = StatusCode::kInternal;  // permanent class
+  env.set_plan(plan);
+  const Status failed = log->Append(MakeRecord(1));
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  EXPECT_TRUE(env.recorded_sleeps().empty());     // no backoff
+  EXPECT_EQ(env.counters().injected_errors, 1u);  // exactly one attempt
+}
+
+TEST(RetryBackoffTest, IsTransientClassifiesTheErrorSpace) {
+  EXPECT_TRUE(IsTransient(UnavailableError("disk hiccup")));
+  EXPECT_FALSE(IsTransient(OkStatus()));
+  EXPECT_FALSE(IsTransient(InternalError("bug")));
+  EXPECT_FALSE(IsTransient(InvalidArgumentError("corrupt")));
+  EXPECT_FALSE(IsTransient(FailedPreconditionError("mismatch")));
+  EXPECT_FALSE(IsTransient(NotFoundError("missing")));
+}
+
+}  // namespace
+}  // namespace evorec
