@@ -11,7 +11,8 @@
 #
 #   label   optional suffix, e.g. "baseline" -> BENCH_2026-07-26_baseline.json
 #   bench   bench binaries to run (default: bench_delta bench_endtoend
-#           bench_persistence, i.e. E1, E10 and E12)
+#           bench_persistence bench_coldpath bench_incremental
+#           bench_concurrent_serving, i.e. E1, E10, E12, E13, E14, E15)
 #
 # Environment:
 #   BENCH_BUILD_DIR   build tree to use (default: build-release, built
@@ -24,7 +25,8 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 label=${1:-}
 [ $# -gt 0 ] && shift
-benches=${*:-"bench_delta bench_endtoend bench_persistence"}
+benches=${*:-"bench_delta bench_endtoend bench_persistence bench_coldpath \
+bench_incremental bench_concurrent_serving"}
 build_dir=${BENCH_BUILD_DIR:-"${repo_root}/build-release"}
 
 if [ ! -f "${build_dir}/CMakeCache.txt" ]; then

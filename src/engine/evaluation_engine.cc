@@ -106,17 +106,31 @@ EvaluationEngine::EvaluationEngine(const measures::MeasureRegistry& registry,
   }
 }
 
+std::unique_lock<std::mutex> EvaluationEngine::LockIfExternal(
+    const version::KbView& view) {
+  if (view.InternallySynchronized()) return std::unique_lock<std::mutex>();
+  return std::unique_lock<std::mutex>(vkb_mu_);
+}
+
 Result<std::shared_ptr<const SharedEvaluation>> EvaluationEngine::Evaluate(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2, measures::ContextOptions context_options) {
+  version::SingleKbView view(vkb);
+  return Evaluate(view, v1, v2, context_options);
+}
+
+Result<std::shared_ptr<const SharedEvaluation>> EvaluationEngine::Evaluate(
+    const version::KbView& view, version::VersionId v1, version::VersionId v2,
+    measures::ContextOptions context_options) {
   Result<version::SnapshotHandle> before = InternalError("unresolved");
   Result<version::SnapshotHandle> after = InternalError("unresolved");
   {
-    // Handles read the vkb's version vectors, which a concurrent
-    // CommitAndRefresh appends to — same lock as every other vkb touch.
-    std::lock_guard<std::mutex> lock(vkb_mu_);
-    before = vkb.Handle(v1);
-    after = vkb.Handle(v2);
+    // Handles read the view's version vectors, which a concurrent
+    // CommitAndRefresh appends to — same lock as every other view
+    // touch (a no-op for internally synchronised views).
+    auto lock = LockIfExternal(view);
+    before = view.Handle(v1);
+    after = view.Handle(v2);
   }
   if (!before.ok()) return before.status();
   if (!after.ok()) return after.status();
@@ -132,12 +146,10 @@ Result<std::shared_ptr<const SharedEvaluation>> EvaluationEngine::Evaluate(
   // same-key callers wait on the in-flight future.
   const auto build = [&]() -> Result<measures::EvolutionContext> {
     const auto materialize = [&](version::VersionId v) {
-      return [this, &vkb,
+      return [this, &view,
               v]() -> Result<std::shared_ptr<const rdf::KnowledgeBase>> {
-        std::lock_guard<std::mutex> lock(vkb_mu_);
-        auto kb = vkb.Snapshot(v);
-        if (!kb.ok()) return kb.status();
-        return std::make_shared<const rdf::KnowledgeBase>(**kb);
+        auto lock = LockIfExternal(view);
+        return view.SharedSnapshot(v);
       };
     };
     auto before_art = artefacts_.Get(before->fingerprint, context_options,
@@ -235,6 +247,12 @@ EvaluationEngine::SharedEval EvaluationEngine::Peek(
 Result<EvaluationEngine::RefreshResult> EvaluationEngine::Refresh(
     const version::VersionedKnowledgeBase& vkb,
     measures::ContextOptions context_options) {
+  version::SingleKbView view(vkb);
+  return Refresh(view, context_options);
+}
+
+Result<EvaluationEngine::RefreshResult> EvaluationEngine::Refresh(
+    const version::KbView& view, measures::ContextOptions context_options) {
   version::VersionId head = 0;
   Result<version::SnapshotHandle> prev = InternalError("unresolved");
   Result<version::SnapshotHandle> curr = InternalError("unresolved");
@@ -242,22 +260,22 @@ Result<EvaluationEngine::RefreshResult> EvaluationEngine::Refresh(
   bool have_prev_prev = false;
   version::ChangeSet changes;
   {
-    std::lock_guard<std::mutex> lock(vkb_mu_);
-    if (vkb.version_count() < 2) {
+    auto lock = LockIfExternal(view);
+    if (view.version_count() < 2) {
       return FailedPreconditionError(
           "refresh needs at least one committed version");
     }
-    head = vkb.head();
-    prev = vkb.Handle(head - 1);
-    curr = vkb.Handle(head);
+    head = view.head();
+    prev = view.Handle(head - 1);
+    curr = view.Handle(head);
     if (head >= 2) {
-      auto pp = vkb.Handle(head - 2);
+      auto pp = view.Handle(head - 2);
       if (pp.ok()) {
         prev_prev_fingerprint = pp->fingerprint;
         have_prev_prev = true;
       }
     }
-    auto cs = vkb.Changes(head);
+    auto cs = view.Changes(head);
     if (!cs.ok()) return cs.status();
     changes = std::move(cs).value();
   }
@@ -267,12 +285,10 @@ Result<EvaluationEngine::RefreshResult> EvaluationEngine::Refresh(
 
   const auto build = [&]() -> Result<measures::EvolutionContext> {
     const auto materialize = [&](version::VersionId v) {
-      return [this, &vkb,
+      return [this, &view,
               v]() -> Result<std::shared_ptr<const rdf::KnowledgeBase>> {
-        std::lock_guard<std::mutex> lock(vkb_mu_);
-        auto kb = vkb.Snapshot(v);
-        if (!kb.ok()) return kb.status();
-        return std::make_shared<const rdf::KnowledgeBase>(**kb);
+        auto lock = LockIfExternal(view);
+        return view.SharedSnapshot(v);
       };
     };
     auto prev_art = artefacts_.Get(prev->fingerprint, context_options,
@@ -339,26 +355,43 @@ Result<EvaluationEngine::RefreshResult> EvaluationEngine::CommitAndRefresh(
     version::VersionedKnowledgeBase& vkb, version::ChangeSet changes,
     std::string author, std::string message, uint64_t timestamp,
     measures::ContextOptions context_options) {
+  version::SingleKbView view(vkb);
+  return CommitAndRefresh(view, std::move(changes), std::move(author),
+                          std::move(message), timestamp, context_options);
+}
+
+Result<EvaluationEngine::RefreshResult> EvaluationEngine::CommitAndRefresh(
+    version::KbView& view, version::ChangeSet changes, std::string author,
+    std::string message, uint64_t timestamp,
+    measures::ContextOptions context_options) {
   {
-    std::lock_guard<std::mutex> lock(vkb_mu_);
-    auto committed = vkb.Commit(std::move(changes), std::move(author),
-                                std::move(message), timestamp);
+    auto lock = LockIfExternal(view);
+    auto committed = view.Commit(std::move(changes), std::move(author),
+                                 std::move(message), timestamp);
     if (!committed.ok()) return committed.status();
   }
-  return Refresh(vkb, context_options);
+  return Refresh(view, context_options);
 }
 
 Result<measures::EvolutionTimeline> EvaluationEngine::Timeline(
     const version::VersionedKnowledgeBase& vkb, std::string_view measure,
     version::VersionId first, version::VersionId last,
     measures::ContextOptions context_options) {
+  version::SingleKbView view(vkb);
+  return Timeline(view, measure, first, last, context_options);
+}
+
+Result<measures::EvolutionTimeline> EvaluationEngine::Timeline(
+    const version::KbView& view, std::string_view measure,
+    version::VersionId first, version::VersionId last,
+    measures::ContextOptions context_options) {
   version::VersionId end = 0;
   {
-    std::lock_guard<std::mutex> lock(vkb_mu_);
-    if (vkb.version_count() < 2) {
+    auto lock = LockIfExternal(view);
+    if (view.version_count() < 2) {
       return FailedPreconditionError("timeline needs at least two versions");
     }
-    end = std::min<version::VersionId>(last, vkb.head());
+    end = std::min<version::VersionId>(last, view.head());
   }
   if (first >= end) {
     return InvalidArgumentError("empty version range for timeline");
@@ -366,7 +399,7 @@ Result<measures::EvolutionTimeline> EvaluationEngine::Timeline(
   std::vector<measures::MeasureReport> reports;
   reports.reserve(end - first);
   for (version::VersionId v = first; v < end; ++v) {
-    auto evaluation = Evaluate(vkb, v, v + 1, context_options);
+    auto evaluation = Evaluate(view, v, v + 1, context_options);
     if (!evaluation.ok()) return evaluation.status();
     auto report = (*evaluation)->Report(measure);
     if (!report.ok()) return report.status();

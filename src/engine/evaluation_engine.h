@@ -20,6 +20,7 @@
 #include "measures/registry.h"
 #include "measures/timeline.h"
 #include "recommend/recommender.h"
+#include "version/kb_view.h"
 #include "version/versioned_kb.h"
 
 namespace evorec::engine {
@@ -157,6 +158,13 @@ class SharedEvaluation {
 /// should interleave with in-flight requests must likewise go through
 /// the engine (CommitAndRefresh), which serialises every vkb touch —
 /// reads and writes — under one internal lock.
+///
+/// Every entry point also has a version::KbView overload, and the
+/// engine's internal lock is taken only for views that are not
+/// internally synchronised. Serving a
+/// version::ShardedKnowledgeBase therefore runs its snapshot pins
+/// lock-free through the engine: readers never block on a concurrent
+/// CommitAndRefresh.
 class EvaluationEngine {
  public:
   /// `registry` must outlive the engine.
@@ -169,6 +177,13 @@ class EvaluationEngine {
   /// dropped before the engine is destroyed.
   Result<std::shared_ptr<const SharedEvaluation>> Evaluate(
       const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      version::VersionId v2, measures::ContextOptions context_options = {});
+
+  /// KbView flavour of Evaluate — the shape every other overload
+  /// funnels into. `view` only needs to live for the duration of the
+  /// call (builds run synchronously on the calling thread).
+  Result<std::shared_ptr<const SharedEvaluation>> Evaluate(
+      const version::KbView& view, version::VersionId v1,
       version::VersionId v2, measures::ContextOptions context_options = {});
 
   /// Outcome of an incremental refresh: the version refreshed to and
@@ -190,6 +205,10 @@ class EvaluationEngine {
   Result<RefreshResult> Refresh(const version::VersionedKnowledgeBase& vkb,
                                 measures::ContextOptions context_options = {});
 
+  /// KbView flavour of Refresh.
+  Result<RefreshResult> Refresh(const version::KbView& view,
+                                measures::ContextOptions context_options = {});
+
   /// The serving loop's write path: commits `changes` to `vkb` and
   /// refreshes in one step. All vkb access (the commit included) runs
   /// under the engine's internal lock, so this is safe to call while
@@ -198,6 +217,16 @@ class EvaluationEngine {
   Result<RefreshResult> CommitAndRefresh(
       version::VersionedKnowledgeBase& vkb, version::ChangeSet changes,
       std::string author, std::string message, uint64_t timestamp = 0,
+      measures::ContextOptions context_options = {});
+
+  /// KbView flavour of CommitAndRefresh. For an internally
+  /// synchronised view (a ShardedKnowledgeBase) the commit runs
+  /// without the engine's vkb lock, so in-flight reads keep flowing
+  /// while it lands — the view's own publish point is the only
+  /// synchronisation between them.
+  Result<RefreshResult> CommitAndRefresh(
+      version::KbView& view, version::ChangeSet changes, std::string author,
+      std::string message, uint64_t timestamp = 0,
       measures::ContextOptions context_options = {});
 
   /// The most recent successful Refresh/CommitAndRefresh outcome,
@@ -216,6 +245,12 @@ class EvaluationEngine {
   /// outright.
   Result<measures::EvolutionTimeline> Timeline(
       const version::VersionedKnowledgeBase& vkb, std::string_view measure,
+      version::VersionId first = 0, version::VersionId last = UINT32_MAX,
+      measures::ContextOptions context_options = {});
+
+  /// KbView flavour of Timeline.
+  Result<measures::EvolutionTimeline> Timeline(
+      const version::KbView& view, std::string_view measure,
       version::VersionId first = 0, version::VersionId last = UINT32_MAX,
       measures::ContextOptions context_options = {});
 
@@ -248,6 +283,11 @@ class EvaluationEngine {
 
   /// Cache-peek (no LRU touch) of the evaluation under `key`.
   SharedEval Peek(const ContextKey& key) const;
+
+  /// The engine's vkb lock when `view` needs external serialisation,
+  /// an empty (unlocked) guard when the view synchronises itself —
+  /// the single switch that lets sharded readers bypass the lock.
+  std::unique_lock<std::mutex> LockIfExternal(const version::KbView& view);
 
   const measures::MeasureRegistry& registry_;
   EngineOptions options_;

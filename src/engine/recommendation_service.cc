@@ -23,10 +23,9 @@ void RecommendationService::AttachAccessPolicy(
 }
 
 Result<std::shared_ptr<const SharedEvaluation>> RecommendationService::Warm(
-    const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
-    version::VersionId v2,
+    const version::KbView& view, version::VersionId v1, version::VersionId v2,
     std::shared_ptr<const recommend::SharedRunState>* state) {
-  auto evaluation = engine_.Evaluate(vkb, v1, v2, options_.context);
+  auto evaluation = engine_.Evaluate(view, v1, v2, options_.context);
   if (!evaluation.ok()) return evaluation.status();
   auto shared = (*evaluation)->SharedStateFor(recommender_);
   if (!shared.ok()) return shared.status();
@@ -36,12 +35,11 @@ Result<std::shared_ptr<const SharedEvaluation>> RecommendationService::Warm(
 
 Result<std::shared_ptr<const SharedEvaluation>>
 RecommendationService::WarmOrFallback(
-    const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
-    version::VersionId v2,
+    const version::KbView& view, version::VersionId v1, version::VersionId v2,
     std::shared_ptr<const recommend::SharedRunState>* state,
     bool* degraded) {
   *degraded = health_state() == HealthState::kDegraded;
-  auto evaluation = Warm(vkb, v1, v2, state);
+  auto evaluation = Warm(view, v1, v2, state);
   if (evaluation.ok() || !*degraded) return evaluation;
   // Degraded and unable to serve fresh: answer from the pinned
   // last-good evaluation rather than going dark. The caller sees a
@@ -84,8 +82,15 @@ ServiceHealth RecommendationService::health() const {
 Status RecommendationService::WarmStart(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2) {
+  version::SingleKbView view(vkb);
+  return WarmStart(view, v1, v2);
+}
+
+Status RecommendationService::WarmStart(const version::KbView& view,
+                                        version::VersionId v1,
+                                        version::VersionId v2) {
   std::shared_ptr<const recommend::SharedRunState> state;
-  auto evaluation = Warm(vkb, v1, v2, &state);
+  auto evaluation = Warm(view, v1, v2, &state);
   if (!evaluation.ok()) return evaluation.status();
   // Warm() covers the context and the candidate pool; the report memo
   // fills here so even measures outside the candidate pipeline are hot.
@@ -96,8 +101,16 @@ Status RecommendationService::WarmStart(
 Result<version::VersionId> RecommendationService::Commit(
     version::VersionedKnowledgeBase& vkb, version::ChangeSet changes,
     std::string author, std::string message, uint64_t timestamp) {
+  version::SingleKbView view(vkb);
+  return Commit(view, std::move(changes), std::move(author),
+                std::move(message), timestamp);
+}
+
+Result<version::VersionId> RecommendationService::Commit(
+    version::KbView& view, version::ChangeSet changes, std::string author,
+    std::string message, uint64_t timestamp) {
   auto refreshed =
-      engine_.CommitAndRefresh(vkb, std::move(changes), std::move(author),
+      engine_.CommitAndRefresh(view, std::move(changes), std::move(author),
                                std::move(message), timestamp, options_.context);
   if (!refreshed.ok()) {
     // The commit is not in the history (the WAL is write-ahead: a
@@ -125,9 +138,16 @@ Result<version::VersionId> RecommendationService::Commit(
 Result<recommend::RecommendationList> RecommendationService::Recommend(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2, profile::HumanProfile& prof) {
+  version::SingleKbView view(vkb);
+  return Recommend(view, v1, v2, prof);
+}
+
+Result<recommend::RecommendationList> RecommendationService::Recommend(
+    const version::KbView& view, version::VersionId v1, version::VersionId v2,
+    profile::HumanProfile& prof) {
   std::shared_ptr<const recommend::SharedRunState> state;
   bool degraded = false;
-  auto evaluation = WarmOrFallback(vkb, v1, v2, &state, &degraded);
+  auto evaluation = WarmOrFallback(view, v1, v2, &state, &degraded);
   if (!evaluation.ok()) return evaluation.status();
   auto list = recommender_.RecommendForUser(*state, prof);
   if (list.ok() && degraded) {
@@ -140,9 +160,16 @@ Result<recommend::RecommendationList> RecommendationService::Recommend(
 Result<recommend::RecommendationList> RecommendationService::RecommendGroup(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2, profile::Group& group) {
+  version::SingleKbView view(vkb);
+  return RecommendGroup(view, v1, v2, group);
+}
+
+Result<recommend::RecommendationList> RecommendationService::RecommendGroup(
+    const version::KbView& view, version::VersionId v1, version::VersionId v2,
+    profile::Group& group) {
   std::shared_ptr<const recommend::SharedRunState> state;
   bool degraded = false;
-  auto evaluation = WarmOrFallback(vkb, v1, v2, &state, &degraded);
+  auto evaluation = WarmOrFallback(view, v1, v2, &state, &degraded);
   if (!evaluation.ok()) return evaluation.status();
   auto list = recommender_.RecommendForGroup(*state, group);
   if (list.ok() && degraded) {
@@ -180,10 +207,53 @@ Result<std::vector<recommend::RecommendationList>> ServeAll(
 
 }  // namespace
 
+std::vector<provenance::RecordId> RecommendationService::MergeScratchTraces(
+    std::vector<provenance::ProvenanceStore>& scratch) {
+  std::vector<provenance::RecordId> bases(scratch.size(), 0);
+  for (size_t i = 0; i < scratch.size(); ++i) {
+    const provenance::RecordId base =
+        static_cast<provenance::RecordId>(provenance_->size());
+    bases[i] = base;
+    for (const provenance::ProvRecord& record : scratch[i].records()) {
+      provenance::ProvRecord rebased = record;
+      // Scratch ids are dense from 0, so every id a sequential run
+      // would have assigned is scratch id + base — inputs rebase to
+      // records already spliced, keeping Append's validation happy.
+      for (provenance::RecordId& input : rebased.inputs) input += base;
+      (void)provenance_->Append(std::move(rebased));
+    }
+  }
+  return bases;
+}
+
+namespace {
+
+// Rebases the record ids a worker wrote scratch-relative into the
+// merged store's id space.
+void RebaseTrail(recommend::RecommendationList& list,
+                 provenance::RecordId base) {
+  for (provenance::RecordId& id : list.provenance_trail) id += base;
+  for (recommend::RecommendationItem& item : list.items) {
+    if (item.explanation.has_provenance) {
+      item.explanation.provenance_record += base;
+    }
+  }
+}
+
+}  // namespace
+
 Result<std::vector<recommend::RecommendationList>>
 RecommendationService::RecommendBatch(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2,
+    const std::vector<profile::HumanProfile*>& profiles) {
+  version::SingleKbView view(vkb);
+  return RecommendBatch(view, v1, v2, profiles);
+}
+
+Result<std::vector<recommend::RecommendationList>>
+RecommendationService::RecommendBatch(
+    const version::KbView& view, version::VersionId v1, version::VersionId v2,
     const std::vector<profile::HumanProfile*>& profiles) {
   for (profile::HumanProfile* prof : profiles) {
     if (prof == nullptr) {
@@ -192,17 +262,43 @@ RecommendationService::RecommendBatch(
   }
   std::shared_ptr<const recommend::SharedRunState> state;
   bool degraded = false;
-  auto evaluation = WarmOrFallback(vkb, v1, v2, &state, &degraded);
+  auto evaluation = WarmOrFallback(view, v1, v2, &state, &degraded);
   if (!evaluation.ok()) return evaluation.status();
-  // Provenance records must land in the same order as sequential
-  // per-user calls would produce them, so batches with an attached
-  // store stay on one thread.
-  const bool parallel =
-      options_.parallel_batches && provenance_ == nullptr;
-  auto results =
-      ServeAll(profiles.size(), parallel, engine_.pool(), [&](size_t i) {
-        return recommender_.RecommendForUser(*state, *profiles[i]);
-      });
+  const size_t n = profiles.size();
+  Result<std::vector<recommend::RecommendationList>> results =
+      InternalError("batch not served");
+  if (options_.parallel_batches && provenance_ != nullptr) {
+    // Parallel with an audit trail: every worker traces into a private
+    // scratch store, then the scratches splice into the attached store
+    // in request order — the same records, ids and order a sequential
+    // batch would have produced.
+    std::vector<provenance::ProvenanceStore> scratch(n);
+    std::vector<Result<recommend::RecommendationList>> slots(
+        n, Result<recommend::RecommendationList>(
+               InternalError("request not served")));
+    engine_.pool().ParallelFor(n, [&](size_t i) {
+      slots[i] =
+          recommender_.RecommendForUser(*state, *profiles[i], &scratch[i]);
+    });
+    // Merge before error handling: a sequential batch records every
+    // request's trail even when one of them fails.
+    const std::vector<provenance::RecordId> bases =
+        MergeScratchTraces(scratch);
+    std::vector<recommend::RecommendationList> lists;
+    lists.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (!slots[i].ok()) return slots[i].status();
+      RebaseTrail(*slots[i], bases[i]);
+      lists.push_back(std::move(slots[i]).value());
+    }
+    results = std::move(lists);
+  } else {
+    results = ServeAll(n, options_.parallel_batches, engine_.pool(),
+                       [&](size_t i) {
+                         return recommender_.RecommendForUser(*state,
+                                                              *profiles[i]);
+                       });
+  }
   if (results.ok() && degraded) {
     for (recommend::RecommendationList& list : *results) {
       list.degraded = true;
@@ -216,6 +312,14 @@ Result<std::vector<recommend::RecommendationList>>
 RecommendationService::RecommendGroupBatch(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2, const std::vector<profile::Group*>& groups) {
+  version::SingleKbView view(vkb);
+  return RecommendGroupBatch(view, v1, v2, groups);
+}
+
+Result<std::vector<recommend::RecommendationList>>
+RecommendationService::RecommendGroupBatch(
+    const version::KbView& view, version::VersionId v1, version::VersionId v2,
+    const std::vector<profile::Group*>& groups) {
   for (profile::Group* group : groups) {
     if (group == nullptr) {
       return InvalidArgumentError("RecommendGroupBatch: null group");
@@ -223,14 +327,37 @@ RecommendationService::RecommendGroupBatch(
   }
   std::shared_ptr<const recommend::SharedRunState> state;
   bool degraded = false;
-  auto evaluation = WarmOrFallback(vkb, v1, v2, &state, &degraded);
+  auto evaluation = WarmOrFallback(view, v1, v2, &state, &degraded);
   if (!evaluation.ok()) return evaluation.status();
-  const bool parallel =
-      options_.parallel_batches && provenance_ == nullptr;
-  auto results =
-      ServeAll(groups.size(), parallel, engine_.pool(), [&](size_t i) {
-        return recommender_.RecommendForGroup(*state, *groups[i]);
-      });
+  const size_t n = groups.size();
+  Result<std::vector<recommend::RecommendationList>> results =
+      InternalError("batch not served");
+  if (options_.parallel_batches && provenance_ != nullptr) {
+    std::vector<provenance::ProvenanceStore> scratch(n);
+    std::vector<Result<recommend::RecommendationList>> slots(
+        n, Result<recommend::RecommendationList>(
+               InternalError("request not served")));
+    engine_.pool().ParallelFor(n, [&](size_t i) {
+      slots[i] =
+          recommender_.RecommendForGroup(*state, *groups[i], &scratch[i]);
+    });
+    const std::vector<provenance::RecordId> bases =
+        MergeScratchTraces(scratch);
+    std::vector<recommend::RecommendationList> lists;
+    lists.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (!slots[i].ok()) return slots[i].status();
+      RebaseTrail(*slots[i], bases[i]);
+      lists.push_back(std::move(slots[i]).value());
+    }
+    results = std::move(lists);
+  } else {
+    results = ServeAll(n, options_.parallel_batches, engine_.pool(),
+                       [&](size_t i) {
+                         return recommender_.RecommendForGroup(*state,
+                                                               *groups[i]);
+                       });
+  }
   if (results.ok() && degraded) {
     for (recommend::RecommendationList& list : *results) {
       list.degraded = true;

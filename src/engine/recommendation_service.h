@@ -15,6 +15,7 @@
 #include "profile/profile.h"
 #include "provenance/store.h"
 #include "recommend/recommender.h"
+#include "version/kb_view.h"
 #include "version/versioned_kb.h"
 
 namespace evorec::engine {
@@ -26,8 +27,10 @@ struct ServiceOptions {
   EngineOptions engine;
   measures::ContextOptions context;
   /// Run the per-user stages of a batch on the engine's thread pool.
-  /// Automatically disabled while a provenance store is attached, so
-  /// the audit trail keeps the deterministic sequential record order.
+  /// Works with a provenance store attached too: each worker traces
+  /// into a private scratch store and the service splices the
+  /// scratches into the attached store in request order, so the audit
+  /// trail is byte-identical to a sequential run.
   bool parallel_batches = true;
 };
 
@@ -79,7 +82,8 @@ class RecommendationService {
                                  ServiceOptions options = {});
 
   /// Attaches a provenance store recording every run's stages. Batches
-  /// fall back to sequential per-user execution while attached (see
+  /// stay parallel while attached: workers trace into scratch stores
+  /// that merge back in deterministic request order (see
   /// ServiceOptions::parallel_batches). Pass nullptr to detach.
   void AttachProvenance(provenance::ProvenanceStore* store);
 
@@ -93,9 +97,22 @@ class RecommendationService {
       const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
       version::VersionId v2, profile::HumanProfile& prof);
 
+  /// KbView flavour — every vkb entry point below has one; serving a
+  /// version::ShardedKnowledgeBase through these runs snapshot pins
+  /// lock-free, so reads proceed at full fan-out while a concurrent
+  /// Commit lands.
+  Result<recommend::RecommendationList> Recommend(
+      const version::KbView& view, version::VersionId v1,
+      version::VersionId v2, profile::HumanProfile& prof);
+
   /// Recommends one shared package to a group.
   Result<recommend::RecommendationList> RecommendGroup(
       const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      version::VersionId v2, profile::Group& group);
+
+  /// KbView flavour of RecommendGroup.
+  Result<recommend::RecommendationList> RecommendGroup(
+      const version::KbView& view, version::VersionId v1,
       version::VersionId v2, profile::Group& group);
 
   /// Serves many users against one version pair: the shared evaluation
@@ -109,9 +126,20 @@ class RecommendationService {
       version::VersionId v2,
       const std::vector<profile::HumanProfile*>& profiles);
 
+  /// KbView flavour of RecommendBatch.
+  Result<std::vector<recommend::RecommendationList>> RecommendBatch(
+      const version::KbView& view, version::VersionId v1,
+      version::VersionId v2,
+      const std::vector<profile::HumanProfile*>& profiles);
+
   /// Group flavour of RecommendBatch.
   Result<std::vector<recommend::RecommendationList>> RecommendGroupBatch(
       const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      version::VersionId v2, const std::vector<profile::Group*>& groups);
+
+  /// KbView flavour of RecommendGroupBatch.
+  Result<std::vector<recommend::RecommendationList>> RecommendGroupBatch(
+      const version::KbView& view, version::VersionId v1,
       version::VersionId v2, const std::vector<profile::Group*>& groups);
 
   /// Warm-start: pre-builds the full shared evaluation of (v1, v2) —
@@ -123,6 +151,10 @@ class RecommendationService {
   /// the pre-restart process was serving under.
   Status WarmStart(const version::VersionedKnowledgeBase& vkb,
                    version::VersionId v1, version::VersionId v2);
+
+  /// KbView flavour of WarmStart.
+  Status WarmStart(const version::KbView& view, version::VersionId v1,
+                   version::VersionId v2);
 
   /// The serving loop's write path: commits `changes` to `vkb` and
   /// incrementally refreshes the engine so the head transition is warm
@@ -141,6 +173,15 @@ class RecommendationService {
                                     std::string author, std::string message,
                                     uint64_t timestamp = 0);
 
+  /// KbView flavour of Commit. With an internally synchronised view
+  /// (a ShardedKnowledgeBase) the commit never takes the engine's vkb
+  /// lock, so concurrent reads through this service keep flowing
+  /// while it lands.
+  Result<version::VersionId> Commit(version::KbView& view,
+                                    version::ChangeSet changes,
+                                    std::string author, std::string message,
+                                    uint64_t timestamp = 0);
+
   /// Snapshot of the current health state and counters. Thread-safe.
   ServiceHealth health() const;
   HealthState health_state() const { return health().state; }
@@ -152,7 +193,7 @@ class RecommendationService {
 
  private:
   Result<std::shared_ptr<const SharedEvaluation>> Warm(
-      const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      const version::KbView& view, version::VersionId v1,
       version::VersionId v2,
       std::shared_ptr<const recommend::SharedRunState>* state);
 
@@ -163,10 +204,17 @@ class RecommendationService {
   /// fallback only masks failures the degradation already explains.
   /// `degraded` reports whether results must carry the flag.
   Result<std::shared_ptr<const SharedEvaluation>> WarmOrFallback(
-      const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
+      const version::KbView& view, version::VersionId v1,
       version::VersionId v2,
       std::shared_ptr<const recommend::SharedRunState>* state,
       bool* degraded);
+
+  /// Splices per-request scratch provenance stores into the attached
+  /// store in request order, rebasing record ids — byte-identical to
+  /// tracing the requests sequentially in-place. Returns each
+  /// request's id base (what to add to its scratch-relative ids).
+  std::vector<provenance::RecordId> MergeScratchTraces(
+      std::vector<provenance::ProvenanceStore>& scratch);
 
   void MarkCommitFailed(const Status& status);
   void MarkCommitSucceeded();

@@ -74,6 +74,7 @@
 #include "rdf/dictionary.h"
 #include "rdf/knowledge_base.h"
 #include "rdf/ntriples.h"
+#include "rdf/segment.h"
 #include "rdf/term.h"
 #include "rdf/triple.h"
 #include "rdf/triple_store.h"
@@ -91,9 +92,12 @@
 #include "storage/commit_log.h"
 #include "storage/fault_env.h"
 #include "storage/format.h"
+#include "storage/segment_io.h"
 #include "storage/snapshot.h"
 #include "version/history_query.h"
+#include "version/kb_view.h"
 #include "version/recovery.h"
+#include "version/sharded_kb.h"
 #include "version/version.h"
 #include "version/versioned_kb.h"
 #include "workload/evolution_generator.h"

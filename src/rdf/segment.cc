@@ -1,0 +1,48 @@
+#include "rdf/segment.h"
+
+namespace evorec::rdf {
+
+std::shared_ptr<const Segment> Segment::Merge(const Segment& older,
+                                              const Segment& newer,
+                                              bool drop_tombstones) {
+  std::vector<Triple> live;
+  std::vector<Triple> tombstones;
+  live.reserve(older.live().size() + newer.live().size());
+
+  detail::SegmentCursor a(older, Triple{0, 0, 0});
+  detail::SegmentCursor b(newer, Triple{0, 0, 0});
+  auto take = [&](const detail::SegmentCursor& c) {
+    if (c.tomb_is_current()) {
+      if (!drop_tombstones) tombstones.push_back(c.current());
+    } else {
+      live.push_back(c.current());
+    }
+  };
+  while (!a.done() && !b.done()) {
+    const Triple& ta = a.current();
+    const Triple& tb = b.current();
+    if (ta < tb) {
+      take(a);
+      a.advance();
+    } else if (tb < ta) {
+      take(b);
+      b.advance();
+    } else {  // both segments mention the triple: the newer one decides
+      take(b);
+      a.advance();
+      b.advance();
+    }
+  }
+  while (!a.done()) {
+    take(a);
+    a.advance();
+  }
+  while (!b.done()) {
+    take(b);
+    b.advance();
+  }
+  return std::make_shared<const Segment>(std::move(live),
+                                         std::move(tombstones));
+}
+
+}  // namespace evorec::rdf

@@ -1,0 +1,172 @@
+#ifndef EVOREC_RDF_SEGMENT_H_
+#define EVOREC_RDF_SEGMENT_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace evorec::rdf {
+
+/// One immutable, frozen run of a segmented TripleStore (the terichdb
+/// idiom: a store is a stack of read-only segments plus one small
+/// writable head). A segment carries the triples a freeze made live
+/// and the tombstones it planted over older segments; both runs are
+/// SPO-sorted, unique, and disjoint from each other. Segments are
+/// shared between stores by shared_ptr — a snapshot copy of a
+/// segmented store is a copy of the segment *list*, never of the
+/// triples — and are never mutated after construction, so concurrent
+/// readers of any number of stores may walk one segment freely.
+class Segment {
+ public:
+  /// Adopts `live` and `tombstones`; both must be SPO-sorted, unique,
+  /// and mutually disjoint (the freeze path guarantees this).
+  Segment(std::vector<Triple> live, std::vector<Triple> tombstones)
+      : live_(std::move(live)), tombstones_(std::move(tombstones)) {}
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  const std::vector<Triple>& live() const { return live_; }
+  const std::vector<Triple>& tombstones() const { return tombstones_; }
+
+  bool ContainsLive(const Triple& t) const {
+    return std::binary_search(live_.begin(), live_.end(), t);
+  }
+  bool ContainsTombstone(const Triple& t) const {
+    return std::binary_search(tombstones_.begin(), tombstones_.end(), t);
+  }
+
+  /// Total entries (live + tombstones) — the size the tiering policy
+  /// compares.
+  size_t entry_count() const { return live_.size() + tombstones_.size(); }
+
+  size_t MemoryBytes() const {
+    return (live_.capacity() + tombstones_.capacity()) * sizeof(Triple);
+  }
+
+  /// Merges `newer` onto `older` (last-wins): a triple decided by
+  /// `newer` keeps `newer`'s verdict, everything else keeps `older`'s.
+  /// `drop_tombstones` is the bottom-of-the-stack GC: when the merged
+  /// segment has no older segment left to shadow, its tombstones kill
+  /// nothing and are dropped.
+  static std::shared_ptr<const Segment> Merge(const Segment& older,
+                                             const Segment& newer,
+                                             bool drop_tombstones);
+
+ private:
+  std::vector<Triple> live_;        // sorted unique SPO
+  std::vector<Triple> tombstones_;  // sorted unique SPO, disjoint from live_
+};
+
+namespace detail {
+
+/// Positioned read head over one segment's combined live+tombstone
+/// stream in SPO order (the two runs are disjoint, so the merge of the
+/// pair never ties).
+struct SegmentCursor {
+  const Triple* live;
+  const Triple* live_end;
+  const Triple* tomb;
+  const Triple* tomb_end;
+
+  SegmentCursor(const Segment& s, const Triple& lo) {
+    const auto& lv = s.live();
+    const auto& tv = s.tombstones();
+    live = std::lower_bound(lv.data(), lv.data() + lv.size(), lo);
+    live_end = lv.data() + lv.size();
+    tomb = std::lower_bound(tv.data(), tv.data() + tv.size(), lo);
+    tomb_end = tv.data() + tv.size();
+  }
+
+  bool done() const { return live == live_end && tomb == tomb_end; }
+  bool tomb_is_current() const {
+    if (tomb == tomb_end) return false;
+    if (live == live_end) return true;
+    return *tomb < *live;
+  }
+  const Triple& current() const { return tomb_is_current() ? *tomb : *live; }
+  void advance() {
+    if (tomb_is_current()) {
+      ++tomb;
+    } else {
+      ++live;
+    }
+  }
+};
+
+/// Pull-style k-way merge over a segment stack (oldest → newest):
+/// yields the *effective* triples in SPO order. For each distinct
+/// triple the newest segment mentioning it decides — live is emitted,
+/// tombstoned is skipped — which is exactly the last-wins freeze
+/// semantics.
+class EffectiveCursor {
+ public:
+  EffectiveCursor(const std::vector<std::shared_ptr<const Segment>>& segments,
+                  const Triple& lo) {
+    cursors_.reserve(segments.size());
+    for (const auto& seg : segments) cursors_.emplace_back(*seg, lo);
+  }
+
+  bool Next(Triple* out) {
+    const size_t n = cursors_.size();
+    for (;;) {
+      // Newest-to-oldest min scan: on ties the first (newest) cursor
+      // found keeps the win, so it decides the triple's fate.
+      int winner = -1;
+      for (size_t i = n; i-- > 0;) {
+        if (cursors_[i].done()) continue;
+        if (winner < 0 ||
+            cursors_[i].current() <
+                cursors_[static_cast<size_t>(winner)].current()) {
+          winner = static_cast<int>(i);
+        }
+      }
+      if (winner < 0) return false;
+      const auto w = static_cast<size_t>(winner);
+      const Triple t = cursors_[w].current();
+      const bool tombstoned = cursors_[w].tomb_is_current();
+      for (auto& c : cursors_) {
+        if (!c.done() && !(t < c.current())) c.advance();
+      }
+      if (!tombstoned) {
+        *out = t;
+        return true;
+      }
+    }
+  }
+
+ private:
+  std::vector<SegmentCursor> cursors_;
+};
+
+/// Walks the effective triples of `segments` in SPO order starting at
+/// `lo` (pass Triple{0,0,0} for the whole stream); stops early when
+/// `fn` returns false. Single-segment stacks skip the merge entirely —
+/// a lone segment's tombstones shadow nothing, so its live run is the
+/// answer.
+template <class Fn>
+void WalkSegments(const std::vector<std::shared_ptr<const Segment>>& segments,
+                  const Triple& lo, Fn&& fn) {
+  if (segments.empty()) return;
+  if (segments.size() == 1) {
+    const auto& live = segments[0]->live();
+    for (auto it = std::lower_bound(live.begin(), live.end(), lo);
+         it != live.end(); ++it) {
+      if (!fn(*it)) return;
+    }
+    return;
+  }
+  EffectiveCursor cursor(segments, lo);
+  Triple t;
+  while (cursor.Next(&t)) {
+    if (!fn(t)) return;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace evorec::rdf
+
+#endif  // EVOREC_RDF_SEGMENT_H_

@@ -77,21 +77,38 @@ void FreeVector(std::vector<Triple>& v) {
 
 TripleStore TripleStore::FromSorted(std::vector<Triple> sorted_spo) {
   TripleStore store;
-  store.spo_ = std::move(sorted_spo);
-  // The empty secondary indexes no longer mirror spo_; they rebuild
-  // from it on first use.
+  store.size_ = sorted_spo.size();
+  if (!sorted_spo.empty()) {
+    store.segments_.push_back(std::make_shared<const Segment>(
+        std::move(sorted_spo), std::vector<Triple>{}));
+  }
+  // The empty secondary indexes no longer mirror the stack; they
+  // rebuild from it on first use.
+  store.pos_state_ = IndexState::kRebuild;
+  store.osp_state_ = IndexState::kRebuild;
+  return store;
+}
+
+TripleStore TripleStore::FromSegments(
+    std::vector<std::shared_ptr<const Segment>> segments,
+    size_t effective_size) {
+  TripleStore store;
+  store.segments_ = std::move(segments);
+  store.size_ = effective_size;
   store.pos_state_ = IndexState::kRebuild;
   store.osp_state_ = IndexState::kRebuild;
   return store;
 }
 
 TripleStore::TripleStore(const TripleStore& other)
-    : spo_(other.spo_),
+    : segments_(other.segments_),
+      size_(other.size_),
+      flat_(other.flat_),
       pending_adds_(other.pending_adds_),
       pending_removes_(other.pending_removes_),
       dirty_(other.dirty_) {
   if (other.pos_state_ == IndexState::kFresh) {
-    pos_ = other.pos_;
+    pos_ = other.pos_;  // shared immutable run — pointer copy
   } else {
     pos_state_ = IndexState::kRebuild;
   }
@@ -143,6 +160,16 @@ void TripleStore::RemoveAll(const std::vector<Triple>& triples) {
   dirty_ = true;
 }
 
+bool TripleStore::ContainsFrozen(const Triple& t) const {
+  // Newest segment mentioning the triple decides (last-wins).
+  for (size_t i = segments_.size(); i-- > 0;) {
+    const Segment& seg = *segments_[i];
+    if (seg.ContainsLive(t)) return true;
+    if (seg.ContainsTombstone(t)) return false;
+  }
+  return false;
+}
+
 void TripleStore::Compact() const {
   if (!dirty_) return;
   dirty_ = false;
@@ -159,12 +186,59 @@ void TripleStore::Compact() const {
   std::sort(adds.begin(), adds.end());
   std::sort(removes.begin(), removes.end());
 
-  MergeApply(spo_, adds, removes, std::less<Triple>());
+  // Freeze the head: filter the delta down to the *effective* state
+  // transition against the frozen stack (an add of a visible triple or
+  // a remove of an absent one changes nothing), so segments carry
+  // exactly the net change — which also keeps size() O(1).
+  std::vector<Triple> live;
+  live.reserve(adds.size());
+  for (const Triple& t : adds) {
+    if (!ContainsFrozen(t)) live.push_back(t);
+  }
+  std::vector<Triple> tombstones;
+  tombstones.reserve(removes.size());
+  for (const Triple& t : removes) {
+    if (ContainsFrozen(t)) tombstones.push_back(t);
+  }
+
+  if (!live.empty() || !tombstones.empty()) {
+    size_ += live.size();
+    size_ -= tombstones.size();
+    if (segments_.empty()) tombstones.clear();  // nothing older to shadow
+    segments_.push_back(std::make_shared<const Segment>(
+        std::move(live), std::move(tombstones)));
+    ++stats_.segments_frozen;
+    flat_.reset();
+    MaybeMergeSegments();
+  }
 
   if (pos_state_ == IndexState::kFresh) pos_state_ = IndexState::kStale;
   if (osp_state_ == IndexState::kFresh) osp_state_ = IndexState::kStale;
   AccumulateBacklog(adds, removes);
   ++stats_.compactions;
+}
+
+void TripleStore::MaybeMergeSegments() const {
+  // Size-tiered policy: keep entry counts geometrically decreasing
+  // newest-to-oldest. Whenever a freeze (or a previous merge) leaves
+  // the newest segment at least half its older neighbour, merge the
+  // pair; tombstones are garbage-collected when a merge reaches the
+  // bottom of the stack. Bounds the stack depth at O(log n) and
+  // amortises total merge work to O(n log n) over any op sequence.
+  while (segments_.size() >= 2) {
+    const size_t k = segments_.size() - 1;
+    if (segments_[k - 1]->entry_count() > 2 * segments_[k]->entry_count()) {
+      break;
+    }
+    auto merged = Segment::Merge(*segments_[k - 1], *segments_[k],
+                                 /*drop_tombstones=*/k - 1 == 0);
+    segments_.pop_back();
+    segments_.back() = std::move(merged);
+    ++stats_.segment_merges;
+    if (segments_.back()->entry_count() == 0) {
+      segments_.pop_back();  // adds and removes annihilated completely
+    }
+  }
 }
 
 void TripleStore::AccumulateBacklog(const std::vector<Triple>& adds,
@@ -180,14 +254,14 @@ void TripleStore::AccumulateBacklog(const std::vector<Triple>& adds,
   // Once the backlog rivals the store itself, catching up costs as
   // much as rebuilding — stop carrying it.
   const size_t backlog = backlog_adds_.size() + backlog_removes_.size();
-  if (backlog > spo_.size() / 2 + 64) {
+  if (backlog > size_ / 2 + 64) {
     if (pos_state_ == IndexState::kStale) {
       pos_state_ = IndexState::kRebuild;
-      FreeVector(pos_);
+      pos_.reset();
     }
     if (osp_state_ == IndexState::kStale) {
       osp_state_ = IndexState::kRebuild;
-      FreeVector(osp_);
+      osp_.reset();
     }
     MaybeReleaseBacklog();
   }
@@ -202,38 +276,60 @@ void TripleStore::MaybeReleaseBacklog() const {
 
 void TripleStore::EnsurePos() const {
   Compact();
-  if (pos_state_ == IndexState::kFresh) return;
+  if (pos_state_ == IndexState::kFresh) {
+    // kFresh with no run yet only happens on a store that has never
+    // frozen anything — i.e. an empty store.
+    if (!pos_) pos_ = std::make_shared<const std::vector<Triple>>();
+    return;
+  }
+  std::vector<Triple> next;
   if (pos_state_ == IndexState::kStale) {
+    if (pos_) next = *pos_;
     std::vector<Triple> adds = backlog_adds_;
     std::vector<Triple> removes = backlog_removes_;
     std::sort(adds.begin(), adds.end(), PosLess);
     std::sort(removes.begin(), removes.end(), PosLess);
-    MergeApply(pos_, adds, removes, PosLess);
+    MergeApply(next, adds, removes, PosLess);
     ++stats_.pos_catchups;
   } else {
-    pos_ = spo_;
-    std::sort(pos_.begin(), pos_.end(), PosLess);
+    next.reserve(size_);
+    detail::WalkSegments(segments_, Triple{0, 0, 0}, [&](const Triple& t) {
+      next.push_back(t);
+      return true;
+    });
+    std::sort(next.begin(), next.end(), PosLess);
     ++stats_.pos_full_builds;
   }
+  pos_ = std::make_shared<const std::vector<Triple>>(std::move(next));
   pos_state_ = IndexState::kFresh;
   MaybeReleaseBacklog();
 }
 
 void TripleStore::EnsureOsp() const {
   Compact();
-  if (osp_state_ == IndexState::kFresh) return;
+  if (osp_state_ == IndexState::kFresh) {
+    if (!osp_) osp_ = std::make_shared<const std::vector<Triple>>();
+    return;
+  }
+  std::vector<Triple> next;
   if (osp_state_ == IndexState::kStale) {
+    if (osp_) next = *osp_;
     std::vector<Triple> adds = backlog_adds_;
     std::vector<Triple> removes = backlog_removes_;
     std::sort(adds.begin(), adds.end(), OspLess);
     std::sort(removes.begin(), removes.end(), OspLess);
-    MergeApply(osp_, adds, removes, OspLess);
+    MergeApply(next, adds, removes, OspLess);
     ++stats_.osp_catchups;
   } else {
-    osp_ = spo_;
-    std::sort(osp_.begin(), osp_.end(), OspLess);
+    next.reserve(size_);
+    detail::WalkSegments(segments_, Triple{0, 0, 0}, [&](const Triple& t) {
+      next.push_back(t);
+      return true;
+    });
+    std::sort(next.begin(), next.end(), OspLess);
     ++stats_.osp_full_builds;
   }
+  osp_ = std::make_shared<const std::vector<Triple>>(std::move(next));
   osp_state_ = IndexState::kFresh;
   MaybeReleaseBacklog();
 }
@@ -244,27 +340,85 @@ void TripleStore::PrepareIndexes() const {
   EnsureOsp();
 }
 
+const std::vector<std::shared_ptr<const Segment>>& TripleStore::segments()
+    const {
+  Compact();
+  return segments_;
+}
+
 size_t TripleStore::MemoryBytes() const {
-  size_t bytes = (spo_.capacity() + pos_.capacity() + osp_.capacity() +
-                  backlog_adds_.capacity() + backlog_removes_.capacity()) *
-                 sizeof(Triple);
+  size_t bytes = 0;
+  for (const auto& seg : segments_) bytes += seg->MemoryBytes();
+  if (pos_) bytes += pos_->capacity() * sizeof(Triple);
+  if (osp_) bytes += osp_->capacity() * sizeof(Triple);
+  // A flat memo that merely aliases the base segment holds no storage
+  // of its own.
+  if (flat_ &&
+      (segments_.empty() || flat_.get() != &segments_.front()->live())) {
+    bytes += flat_->capacity() * sizeof(Triple);
+  }
+  bytes += (backlog_adds_.capacity() + backlog_removes_.capacity()) *
+           sizeof(Triple);
+  bytes += (pending_adds_.size() + pending_removes_.size()) * sizeof(Triple);
+  return bytes;
+}
+
+size_t TripleStore::MemoryBytesDedup(
+    std::unordered_set<const void*>& seen) const {
+  size_t bytes = 0;
+  for (const auto& seg : segments_) {
+    if (seen.insert(seg.get()).second) bytes += seg->MemoryBytes();
+  }
+  if (pos_ && seen.insert(pos_.get()).second) {
+    bytes += pos_->capacity() * sizeof(Triple);
+  }
+  if (osp_ && seen.insert(osp_.get()).second) {
+    bytes += osp_->capacity() * sizeof(Triple);
+  }
+  if (flat_ &&
+      (segments_.empty() || flat_.get() != &segments_.front()->live()) &&
+      seen.insert(flat_.get()).second) {
+    bytes += flat_->capacity() * sizeof(Triple);
+  }
+  bytes += (backlog_adds_.capacity() + backlog_removes_.capacity()) *
+           sizeof(Triple);
   bytes += (pending_adds_.size() + pending_removes_.size()) * sizeof(Triple);
   return bytes;
 }
 
 bool TripleStore::Contains(const Triple& t) const {
   Compact();
-  return std::binary_search(spo_.begin(), spo_.end(), t);
+  return ContainsFrozen(t);
 }
 
 size_t TripleStore::size() const {
   Compact();
-  return spo_.size();
+  return size_;
 }
 
 const std::vector<Triple>& TripleStore::triples() const {
   Compact();
-  return spo_;
+  if (flat_) return *flat_;
+  if (segments_.empty()) {
+    flat_ = std::make_shared<const std::vector<Triple>>();
+    return *flat_;
+  }
+  if (segments_.size() == 1) {
+    // Zero-copy alias: the lone base segment *is* the flat SPO run
+    // (its tombstones, if any, shadow nothing).
+    flat_ = std::shared_ptr<const std::vector<Triple>>(segments_.front(),
+                                                       &segments_.front()->live());
+    return *flat_;
+  }
+  auto flat = std::make_shared<std::vector<Triple>>();
+  flat->reserve(size_);
+  detail::WalkSegments(segments_, Triple{0, 0, 0}, [&](const Triple& t) {
+    flat->push_back(t);
+    return true;
+  });
+  ++stats_.materializations;
+  flat_ = std::move(flat);
+  return *flat_;
 }
 
 void TripleStore::Scan(const TriplePattern& pattern,
@@ -297,8 +451,22 @@ std::vector<Triple> TripleStore::Difference(const TripleStore& a,
   a.Compact();
   b.Compact();
   std::vector<Triple> out;
-  std::set_difference(a.spo_.begin(), a.spo_.end(), b.spo_.begin(),
-                      b.spo_.end(), std::back_inserter(out));
+  detail::EffectiveCursor ca(a.segments_, Triple{0, 0, 0});
+  detail::EffectiveCursor cb(b.segments_, Triple{0, 0, 0});
+  Triple ta, tb;
+  bool ha = ca.Next(&ta);
+  bool hb = cb.Next(&tb);
+  while (ha) {
+    if (!hb || ta < tb) {
+      out.push_back(ta);
+      ha = ca.Next(&ta);
+    } else if (tb < ta) {
+      hb = cb.Next(&tb);
+    } else {
+      ha = ca.Next(&ta);
+      hb = cb.Next(&tb);
+    }
+  }
   return out;
 }
 

@@ -130,8 +130,14 @@ Result<RecommendationList> Recommender::RecommendForUser(
 
 Result<RecommendationList> Recommender::RecommendForUser(
     const SharedRunState& shared, profile::HumanProfile& prof) const {
+  return RecommendForUser(shared, prof, provenance_);
+}
+
+Result<RecommendationList> Recommender::RecommendForUser(
+    const SharedRunState& shared, profile::HumanProfile& prof,
+    provenance::ProvenanceStore* trace) const {
   const measures::EvolutionContext& ctx = *shared.ctx;
-  StageTracer tracer(provenance_, "recommend_user/" + prof.id(), "evorec");
+  StageTracer tracer(trace, "recommend_user/" + prof.id(), "evorec");
   tracer.Run("context", "evolution_context",
              "delta size " + std::to_string(ctx.low_level_delta().size()));
   tracer.Run("candidates", "candidate_pool",
@@ -228,11 +234,17 @@ Result<RecommendationList> Recommender::RecommendForGroup(
 
 Result<RecommendationList> Recommender::RecommendForGroup(
     const SharedRunState& shared, profile::Group& group) const {
+  return RecommendForGroup(shared, group, provenance_);
+}
+
+Result<RecommendationList> Recommender::RecommendForGroup(
+    const SharedRunState& shared, profile::Group& group,
+    provenance::ProvenanceStore* trace) const {
   if (group.empty()) {
     return InvalidArgumentError("cannot recommend to an empty group");
   }
   const measures::EvolutionContext& ctx = *shared.ctx;
-  StageTracer tracer(provenance_, "recommend_group/" + group.id(), "evorec");
+  StageTracer tracer(trace, "recommend_group/" + group.id(), "evorec");
   tracer.Run("context", "evolution_context",
              "delta size " + std::to_string(ctx.low_level_delta().size()));
   tracer.Run("candidates", "candidate_pool",

@@ -138,6 +138,16 @@ class Recommender {
   Result<RecommendationList> RecommendForUser(
       const SharedRunState& shared, profile::HumanProfile& prof) const;
 
+  /// Serving path with an explicit trace store overriding the attached
+  /// one — the parallel-batch hook: each worker traces into a private
+  /// scratch store (workflow timestamps are per-run logical clocks, so
+  /// a scratch trace is byte-identical to an in-place one) and the
+  /// batch layer splices the scratches back in deterministic order.
+  /// nullptr runs untraced.
+  Result<RecommendationList> RecommendForUser(
+      const SharedRunState& shared, profile::HumanProfile& prof,
+      provenance::ProvenanceStore* trace) const;
+
   /// Recommends one shared package to a group (§III.d).
   Result<RecommendationList> RecommendForGroup(
       const measures::EvolutionContext& ctx, profile::Group& group) const;
@@ -145,6 +155,11 @@ class Recommender {
   /// Serving path of the group pipeline over a prepared shared state.
   Result<RecommendationList> RecommendForGroup(
       const SharedRunState& shared, profile::Group& group) const;
+
+  /// Group flavour of the explicit-trace serving path.
+  Result<RecommendationList> RecommendForGroup(
+      const SharedRunState& shared, profile::Group& group,
+      provenance::ProvenanceStore* trace) const;
 
   const RecommenderOptions& options() const { return options_; }
   const measures::MeasureRegistry& registry() const { return registry_; }

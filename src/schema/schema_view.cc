@@ -25,8 +25,13 @@ SchemaView SchemaView::Build(const rdf::KnowledgeBase& kb) {
   };
   auto note_property = [&](rdf::TermId id) { view.property_set_.insert(id); };
 
+  // All three passes stream the store in SPO order via full merged
+  // scans instead of store.triples(): on a segmented snapshot that
+  // avoids materialising a whole-store flat copy (the emission order
+  // is identical, so the built view is too).
+
   // Pass 1: schema-level triples establish classes and properties.
-  for (const rdf::Triple& t : store.triples()) {
+  store.ScanT(rdf::TriplePattern{}, [&](const rdf::Triple& t) {
     if (t.predicate == voc.rdf_type) {
       if (t.object == voc.rdfs_class || t.object == voc.owl_class) {
         note_class(t.subject);
@@ -51,35 +56,37 @@ SchemaView SchemaView::Build(const rdf::KnowledgeBase& kb) {
       view.ranges_[t.subject].push_back(t.object);
       note_class(t.object);
     }
-  }
+    return true;
+  });
 
   // Pass 2: instance typing and property usage.
-  for (const rdf::Triple& t : store.triples()) {
+  store.ScanT(rdf::TriplePattern{}, [&](const rdf::Triple& t) {
     if (t.predicate == voc.rdf_type) {
       if (view.class_set_.count(t.object) &&
           !view.class_set_.count(t.subject)) {
         view.instances_[t.object].push_back(t.subject);
         view.instance_type_.emplace(t.subject, t.object);
       }
-      continue;
+      return true;
     }
-    if (voc.IsSchemaPredicate(t.predicate)) continue;
+    if (voc.IsSchemaPredicate(t.predicate)) return true;
     // A non-schema predicate used between resources is a property.
     note_property(t.predicate);
-  }
+    return true;
+  });
 
   // Pass 3: instance-level connection statistics per
   // (property, subject-class, object-class).
   std::unordered_map<rdf::TermId,
                      std::unordered_map<uint64_t, PropertyConnection>>
       conn_acc;
-  for (const rdf::Triple& t : store.triples()) {
-    if (voc.IsSchemaPredicate(t.predicate)) continue;
-    if (!view.property_set_.count(t.predicate)) continue;
+  store.ScanT(rdf::TriplePattern{}, [&](const rdf::Triple& t) {
+    if (voc.IsSchemaPredicate(t.predicate)) return true;
+    if (!view.property_set_.count(t.predicate)) return true;
     auto ts = view.instance_type_.find(t.subject);
     auto to = view.instance_type_.find(t.object);
     if (ts == view.instance_type_.end() || to == view.instance_type_.end()) {
-      continue;
+      return true;
     }
     const ClassPair pair{ts->second, to->second};
     const uint64_t pair_key =
@@ -96,7 +103,8 @@ SchemaView SchemaView::Build(const rdf::KnowledgeBase& kb) {
     }
     view.property_adjacent_[pair.from].insert(pair.to);
     view.property_adjacent_[pair.to].insert(pair.from);
-  }
+    return true;
+  });
   for (auto& [prop, by_pair] : conn_acc) {
     (void)prop;
     for (auto& [key, conn] : by_pair) {

@@ -1,0 +1,174 @@
+#include "storage/segment_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "rdf/segment.h"
+#include "storage/format.h"
+
+namespace evorec::storage {
+
+namespace {
+
+// Header: magic(8) + format(4) + flags(4) + segment_count(4) +
+// reserved(4) + effective_size(8) + crc(4).
+constexpr size_t kHeaderSize = 36;
+constexpr size_t kHeaderCrcRange = 32;
+
+void AppendSection(std::string& out, uint32_t section_id,
+                   const std::string& payload) {
+  PutFixed32(out, section_id);
+  PutFixed64(out, payload.size());
+  out.append(payload);
+  PutFixed32(out, Crc32(payload));
+}
+
+Status ReadSection(ByteReader& reader, uint32_t expected_id,
+                   std::string_view* payload) {
+  uint32_t section_id = 0;
+  uint64_t payload_len = 0;
+  if (!reader.ReadFixed32(&section_id) || !reader.ReadFixed64(&payload_len)) {
+    return InvalidArgumentError("segments: truncated section header");
+  }
+  if (section_id != expected_id) {
+    return InvalidArgumentError("segments: expected section " +
+                                std::to_string(expected_id) + ", found " +
+                                std::to_string(section_id));
+  }
+  if (payload_len > reader.remaining() ||
+      !reader.ReadBytes(static_cast<size_t>(payload_len), payload)) {
+    return InvalidArgumentError("segments: section truncated (payload)");
+  }
+  uint32_t stored_crc = 0;
+  if (!reader.ReadFixed32(&stored_crc)) {
+    return InvalidArgumentError("segments: section truncated (checksum)");
+  }
+  if (Crc32(*payload) != stored_crc) {
+    return InvalidArgumentError("segments: section checksum mismatch");
+  }
+  return OkStatus();
+}
+
+Status DecodeRun(ByteReader& reader, const char* what, rdf::TermId term_count,
+                 std::vector<rdf::Triple>* out) {
+  uint64_t count = 0;
+  if (!reader.ReadFixed64(&count)) {
+    return InvalidArgumentError(std::string("segments: truncated ") + what +
+                                " run length");
+  }
+  if (!DecodeTripleRun(reader, count, /*sorted=*/true, out)) {
+    return InvalidArgumentError(std::string("segments: malformed ") + what +
+                                " run");
+  }
+  for (const rdf::Triple& t : *out) {
+    if (t.subject >= term_count || t.predicate >= term_count ||
+        t.object >= term_count) {
+      return InvalidArgumentError(
+          std::string("segments: ") + what +
+          " run references term id beyond the term table");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+std::string EncodeSegments(const rdf::TripleStore& store) {
+  const auto& segments = store.segments();  // compacts first
+
+  std::string out;
+  out.append(kSegmentsMagic, sizeof(kSegmentsMagic));
+  PutFixed32(out, kFormatVersion);
+  PutFixed32(out, 0);  // flags
+  PutFixed32(out, static_cast<uint32_t>(segments.size()));
+  PutFixed32(out, 0);  // reserved
+  PutFixed64(out, store.size());
+  PutFixed32(out, Crc32(std::string_view(out.data(), kHeaderCrcRange)));
+
+  for (const auto& segment : segments) {
+    std::string payload;
+    PutFixed64(payload, segment->live().size());
+    EncodeTripleRun(payload, segment->live(), /*sorted=*/true);
+    PutFixed64(payload, segment->tombstones().size());
+    EncodeTripleRun(payload, segment->tombstones(), /*sorted=*/true);
+    AppendSection(out, kSectionSegment, payload);
+  }
+  return out;
+}
+
+bool LooksLikeSegments(std::string_view bytes) {
+  return bytes.size() >= sizeof(kSegmentsMagic) &&
+         std::memcmp(bytes.data(), kSegmentsMagic,
+                     sizeof(kSegmentsMagic)) == 0;
+}
+
+Result<rdf::TripleStore> DecodeSegments(std::string_view bytes,
+                                        rdf::TermId term_count) {
+  ByteReader reader(bytes);
+  std::string_view magic;
+  if (!reader.ReadBytes(sizeof(kSegmentsMagic), &magic) ||
+      std::memcmp(magic.data(), kSegmentsMagic, sizeof(kSegmentsMagic)) != 0) {
+    return InvalidArgumentError(
+        "segments: bad magic (not a segment container)");
+  }
+  uint32_t format_version = 0;
+  uint32_t flags = 0;
+  uint32_t segment_count = 0;
+  uint32_t reserved = 0;
+  uint64_t effective_size = 0;
+  if (!reader.ReadFixed32(&format_version) || !reader.ReadFixed32(&flags) ||
+      !reader.ReadFixed32(&segment_count) || !reader.ReadFixed32(&reserved) ||
+      !reader.ReadFixed64(&effective_size)) {
+    return InvalidArgumentError("segments: truncated header");
+  }
+  if (format_version != kFormatVersion) {
+    return InvalidArgumentError("segments: unsupported format version " +
+                                std::to_string(format_version));
+  }
+  uint32_t stored_crc = 0;
+  if (!reader.ReadFixed32(&stored_crc)) {
+    return InvalidArgumentError("segments: truncated header");
+  }
+  if (Crc32(bytes.substr(0, kHeaderCrcRange)) != stored_crc) {
+    return InvalidArgumentError("segments: header checksum mismatch");
+  }
+
+  std::vector<std::shared_ptr<const rdf::Segment>> segments;
+  segments.reserve(segment_count);
+  for (uint32_t i = 0; i < segment_count; ++i) {
+    std::string_view payload;
+    EVOREC_RETURN_IF_ERROR(ReadSection(reader, kSectionSegment, &payload));
+    ByteReader section(payload);
+    std::vector<rdf::Triple> live;
+    std::vector<rdf::Triple> tombstones;
+    EVOREC_RETURN_IF_ERROR(DecodeRun(section, "live", term_count, &live));
+    EVOREC_RETURN_IF_ERROR(
+        DecodeRun(section, "tombstone", term_count, &tombstones));
+    if (!section.empty()) {
+      return InvalidArgumentError("segments: trailing bytes in segment " +
+                                  std::to_string(i));
+    }
+    // The Segment invariant DecodeTripleRun can't check: a triple may
+    // not be both live and tombstoned in one segment.
+    for (const rdf::Triple& t : tombstones) {
+      if (std::binary_search(live.begin(), live.end(), t)) {
+        return InvalidArgumentError(
+            "segments: segment " + std::to_string(i) +
+            " lists a triple as both live and tombstoned");
+      }
+    }
+    segments.push_back(std::make_shared<const rdf::Segment>(
+        std::move(live), std::move(tombstones)));
+  }
+  if (!reader.empty()) {
+    return InvalidArgumentError("segments: trailing bytes after last segment");
+  }
+  return rdf::TripleStore::FromSegments(std::move(segments),
+                                        static_cast<size_t>(effective_size));
+}
+
+}  // namespace evorec::storage

@@ -1,0 +1,39 @@
+#ifndef EVOREC_STORAGE_SEGMENT_IO_H_
+#define EVOREC_STORAGE_SEGMENT_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+
+namespace evorec::storage {
+
+/// Segment-preserving persistence of a segmented TripleStore: one
+/// sorted run per frozen segment (live triples and tombstones
+/// separately), each CRC-framed with the same section discipline as
+/// the snapshot container. Unlike EncodeSnapshot — which flattens the
+/// store into one merged SPO run — this round-trips the segment
+/// *structure*, so a store reloaded from it shares nothing but has
+/// the identical segment list, and versions persisted from one chain
+/// re-load as cheaply layerable units.
+///
+/// The container carries no term table: it is a companion to a
+/// snapshot (or a live dictionary) that supplies one. Callers pass
+/// the dictionary size to DecodeSegments so every id is validated
+/// against the table the runs will be read with.
+std::string EncodeSegments(const rdf::TripleStore& store);
+
+/// Rebuilds the store from an EncodeSegments image, validating header
+/// and per-section CRCs, sorted-unique run order, live/tombstone
+/// disjointness per segment, and that every id is < `term_count`.
+Result<rdf::TripleStore> DecodeSegments(std::string_view bytes,
+                                        rdf::TermId term_count);
+
+/// True when `bytes` starts with the segment-container magic.
+bool LooksLikeSegments(std::string_view bytes);
+
+}  // namespace evorec::storage
+
+#endif  // EVOREC_STORAGE_SEGMENT_IO_H_

@@ -1,6 +1,7 @@
 #include "version/versioned_kb.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/hash.h"
 
@@ -285,7 +286,11 @@ void VersionedKnowledgeBase::EvictSnapshotCache() const { cache_.clear(); }
 size_t VersionedKnowledgeBase::StorageBytes() const {
   // Asks each store for its actual footprint (only the permutation
   // indexes it has really materialised, plus pending buffers) and
-  // includes the lazily-filled snapshot cache.
+  // includes the lazily-filled snapshot cache. Gross accounting: a
+  // frozen segment shared by several versions is billed by each
+  // holder, which is how the archive-policy comparison has always
+  // been scored (full materialization pays per version even though
+  // the segmented store shares the bytes underneath).
   size_t bytes = 0;
   for (const rdf::KnowledgeBase& kb : stores_) {
     bytes += kb.store().MemoryBytes();
@@ -297,6 +302,30 @@ size_t VersionedKnowledgeBase::StorageBytes() const {
   for (const auto& [v, kb] : cache_) {
     (void)v;
     bytes += kb.store().MemoryBytes();
+  }
+  for (const ChangeSet& cs : change_sets_) {
+    bytes += cs.size() * sizeof(rdf::Triple);
+  }
+  return bytes;
+}
+
+size_t VersionedKnowledgeBase::StorageBytes(
+    std::unordered_set<const void*>& seen) const {
+  // Dedup accounting for ensembles: versions of a segmented store
+  // share frozen segments, and the shards of a ShardedKnowledgeBase
+  // share them with the pinned union snapshots — each immutable run
+  // is billed once across every store probed with the same `seen`.
+  size_t bytes = 0;
+  for (const rdf::KnowledgeBase& kb : stores_) {
+    bytes += kb.store().MemoryBytesDedup(seen);
+  }
+  for (const auto& [v, kb] : checkpoints_) {
+    (void)v;
+    bytes += kb.store().MemoryBytesDedup(seen);
+  }
+  for (const auto& [v, kb] : cache_) {
+    (void)v;
+    bytes += kb.store().MemoryBytesDedup(seen);
   }
   for (const ChangeSet& cs : change_sets_) {
     bytes += cs.size() * sizeof(rdf::Triple);

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -136,6 +137,12 @@ class VersionedKnowledgeBase {
   /// each store has actually built), the snapshot cache, and archived
   /// change sets.
   size_t StorageBytes() const;
+
+  /// Same accounting with a caller-owned dedup set, so callers holding
+  /// several stores that share frozen segments (the shards of a
+  /// ShardedKnowledgeBase plus its pinned union snapshots) bill each
+  /// immutable run once across the whole ensemble.
+  size_t StorageBytes(std::unordered_set<const void*>& seen) const;
 
   ArchivePolicy policy() const { return policy_; }
 

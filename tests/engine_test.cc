@@ -219,8 +219,9 @@ TEST(RecommendationServiceTest, BatchWithProvenanceMatchesSequentialTrail) {
     expected.push_back(std::move(list).value());
   }
 
-  // Batched serving with a store: sequential per-user execution keeps
-  // the record ids and trail ordering identical.
+  // Batched serving with a store: workers trace into private scratch
+  // stores that are spliced in request order, so record ids and trail
+  // ordering stay identical to the sequential path.
   workload::Scenario scenario = SmallScenario(47);
   std::vector<profile::HumanProfile> profiles(scenario.curators.members());
   std::vector<profile::HumanProfile*> pointers;

@@ -32,6 +32,8 @@ TEST(EvorecHeaderTest, InstantiatesOneTypePerLayer) {
   // version
   version::VersionId version_id = 0;
   EXPECT_EQ(version_id, 0u);
+  version::ShardedKnowledgeBase sharded;
+  EXPECT_TRUE(sharded.InternallySynchronized());
 
   // delta
   delta::LowLevelDelta low_delta;
