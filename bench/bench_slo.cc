@@ -1,0 +1,268 @@
+// E16 — production-shaped SLO harness: every StreamGenerator mode
+// (bursty commit storms, Zipf-skewed reads, adversarial churn, schema
+// shockwaves) is replayed through a RecommendationService over a
+// 4-shard KB, and the service's own streaming LatencyRecorders supply
+// the per-request p50/p95/p99/p999/max that the declared SLOs are
+// checked against. The figure tables are the SloReport verdicts for
+// the read path and the commit path; the timing section measures the
+// recorder itself (record + summary cost) and steady-state read
+// serving per mode, exporting read-path percentiles as counters.
+//
+// Honesty note: the declared thresholds are deliberately loose —
+// they bound pathological regressions (an accidental O(store) scan on
+// the serving path), not host speed. The observed-percentile columns
+// are the figure; the verdict column is the regression tripwire.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "version/sharded_kb.h"
+
+namespace evorec::bench {
+namespace {
+
+using version::ShardedKnowledgeBase;
+using version::VersionId;
+using workload::StreamEvent;
+using workload::StreamMode;
+using workload::WorkloadStream;
+
+constexpr StreamMode kAllModes[] = {
+    StreamMode::kBurstyCommits, StreamMode::kZipfReads,
+    StreamMode::kAdversarialChurn, StreamMode::kSchemaShockwave};
+
+workload::Scenario SloScenario(uint64_t seed) {
+  // The E15 serving scale: context builds dominate a cold request,
+  // yet a full 4-mode sweep stays in seconds.
+  workload::ScenarioScale scale;
+  scale.classes = 80;
+  scale.properties = 28;
+  scale.instances = 1200;
+  scale.edges = 2200;
+  scale.versions = 2;
+  scale.operations = 300;
+  return workload::MakeDbpediaLike(seed, scale);
+}
+
+workload::StreamOptions SloStreamOptions(StreamMode mode) {
+  workload::StreamOptions options;
+  options.mode = mode;
+  options.reads = 120;
+  options.commits = 8;
+  options.population = 24;
+  options.ops_per_commit = 12;
+  options.burst_on = 4;
+  options.burst_off = 30;
+  options.flap_block = 10;
+  options.seed = 1600 + static_cast<uint64_t>(mode);
+  return options;
+}
+
+std::unique_ptr<ShardedKnowledgeBase> ShardScenario(
+    const workload::Scenario& scenario, size_t shards) {
+  auto base = scenario.vkb->Snapshot(0);
+  if (!base.ok()) return nullptr;
+  auto sharded = std::make_unique<ShardedKnowledgeBase>(
+      ShardedKnowledgeBase::Options{.shards = shards}, **base);
+  for (VersionId v = 1; v <= scenario.vkb->head(); ++v) {
+    auto cs = scenario.vkb->Changes(v);
+    if (!cs.ok()) return nullptr;
+    if (!sharded->Commit(std::move(cs).value(), "replay", "seed", v).ok()) {
+      return nullptr;
+    }
+  }
+  return sharded;
+}
+
+engine::ServiceOptions SloServiceOptions() {
+  engine::ServiceOptions options;
+  options.recommender.record_seen = false;
+  options.engine.threads = 4;
+  return options;
+}
+
+// Replays the whole stream in event order through the service — reads
+// one request at a time (each with a fresh profile copy, the serving
+// diet of a stateless frontend), commits through the full
+// commit-plus-refresh path. Returns false on any failure.
+bool ReplayStream(engine::RecommendationService& service,
+                  ShardedKnowledgeBase& sharded, const WorkloadStream& stream) {
+  size_t commit_index = 0;
+  for (const StreamEvent& event : stream.events) {
+    if (event.kind == StreamEvent::Kind::kRead) {
+      profile::HumanProfile prof = stream.users[event.user];
+      auto list = service.Recommend(sharded, event.before, event.after, prof);
+      if (!list.ok()) return false;
+      benchmark::DoNotOptimize(list->items.size());
+    } else {
+      version::ChangeSet copy = event.changes;
+      auto id = service.Commit(sharded, std::move(copy), "stream",
+                               "c" + std::to_string(commit_index++),
+                               event.timestamp_us);
+      if (!id.ok()) return false;
+    }
+  }
+  return true;
+}
+
+// Loose-by-design regression bounds (see the honesty note above).
+SloThreshold ReadSlo() {
+  SloThreshold slo;
+  slo.p99_us = 2e6;   // 2 s
+  slo.max_us = 10e6;  // 10 s
+  return slo;
+}
+
+SloThreshold CommitSlo() {
+  SloThreshold slo;
+  slo.p99_us = 5e6;   // 5 s
+  slo.max_us = 20e6;  // 20 s
+  return slo;
+}
+
+void PrintSloTables() {
+  PrintHeader(
+      "E16 — SLO percentiles under production-shaped streams",
+      "per-request latency distributions stay bounded across bursty "
+      "commit storms, Zipf-skewed reads, adversarial churn and schema "
+      "shockwaves; percentiles come from the service's own streaming "
+      "recorder (bounded relative error, one relaxed increment per "
+      "sample)");
+
+  const measures::MeasureRegistry registry = measures::DefaultRegistry();
+  SloReport read_report;
+  SloReport commit_report;
+  for (StreamMode mode : kAllModes) {
+    workload::Scenario scenario =
+        SloScenario(161 + static_cast<uint64_t>(mode));
+    WorkloadStream stream =
+        workload::GenerateStream(scenario, SloStreamOptions(mode));
+    auto sharded = ShardScenario(scenario, 4);
+    if (sharded == nullptr) continue;
+
+    engine::RecommendationService service(registry, SloServiceOptions());
+    if (!service.WarmStart(*sharded, 0, 1).ok()) continue;
+    service.ResetLatency();  // the replay is the recorded section
+    if (!ReplayStream(service, *sharded, stream)) continue;
+
+    const std::string name = workload::StreamModeName(mode);
+    read_report.Add(name + " reads", service.read_latency().Summary(),
+                    ReadSlo());
+    commit_report.Add(name + " commits", service.commit_latency().Summary(),
+                      CommitSlo());
+  }
+
+  std::printf("read path (one sample per served request):\n%s",
+              read_report.ToTable().c_str());
+  std::printf("\ncommit path (commit + incremental engine refresh):\n%s",
+              commit_report.ToTable().c_str());
+  std::printf("\nSLO verdict: %s\n",
+              read_report.AllMet() && commit_report.AllMet()
+                  ? "ALL MET"
+                  : "VIOLATED (see rows above)");
+  std::printf(
+      "expected shape: read percentiles sit far below the declared "
+      "bounds in every mode (warm serves are cache hits), the commit "
+      "tail is widest under schema-shockwave (full-frontier refresh), "
+      "and the p999/max gap stays small — no hidden O(store) work on "
+      "either path.\n");
+}
+
+// Timing section — the committed BENCH_* evidence.
+
+// One sample into the streaming recorder: the cost added to every
+// served request (claimed: one relaxed increment + two CAS reads).
+void BM_LatencyRecorderRecord(benchmark::State& state) {
+  LatencyRecorder recorder;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    recorder.Record(static_cast<double>(v));
+    v = v * 2862933555777941757ull + 3037000493ull;  // cheap LCG spread
+  }
+  benchmark::DoNotOptimize(recorder.count());
+}
+BENCHMARK(BM_LatencyRecorderRecord)->Unit(benchmark::kNanosecond);
+
+// Full percentile summary over a populated recorder: the cost of one
+// SLO report row (a bucket walk, no sample sort).
+void BM_LatencyRecorderSummary(benchmark::State& state) {
+  LatencyRecorder recorder;
+  uint64_t v = 1;
+  for (size_t i = 0; i < 100000; ++i) {
+    recorder.Record(static_cast<double>(v % 1000000));
+    v = v * 2862933555777941757ull + 3037000493ull;
+  }
+  for (auto _ : state) {
+    PercentileSummary summary = recorder.Summary();
+    benchmark::DoNotOptimize(summary.p99_us);
+  }
+}
+BENCHMARK(BM_LatencyRecorderSummary)->Unit(benchmark::kMicrosecond);
+
+// Steady-state read serving per stream mode: every commit of the mode's
+// stream is pre-landed, then the stream's read schedule is served
+// round-robin against warm caches. Exports the service recorder's
+// p50/p99 as counters — the timed mean plus its tail in one row.
+void BM_StreamReadServe(benchmark::State& state) {
+  const StreamMode mode = kAllModes[state.range(0)];
+  const measures::MeasureRegistry registry = measures::DefaultRegistry();
+  workload::Scenario scenario = SloScenario(161 + static_cast<uint64_t>(mode));
+  WorkloadStream stream =
+      workload::GenerateStream(scenario, SloStreamOptions(mode));
+  auto sharded = ShardScenario(scenario, 4);
+  if (sharded == nullptr) {
+    state.SkipWithError("shard replay failed");
+    return;
+  }
+  engine::RecommendationService service(registry, SloServiceOptions());
+  size_t commit_index = 0;
+  for (const StreamEvent& event : stream.events) {
+    if (event.kind != StreamEvent::Kind::kCommit) continue;
+    version::ChangeSet copy = event.changes;
+    if (!service
+             .Commit(*sharded, std::move(copy), "stream",
+                     "c" + std::to_string(commit_index++), event.timestamp_us)
+             .ok()) {
+      state.SkipWithError("commit failed");
+      return;
+    }
+  }
+  std::vector<const StreamEvent*> reads;
+  for (const StreamEvent& event : stream.events) {
+    if (event.kind == StreamEvent::Kind::kRead) reads.push_back(&event);
+  }
+  if (reads.empty()) {
+    state.SkipWithError("no reads in stream");
+    return;
+  }
+  service.ResetLatency();
+  size_t next = 0;
+  for (auto _ : state) {
+    const StreamEvent& event = *reads[next % reads.size()];
+    profile::HumanProfile prof = stream.users[event.user];
+    auto list = service.Recommend(*sharded, event.before, event.after, prof);
+    if (!list.ok()) state.SkipWithError("read failed");
+    benchmark::DoNotOptimize(list.ok());
+    ++next;
+  }
+  const PercentileSummary summary = service.read_latency().Summary();
+  state.counters["p50_us"] = summary.p50_us;
+  state.counters["p99_us"] = summary.p99_us;
+}
+BENCHMARK(BM_StreamReadServe)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace evorec::bench
+
+int main(int argc, char** argv) {
+  evorec::bench::PrintSloTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,11 +3,16 @@
 # examples), run the full ctest suite. This is the exact sequence CI
 # runs and the gate every PR must keep green.
 #
-#   scripts/check.sh [--torture] [build-dir]
+#   scripts/check.sh [--torture|--scenarios] [build-dir]
 #
-#   --torture  run only the fault-injection and crash-recovery suites
-#              (the crash-point matrix) instead of the full suite —
-#              the quick loop while working on the storage layer.
+#   --torture    run only the fault-injection and crash-recovery
+#                suites (the crash-point matrix) instead of the full
+#                suite — the quick loop while working on the storage
+#                layer.
+#   --scenarios  run only the stream-workload suites (stressed replay
+#                vs sequential oracle, generator seed stability,
+#                degraded fan-out) — the quick loop while working on
+#                the workload generators or the serving path.
 #
 # Extra CMake arguments can be passed via CMAKE_ARGS, e.g.
 #   CMAKE_ARGS="-DEVOREC_BUILD_BENCHMARKS=OFF" scripts/check.sh
@@ -23,10 +28,12 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
 torture=0
+scenarios=0
 build_dir=""
 for arg in "$@"; do
   case "${arg}" in
     --torture) torture=1 ;;
+    --scenarios) scenarios=1 ;;
     *) build_dir="${arg}" ;;
   esac
 done
@@ -49,6 +56,9 @@ cmake --build "${build_dir}" -j "${jobs}"
 cd "${build_dir}"
 if [ "${torture}" -eq 1 ]; then
   ctest --output-on-failure -j "${jobs}" -R 'Fault|Torture|Degraded|RetryBackoff'
+elif [ "${scenarios}" -eq 1 ]; then
+  ctest --output-on-failure -j "${jobs}" \
+    -R 'ScenarioReplay|StreamGenerator|GeneratorSeedStability|Degraded'
 else
   ctest --output-on-failure -j "${jobs}"
 fi

@@ -1,0 +1,185 @@
+#include "common/percentile.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace evorec {
+namespace {
+
+constexpr size_t kSubBuckets = size_t{1} << LatencyRecorder::kSubBits;
+// Octaves kSubBits..63 each contribute kSubBuckets buckets on top of
+// the kSubBuckets exact unit buckets, covering the full uint64 range.
+constexpr size_t kBucketCount =
+    kSubBuckets + (64 - LatencyRecorder::kSubBits) * kSubBuckets;
+
+}  // namespace
+
+LatencyRecorder::LatencyRecorder()
+    : counts_(kBucketCount),
+      min_us_(std::numeric_limits<uint64_t>::max()) {}
+
+size_t LatencyRecorder::BucketOf(uint64_t micros) {
+  if (micros < kSubBuckets) return static_cast<size_t>(micros);
+  const size_t octave = std::bit_width(micros) - 1;  // >= kSubBits
+  const size_t sub =
+      static_cast<size_t>(micros >> (octave - kSubBits)) - kSubBuckets;
+  return kSubBuckets + (octave - kSubBits) * kSubBuckets + sub;
+}
+
+uint64_t LatencyRecorder::BucketUpperBound(size_t bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  const size_t octave = (bucket - kSubBuckets) / kSubBuckets + kSubBits;
+  const size_t sub = (bucket - kSubBuckets) % kSubBuckets;
+  const uint64_t width = uint64_t{1} << (octave - kSubBits);
+  const uint64_t lower = (kSubBuckets + sub) * width;
+  return lower + width - 1;
+}
+
+void LatencyRecorder::Record(double micros) { RecordN(micros, 1); }
+
+void LatencyRecorder::RecordN(double micros, uint64_t n) {
+  if (n == 0) return;
+  if (!(micros > 0.0)) micros = 0.0;
+  const uint64_t v = static_cast<uint64_t>(std::llround(micros));
+  counts_[BucketOf(v)].fetch_add(n, std::memory_order_relaxed);
+  total_.fetch_add(n, std::memory_order_relaxed);
+  sum_us_.fetch_add(v * n, std::memory_order_relaxed);
+  uint64_t seen = min_us_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_us_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_us_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_us_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const uint64_t n = other.counts_[b].load(std::memory_order_relaxed);
+    if (n != 0) counts_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  total_.fetch_add(other.total_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_us_.fetch_add(other.sum_us_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  const uint64_t other_min = other.min_us_.load(std::memory_order_relaxed);
+  uint64_t seen = min_us_.load(std::memory_order_relaxed);
+  while (other_min < seen && !min_us_.compare_exchange_weak(
+                                 seen, other_min, std::memory_order_relaxed)) {
+  }
+  const uint64_t other_max = other.max_us_.load(std::memory_order_relaxed);
+  seen = max_us_.load(std::memory_order_relaxed);
+  while (other_max > seen && !max_us_.compare_exchange_weak(
+                                 seen, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyRecorder::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+  min_us_.store(std::numeric_limits<uint64_t>::max(),
+                std::memory_order_relaxed);
+  max_us_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t LatencyRecorder::count() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+double LatencyRecorder::ValueAtPercentile(double p) const {
+  const uint64_t total = total_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 * total)));
+  uint64_t seen = 0;
+  double value = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      value = static_cast<double>(BucketUpperBound(b));
+      break;
+    }
+  }
+  const double lo = static_cast<double>(min_us_.load(std::memory_order_relaxed));
+  const double hi = static_cast<double>(max_us_.load(std::memory_order_relaxed));
+  return std::clamp(value, lo, hi);
+}
+
+PercentileSummary LatencyRecorder::Summary() const {
+  PercentileSummary s;
+  s.count = total_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.mean_us = static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+              static_cast<double>(s.count);
+  s.min_us = static_cast<double>(min_us_.load(std::memory_order_relaxed));
+  s.max_us = static_cast<double>(max_us_.load(std::memory_order_relaxed));
+  s.p50_us = ValueAtPercentile(50.0);
+  s.p90_us = ValueAtPercentile(90.0);
+  s.p95_us = ValueAtPercentile(95.0);
+  s.p99_us = ValueAtPercentile(99.0);
+  s.p999_us = ValueAtPercentile(99.9);
+  return s;
+}
+
+void SloReport::Add(const std::string& scenario,
+                    const PercentileSummary& observed,
+                    const SloThreshold& slo) {
+  Row row;
+  row.scenario = scenario;
+  row.observed = observed;
+  row.slo = slo;
+  const struct {
+    const char* name;
+    double observed_us;
+    double limit_us;
+  } checks[] = {
+      {"p50", observed.p50_us, slo.p50_us},
+      {"p95", observed.p95_us, slo.p95_us},
+      {"p99", observed.p99_us, slo.p99_us},
+      {"p999", observed.p999_us, slo.p999_us},
+      {"max", observed.max_us, slo.max_us},
+  };
+  for (const auto& check : checks) {
+    if (check.limit_us > 0.0 && check.observed_us > check.limit_us) {
+      std::ostringstream msg;
+      msg << check.name << " " << check.observed_us << "us > "
+          << check.limit_us << "us";
+      row.violations.push_back(msg.str());
+      row.passed = false;
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+bool SloReport::AllMet() const {
+  return std::all_of(rows_.begin(), rows_.end(),
+                     [](const Row& r) { return r.passed; });
+}
+
+std::string SloReport::ToTable() const {
+  TablePrinter table({"scenario", "count", "p50_ms", "p95_ms", "p99_ms",
+                      "p999_ms", "max_ms", "slo_p99_ms", "verdict"});
+  for (const Row& row : rows_) {
+    table.AddRow({row.scenario, TablePrinter::Cell(row.observed.count),
+                  TablePrinter::Cell(row.observed.p50_us / 1000.0, 3),
+                  TablePrinter::Cell(row.observed.p95_us / 1000.0, 3),
+                  TablePrinter::Cell(row.observed.p99_us / 1000.0, 3),
+                  TablePrinter::Cell(row.observed.p999_us / 1000.0, 3),
+                  TablePrinter::Cell(row.observed.max_us / 1000.0, 3),
+                  row.slo.p99_us > 0.0
+                      ? TablePrinter::Cell(row.slo.p99_us / 1000.0, 3)
+                      : std::string("-"),
+                  row.passed ? "PASS" : "FAIL"});
+  }
+  return table.ToString();
+}
+
+}  // namespace evorec

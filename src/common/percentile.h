@@ -1,0 +1,120 @@
+#ifndef EVOREC_COMMON_PERCENTILE_H_
+#define EVOREC_COMMON_PERCENTILE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evorec {
+
+/// Point-in-time percentile snapshot of a LatencyRecorder. All values
+/// are microseconds. Percentile values carry the recorder's bounded
+/// relative error (kMaxRelativeError); min/max/count/mean are exact.
+struct PercentileSummary {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double min_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Streaming latency recorder with HDR-histogram-style log-linear
+/// buckets: values below 2^kSubBits land in exact unit buckets, larger
+/// values in per-octave sub-buckets of width 2^(octave-kSubBits), so
+/// every reported percentile is within kMaxRelativeError of the true
+/// sample. Recording is one relaxed atomic increment (plus two CAS
+/// loops for exact min/max), safe to call concurrently from every
+/// serving thread; it never allocates after construction.
+///
+/// Readers (Summary, ValueAtPercentile) may run concurrently with
+/// writers and observe some torn-but-monotone state; for reporting,
+/// call them after the recorded section completes. Non-copyable
+/// because of the atomic bins — use Merge() to combine per-thread
+/// recorders.
+class LatencyRecorder {
+ public:
+  static constexpr size_t kSubBits = 5;  // 32 sub-buckets per octave
+  static constexpr double kMaxRelativeError = 1.0 / (1u << kSubBits);
+
+  LatencyRecorder();
+  LatencyRecorder(const LatencyRecorder&) = delete;
+  LatencyRecorder& operator=(const LatencyRecorder&) = delete;
+
+  /// Records one sample, in microseconds. Negative values clamp to 0.
+  void Record(double micros);
+
+  /// Records `n` samples of the same value (e.g. a batch of n requests
+  /// that all completed after the batch's wall time).
+  void RecordN(double micros, uint64_t n);
+
+  /// Adds every sample recorded by `other` into this recorder.
+  void Merge(const LatencyRecorder& other);
+
+  /// Forgets all recorded samples.
+  void Reset();
+
+  uint64_t count() const;
+
+  /// Value at percentile p in [0,100], in microseconds; 0 when empty.
+  /// Reported values are clamped into [min, max] of the true samples.
+  double ValueAtPercentile(double p) const;
+
+  PercentileSummary Summary() const;
+
+ private:
+  static size_t BucketOf(uint64_t micros);
+  static uint64_t BucketUpperBound(size_t bucket);
+
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> min_us_;
+  std::atomic<uint64_t> max_us_{0};
+};
+
+/// Per-scenario latency SLO declaration, in microseconds. A threshold
+/// of 0 means "not checked" for that statistic.
+struct SloThreshold {
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Collects (scenario, observed percentiles, declared SLO) rows and
+/// renders the verdict table used by bench_slo (E16). A row passes
+/// when every non-zero threshold is >= the observed value.
+class SloReport {
+ public:
+  struct Row {
+    std::string scenario;
+    PercentileSummary observed;
+    SloThreshold slo;
+    bool passed = true;
+    std::vector<std::string> violations;  // e.g. "p99 1234us > 1000us"
+  };
+
+  void Add(const std::string& scenario, const PercentileSummary& observed,
+           const SloThreshold& slo);
+
+  bool AllMet() const;
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Renders scenario | count | p50 | p95 | p99 | p999 | max | SLO p99 |
+  /// verdict as an aligned table (microsecond columns in milliseconds).
+  std::string ToTable() const;
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace evorec
+
+#endif  // EVOREC_COMMON_PERCENTILE_H_

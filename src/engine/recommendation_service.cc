@@ -3,6 +3,8 @@
 #include <functional>
 #include <utility>
 
+#include "common/stopwatch.h"
+
 namespace evorec::engine {
 
 RecommendationService::RecommendationService(
@@ -109,6 +111,7 @@ Result<version::VersionId> RecommendationService::Commit(
 Result<version::VersionId> RecommendationService::Commit(
     version::KbView& view, version::ChangeSet changes, std::string author,
     std::string message, uint64_t timestamp) {
+  Stopwatch watch;
   auto refreshed =
       engine_.CommitAndRefresh(view, std::move(changes), std::move(author),
                                std::move(message), timestamp, options_.context);
@@ -132,6 +135,7 @@ Result<version::VersionId> RecommendationService::Commit(
     return reports.status();
   }
   MarkCommitSucceeded();
+  commit_latency_.Record(watch.ElapsedMicros());
   return refreshed->version;
 }
 
@@ -145,6 +149,7 @@ Result<recommend::RecommendationList> RecommendationService::Recommend(
 Result<recommend::RecommendationList> RecommendationService::Recommend(
     const version::KbView& view, version::VersionId v1, version::VersionId v2,
     profile::HumanProfile& prof) {
+  Stopwatch watch;
   std::shared_ptr<const recommend::SharedRunState> state;
   bool degraded = false;
   auto evaluation = WarmOrFallback(view, v1, v2, &state, &degraded);
@@ -154,6 +159,7 @@ Result<recommend::RecommendationList> RecommendationService::Recommend(
     list->degraded = true;
     CountDegradedServes(1);
   }
+  if (list.ok()) read_latency_.Record(watch.ElapsedMicros());
   return list;
 }
 
@@ -167,6 +173,7 @@ Result<recommend::RecommendationList> RecommendationService::RecommendGroup(
 Result<recommend::RecommendationList> RecommendationService::RecommendGroup(
     const version::KbView& view, version::VersionId v1, version::VersionId v2,
     profile::Group& group) {
+  Stopwatch watch;
   std::shared_ptr<const recommend::SharedRunState> state;
   bool degraded = false;
   auto evaluation = WarmOrFallback(view, v1, v2, &state, &degraded);
@@ -176,6 +183,7 @@ Result<recommend::RecommendationList> RecommendationService::RecommendGroup(
     list->degraded = true;
     CountDegradedServes(1);
   }
+  if (list.ok()) read_latency_.Record(watch.ElapsedMicros());
   return list;
 }
 
@@ -260,6 +268,7 @@ RecommendationService::RecommendBatch(
       return InvalidArgumentError("RecommendBatch: null profile");
     }
   }
+  Stopwatch watch;
   std::shared_ptr<const recommend::SharedRunState> state;
   bool degraded = false;
   auto evaluation = WarmOrFallback(view, v1, v2, &state, &degraded);
@@ -305,6 +314,9 @@ RecommendationService::RecommendBatch(
     }
     CountDegradedServes(results->size());
   }
+  // Every request in the batch completed when the batch did: n samples
+  // of the batch's wall time is each request's observed latency.
+  if (results.ok()) read_latency_.RecordN(watch.ElapsedMicros(), n);
   return results;
 }
 
@@ -325,6 +337,7 @@ RecommendationService::RecommendGroupBatch(
       return InvalidArgumentError("RecommendGroupBatch: null group");
     }
   }
+  Stopwatch watch;
   std::shared_ptr<const recommend::SharedRunState> state;
   bool degraded = false;
   auto evaluation = WarmOrFallback(view, v1, v2, &state, &degraded);
@@ -364,6 +377,7 @@ RecommendationService::RecommendGroupBatch(
     }
     CountDegradedServes(results->size());
   }
+  if (results.ok()) read_latency_.RecordN(watch.ElapsedMicros(), n);
   return results;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "anonymity/access_policy.h"
+#include "common/percentile.h"
 #include "common/result.h"
 #include "engine/evaluation_engine.h"
 #include "measures/measure_context.h"
@@ -186,6 +187,20 @@ class RecommendationService {
   ServiceHealth health() const;
   HealthState health_state() const { return health().state; }
 
+  /// Per-request latency recorders on the serving path (E16). Every
+  /// successful read entry point records one sample per served request
+  /// — a batch of n profiles records n samples of the batch's wall
+  /// time, because that is when each of its requests completed — and
+  /// every successful Commit records one sample. Recording is a
+  /// relaxed atomic increment, safe under full concurrent fan-out;
+  /// failed requests are not recorded (they are counted by health()).
+  const LatencyRecorder& read_latency() const { return read_latency_; }
+  const LatencyRecorder& commit_latency() const { return commit_latency_; }
+  void ResetLatency() {
+    read_latency_.Reset();
+    commit_latency_.Reset();
+  }
+
   EvaluationEngine& engine() { return engine_; }
   const recommend::Recommender& recommender() const { return recommender_; }
   EngineStats engine_stats() const { return engine_.stats(); }
@@ -226,6 +241,8 @@ class RecommendationService {
   provenance::ProvenanceStore* provenance_ = nullptr;
   mutable std::mutex health_mu_;
   ServiceHealth health_;
+  LatencyRecorder read_latency_;
+  LatencyRecorder commit_latency_;
 };
 
 }  // namespace evorec::engine

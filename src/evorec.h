@@ -33,6 +33,7 @@
 #include "anonymity/kanonymity.h"
 #include "common/binary_io.h"
 #include "common/env.h"
+#include "common/percentile.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/statistics.h"
@@ -105,5 +106,6 @@
 #include "workload/profile_generator.h"
 #include "workload/scenarios.h"
 #include "workload/schema_generator.h"
+#include "workload/stream_generator.h"
 
 #endif  // EVOREC_EVOREC_H_

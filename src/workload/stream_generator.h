@@ -1,0 +1,112 @@
+#ifndef EVOREC_WORKLOAD_STREAM_GENERATOR_H_
+#define EVOREC_WORKLOAD_STREAM_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "profile/profile.h"
+#include "version/version.h"
+#include "workload/profile_generator.h"
+#include "workload/scenarios.h"
+
+namespace evorec::workload {
+
+/// Production-shaped traffic patterns a WorkloadStream can emulate.
+enum class StreamMode {
+  /// On/off duty cycle: long read-only stretches punctuated by storms
+  /// of back-to-back commits.
+  kBurstyCommits,
+  /// Steady interleave; readers drawn from a Zipf-skewed popularity
+  /// distribution over the profile population (a few hot users own
+  /// most of the traffic).
+  kZipfReads,
+  /// E4's heavy-noise pattern scaled up (large instance-churn commits)
+  /// plus a fixed block of triples that is flapped — removed when
+  /// present, re-added when absent — on every commit.
+  kAdversarialChurn,
+  /// Schema-refactor shockwaves: each commit mass-reparents a fraction
+  /// of the class hierarchy (plus schema-heavy noise), forcing the
+  /// engine through its full-frontier refresh path.
+  kSchemaShockwave,
+};
+
+const char* StreamModeName(StreamMode mode);
+
+/// Parameters of one generated stream. Everything is deterministic per
+/// (scenario, seed): regenerating the same scenario and calling
+/// GenerateStream with equal options yields a byte-identical stream.
+struct StreamOptions {
+  StreamMode mode = StreamMode::kZipfReads;
+  /// Read events to emit.
+  size_t reads = 240;
+  /// Commit events to emit.
+  size_t commits = 8;
+  /// Size of the profile population reads are drawn from.
+  size_t population = 48;
+  /// Zipf exponent for kZipfReads user picks (others draw uniformly).
+  double zipf_exponent = 1.1;
+  /// Fraction of reads served over an older adjacent version pair
+  /// instead of (head-1, head).
+  double historical_fraction = 0.2;
+  /// kBurstyCommits: commits per storm / reads between storms.
+  size_t burst_on = 4;
+  size_t burst_off = 48;
+  /// Generator operations per commit (adversarial churn triples this).
+  size_t ops_per_commit = 12;
+  /// kAdversarialChurn: size of the flapped triple block.
+  size_t flap_block = 10;
+  /// kSchemaShockwave: fraction of reparentable classes moved per
+  /// commit.
+  double shockwave_fraction = 0.3;
+  /// Mean virtual inter-arrival gap (exponential), microseconds.
+  double mean_gap_us = 250.0;
+  ProfileGenOptions profile;
+  uint64_t seed = 17;
+};
+
+/// One timestamped event: either a read (serve `user` over the version
+/// pair `before` -> `after`) or a commit of `changes`.
+struct StreamEvent {
+  enum class Kind { kRead, kCommit };
+  Kind kind = Kind::kRead;
+  uint64_t timestamp_us = 0;
+  /// Read: index into WorkloadStream::users.
+  size_t user = 0;
+  /// Read: version pair to serve, valid once all prior commit events
+  /// in the stream have landed.
+  version::VersionId before = 0;
+  version::VersionId after = 0;
+  /// Commit payload (empty for reads).
+  version::ChangeSet changes;
+};
+
+/// A generated event stream plus the population it reads from. Version
+/// ids in read events assume every prior commit event lands in stream
+/// order on top of the scenario's `base_head`.
+struct WorkloadStream {
+  std::string name;
+  StreamMode mode = StreamMode::kZipfReads;
+  StreamOptions options;
+  std::vector<StreamEvent> events;
+  std::vector<profile::HumanProfile> users;
+  /// Scenario head version when the stream was generated.
+  version::VersionId base_head = 0;
+  size_t read_count = 0;
+  size_t commit_count = 0;
+  /// Total |delta| (additions + removals) across all commit events.
+  size_t change_triples = 0;
+};
+
+/// Generates a stream against the scenario's head snapshot. Commit
+/// change sets are state-consistent when applied in stream order
+/// (removals name present triples, additions absent ones). Fresh IRIs
+/// are interned into the scenario's shared dictionary here, at
+/// generation time, so replaying the events against a
+/// ShardedKnowledgeBase needs no interning on the commit path.
+/// Deterministic per (scenario, options.seed).
+WorkloadStream GenerateStream(Scenario& scenario,
+                              const StreamOptions& options);
+
+}  // namespace evorec::workload
+
+#endif  // EVOREC_WORKLOAD_STREAM_GENERATOR_H_

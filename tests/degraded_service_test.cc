@@ -245,5 +245,106 @@ TEST(DegradedServiceTest, ReadersNeverGoDarkWhileCommitsFlap) {
   EXPECT_EQ(health.failed_commits, 3u);
 }
 
+// Regression: RecommendationList::degraded must propagate through
+// every RecommendBatch fan-out flavour, not just the single-request
+// path — the parallel scratch-provenance batch, the plain parallel
+// ServeAll batch, and the group-batch fan-out all flag their results
+// while degraded, and all stop flagging after recovery.
+TEST(DegradedServiceTest, BatchFanOutPathsPropagateDegradedFlag) {
+  DegradedFixture fx;
+  ServiceOptions service_options;
+  service_options.engine.threads = 4;
+  service_options.parallel_batches = true;
+  RecommendationService service(fx.registry, service_options);
+  provenance::ProvenanceStore store;
+  service.AttachProvenance(&store);
+
+  auto v1 = service.Commit(fx.vkb, NextChanges(fx.vkb, 1), "svc", "c1");
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+
+  auto base_kb = fx.vkb.Snapshot(0);
+  ASSERT_TRUE(base_kb.ok());
+  std::vector<profile::HumanProfile> profiles;
+  for (int i = 0; i < 4; ++i) {
+    profiles.push_back(MakeUser(**base_kb, "reader" + std::to_string(i)));
+  }
+  std::vector<profile::HumanProfile*> pointers;
+  for (profile::HumanProfile& prof : profiles) pointers.push_back(&prof);
+  profile::Group team("team");
+  team.AddMember(profiles[0]);
+  team.AddMember(profiles[1]);
+  profile::Group pair("pair");
+  pair.AddMember(profiles[2]);
+  pair.AddMember(profiles[3]);
+  std::vector<profile::Group*> groups = {&team, &pair};
+
+  // Healthy baseline: no flavour flags anything.
+  auto batch = service.RecommendBatch(fx.vkb, 0, 1, pointers);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  for (const recommend::RecommendationList& list : *batch) {
+    EXPECT_FALSE(list.degraded);
+  }
+  auto group_batch = service.RecommendGroupBatch(fx.vkb, 0, 1, groups);
+  ASSERT_TRUE(group_batch.ok()) << group_batch.status().ToString();
+  for (const recommend::RecommendationList& list : *group_batch) {
+    EXPECT_FALSE(list.degraded);
+  }
+
+  // Degrade the service.
+  FaultPlan plan;
+  plan.fail_writes = 10;
+  fx.env.set_plan(plan);
+  EXPECT_FALSE(service.Commit(fx.vkb, NextChanges(fx.vkb, 2), "svc", "c2").ok());
+  ASSERT_EQ(service.health_state(), HealthState::kDegraded);
+  const uint64_t degraded_before = service.health().degraded_serves;
+
+  // Parallel batch through the scratch-provenance splice path.
+  batch = service.RecommendBatch(fx.vkb, 0, 1, pointers);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), pointers.size());
+  for (const recommend::RecommendationList& list : *batch) {
+    EXPECT_TRUE(list.degraded);
+  }
+  EXPECT_GT(store.size(), 0u);
+
+  // Group-batch fan-out (scratch-provenance flavour).
+  group_batch = service.RecommendGroupBatch(fx.vkb, 0, 1, groups);
+  ASSERT_TRUE(group_batch.ok()) << group_batch.status().ToString();
+  ASSERT_EQ(group_batch->size(), groups.size());
+  for (const recommend::RecommendationList& list : *group_batch) {
+    EXPECT_TRUE(list.degraded);
+  }
+
+  // Plain parallel ServeAll fan-out (no provenance attached).
+  service.AttachProvenance(nullptr);
+  batch = service.RecommendBatch(fx.vkb, 0, 1, pointers);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  for (const recommend::RecommendationList& list : *batch) {
+    EXPECT_TRUE(list.degraded);
+  }
+  group_batch = service.RecommendGroupBatch(fx.vkb, 0, 1, groups);
+  ASSERT_TRUE(group_batch.ok()) << group_batch.status().ToString();
+  for (const recommend::RecommendationList& list : *group_batch) {
+    EXPECT_TRUE(list.degraded);
+  }
+  // Every flagged result is counted: 4 + 2 + 4 + 2.
+  EXPECT_EQ(service.health().degraded_serves, degraded_before + 12);
+
+  // Recovery clears the flag on the same paths.
+  fx.env.ClearFaults();
+  auto v2 = service.Commit(fx.vkb, NextChanges(fx.vkb, 3), "svc", "c3");
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  batch = service.RecommendBatch(fx.vkb, 0, 1, pointers);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  for (const recommend::RecommendationList& list : *batch) {
+    EXPECT_FALSE(list.degraded);
+  }
+  group_batch = service.RecommendGroupBatch(fx.vkb, 0, 1, groups);
+  ASSERT_TRUE(group_batch.ok()) << group_batch.status().ToString();
+  for (const recommend::RecommendationList& list : *group_batch) {
+    EXPECT_FALSE(list.degraded);
+  }
+}
+
 }  // namespace
 }  // namespace evorec
