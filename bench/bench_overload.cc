@@ -1,0 +1,431 @@
+// E17 — overload robustness: goodput and admitted-tail latency with
+// admission control on vs off, offered load at 2x measured capacity.
+//
+// Method: a single-worker queue simulation in *virtual* time. The
+// serving cost of one warm request is measured for real (wall clock),
+// then a constant arrival stream at twice that service rate is pushed
+// through a RecommendationService whose Env clock is a scripted
+// FaultInjectionEnv — so the admission controller's queue-time cap
+// sees exactly the virtual waits the queue model produces, while each
+// admitted request still pays its real serving cost. The unprotected
+// baseline serves everything and its tail latency grows with queue
+// depth; the protected run sheds rotted requests and keeps the
+// admitted tail inside the SLO at ~capacity goodput.
+//
+// Honesty note: the verdict thresholds (p99 within 8x one service
+// time, goodput within 10% of capacity, baseline blow-up >= 10x) are
+// deliberately coarse — they check the control loop works, not host
+// speed. The printed table is the figure; the timed section measures
+// the admission/breaker primitives themselves (the cost added to every
+// request).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "storage/fault_env.h"
+#include "version/sharded_kb.h"
+
+namespace evorec::bench {
+namespace {
+
+using engine::AdmissionController;
+using engine::AdmissionLane;
+using engine::AdmissionOptions;
+using engine::BreakerOptions;
+using engine::CircuitBreaker;
+using storage::FaultInjectionEnv;
+using version::ShardedKnowledgeBase;
+using version::VersionId;
+
+workload::Scenario OverloadScenario(uint64_t seed) {
+  workload::ScenarioScale scale;
+  scale.classes = 80;
+  scale.properties = 28;
+  scale.instances = 1200;
+  scale.edges = 2200;
+  scale.versions = 2;
+  scale.operations = 300;
+  return workload::MakeDbpediaLike(seed, scale);
+}
+
+std::unique_ptr<ShardedKnowledgeBase> ShardScenario(
+    const workload::Scenario& scenario, size_t shards) {
+  auto base = scenario.vkb->Snapshot(0);
+  if (!base.ok()) return nullptr;
+  auto sharded = std::make_unique<ShardedKnowledgeBase>(
+      ShardedKnowledgeBase::Options{.shards = shards}, **base);
+  for (VersionId v = 1; v <= scenario.vkb->head(); ++v) {
+    auto cs = scenario.vkb->Changes(v);
+    if (!cs.ok()) return nullptr;
+    if (!sharded->Commit(std::move(cs).value(), "replay", "seed", v).ok()) {
+      return nullptr;
+    }
+  }
+  return sharded;
+}
+
+struct SimResult {
+  size_t offered = 0;
+  size_t served = 0;
+  size_t shed = 0;
+  double virtual_seconds = 0.0;  ///< simulated duration
+  double goodput_rps = 0.0;      ///< served / virtual duration
+  PercentileSummary e2e;         ///< admitted end-to-end (wait + service)
+};
+
+// Single-worker queue at constant offered rate. Requests arrive every
+// `gap_us` of virtual time; the worker serves them FIFO, each serve
+// costing its real measured wall time. Admission (when the service has
+// it enabled) decides at dequeue; a shed request frees the worker
+// immediately.
+SimResult SimulateConstantLoad(engine::RecommendationService& service,
+                               FaultInjectionEnv& env,
+                               ShardedKnowledgeBase& sharded,
+                               const std::vector<profile::HumanProfile>& users,
+                               size_t requests, double gap_us) {
+  SimResult out;
+  out.offered = requests;
+  LatencyRecorder e2e;
+  uint64_t clock_us = env.NowMicros();
+  double worker_free_us = 0.0;
+  for (size_t i = 0; i < requests; ++i) {
+    const double arrival_us = static_cast<double>(i) * gap_us;
+    // The worker picks the request up when both it and the request are
+    // ready; that instant is when admission sees it.
+    const double pickup_us = std::max(arrival_us, worker_free_us);
+    const uint64_t target_us = static_cast<uint64_t>(pickup_us);
+    if (target_us > clock_us) {
+      env.AdvanceClockMicros(target_us - clock_us);
+      clock_us = target_us;
+    }
+    RequestBudget budget;
+    budget.enqueue_us = static_cast<uint64_t>(arrival_us);
+    profile::HumanProfile prof = users[i % users.size()];
+    Stopwatch watch;
+    auto list = service.Recommend(sharded, 0, 1, prof, budget);
+    if (list.ok()) {
+      const double service_us = static_cast<double>(watch.ElapsedMicros());
+      worker_free_us = pickup_us + service_us;
+      e2e.Record(worker_free_us - arrival_us);
+      ++out.served;
+    } else {
+      // Shed at dequeue: the refusal itself is ~free in virtual time.
+      worker_free_us = pickup_us;
+      ++out.shed;
+    }
+  }
+  const double end_us = std::max(
+      worker_free_us, static_cast<double>(requests - 1) * gap_us);
+  out.virtual_seconds = end_us * 1e-6;
+  out.goodput_rps = out.virtual_seconds > 0.0
+                        ? static_cast<double>(out.served) / out.virtual_seconds
+                        : 0.0;
+  out.e2e = e2e.Summary();
+  return out;
+}
+
+void PrintOverloadTable() {
+  PrintHeader(
+      "E17 — goodput and tail latency past the capacity cliff",
+      "with deadline-aware admission control a service offered 2x its "
+      "capacity sheds the excess with typed errors and keeps admitted "
+      "p99 inside the SLO at ~capacity goodput; without it every "
+      "request is eventually served but the queue grows without bound "
+      "and the tail latency blows up by orders of magnitude");
+
+  const measures::MeasureRegistry registry = measures::DefaultRegistry();
+  workload::Scenario scenario = OverloadScenario(171);
+  auto sharded = ShardScenario(scenario, 4);
+  if (sharded == nullptr) {
+    std::printf("shard replay failed; skipping table\n");
+    return;
+  }
+
+  // A small user population served round-robin with fresh copies (the
+  // stateless-frontend diet; record_seen off so serves are pure).
+  std::vector<profile::HumanProfile> users;
+  for (int i = 0; i < 8; ++i) {
+    profile::HumanProfile prof = scenario.end_user;
+    users.push_back(std::move(prof));
+  }
+
+  // Measure the warm service time for real.
+  auto measure_service_us = [&](engine::RecommendationService& service) {
+    double total = 0.0;
+    constexpr int kProbes = 24;
+    for (int i = 0; i < kProbes; ++i) {
+      profile::HumanProfile prof = users[i % users.size()];
+      Stopwatch watch;
+      auto list = service.Recommend(*sharded, 0, 1, prof);
+      if (!list.ok()) return 0.0;
+      total += static_cast<double>(watch.ElapsedMicros());
+    }
+    return total / kProbes;
+  };
+
+  constexpr size_t kRequests = 600;
+  auto make_options = [&](FaultInjectionEnv* env, bool admission,
+                          double service_us) {
+    engine::ServiceOptions options;
+    options.recommender.record_seen = false;
+    options.engine.threads = 4;
+    options.env = env;
+    if (admission) {
+      options.overload.admission_enabled = true;
+      // Shed anything that rotted in queue longer than 5 service
+      // times: serving it would only push the SLO miss downstream.
+      options.overload.admission.max_queue_us =
+          static_cast<uint64_t>(5.0 * service_us);
+      options.overload.admission.max_in_flight = 0;  // queue cap decides
+    }
+    return options;
+  };
+
+  // Calibrate capacity on a throwaway unprotected service.
+  FaultInjectionEnv calibration_env;
+  engine::RecommendationService calibration(
+      registry, make_options(&calibration_env, false, 0.0));
+  if (!calibration.WarmStart(*sharded, 0, 1).ok()) {
+    std::printf("warm start failed; skipping table\n");
+    return;
+  }
+  const double service_us = measure_service_us(calibration);
+  if (service_us <= 0.0) {
+    std::printf("calibration failed; skipping table\n");
+    return;
+  }
+  const double capacity_rps = 1e6 / service_us;
+  const double gap_us = service_us / 2.0;  // offered = 2x capacity
+  const double slo_p99_us = 8.0 * service_us;
+
+  std::printf(
+      "calibrated warm service time: %.0f us  =>  capacity %.1f req/s, "
+      "offered %.1f req/s (2x), SLO p99 = %.0f us (8 service times)\n\n",
+      service_us, capacity_rps, 2.0 * capacity_rps, slo_p99_us);
+
+  SimResult results[2];
+  const char* labels[2] = {"no admission", "admission on"};
+  for (int run = 0; run < 2; ++run) {
+    FaultInjectionEnv env;
+    engine::RecommendationService service(
+        registry, make_options(&env, run == 1, service_us));
+    if (!service.WarmStart(*sharded, 0, 1).ok()) return;
+    results[run] =
+        SimulateConstantLoad(service, env, *sharded, users, kRequests, gap_us);
+  }
+
+  std::printf(
+      "%-14s %8s %8s %8s %12s %12s %12s %12s\n", "config", "offered",
+      "served", "shed", "goodput/s", "p50 us", "p99 us", "max us");
+  for (int run = 0; run < 2; ++run) {
+    const SimResult& r = results[run];
+    std::printf("%-14s %8zu %8zu %8zu %12.1f %12.0f %12.0f %12.0f\n",
+                labels[run], r.offered, r.served, r.shed, r.goodput_rps,
+                r.e2e.p50_us, r.e2e.p99_us, r.e2e.max_us);
+  }
+
+  const SimResult& base = results[0];
+  const SimResult& guarded = results[1];
+  const bool p99_in_slo = guarded.e2e.p99_us <= slo_p99_us;
+  const bool goodput_held =
+      guarded.goodput_rps >= 0.9 * std::min(capacity_rps, 2.0 * capacity_rps);
+  const bool baseline_blew =
+      base.e2e.p99_us >= 10.0 * guarded.e2e.p99_us;
+  std::printf(
+      "\nverdicts: admitted p99 within SLO: %s | goodput >= 90%% of "
+      "capacity: %s | unprotected p99 >= 10x protected: %s\n",
+      p99_in_slo ? "MET" : "VIOLATED", goodput_held ? "MET" : "VIOLATED",
+      baseline_blew ? "MET" : "VIOLATED");
+  std::printf(
+      "expected shape: the unprotected queue's wait grows linearly all "
+      "run long (its p99 is dominated by the final queue depth), while "
+      "the protected run's sheds hold every admitted wait under the "
+      "queue cap.\n");
+}
+
+// Ramp figure: the kOverloadRamp stream's arrival schedule replayed
+// through the protected simulation — sheds concentrate in the late,
+// past-capacity portion of the ramp.
+void PrintRampTable() {
+  PrintHeader(
+      "E17b — shed placement under a load ramp",
+      "as the overload-ramp stream pushes offered load from 1x toward "
+      "8x the base rate, shedding starts only once arrivals outpace "
+      "capacity and intensifies toward the end of the ramp");
+
+  const measures::MeasureRegistry registry = measures::DefaultRegistry();
+  workload::Scenario scenario = OverloadScenario(173);
+  auto sharded = ShardScenario(scenario, 4);
+  if (sharded == nullptr) {
+    std::printf("shard replay failed; skipping table\n");
+    return;
+  }
+
+  FaultInjectionEnv env;
+  engine::ServiceOptions options;
+  options.recommender.record_seen = false;
+  options.engine.threads = 4;
+  options.env = &env;
+  options.overload.admission_enabled = true;
+  engine::RecommendationService service(registry, options);
+  if (!service.WarmStart(*sharded, 0, 1).ok()) return;
+
+  // Calibrate, then generate a ramp whose base gap is comfortable
+  // (6x service time, ~17% utilization) and whose final gap is past
+  // capacity: the linear 1x->8x ramp crosses utilization 1.0 at
+  // ~70% of the stream, so shedding should concentrate in the last
+  // quartiles.
+  profile::HumanProfile probe = scenario.end_user;
+  Stopwatch watch;
+  if (!service.Recommend(*sharded, 0, 1, probe).ok()) return;
+  double service_us = static_cast<double>(watch.ElapsedMicros());
+  for (int i = 0; i < 7; ++i) {
+    profile::HumanProfile prof = scenario.end_user;
+    Stopwatch w;
+    if (!service.Recommend(*sharded, 0, 1, prof).ok()) return;
+    service_us = 0.5 * (service_us + static_cast<double>(w.ElapsedMicros()));
+  }
+  service.ResetLatency();
+
+  workload::StreamOptions stream_options;
+  stream_options.mode = workload::StreamMode::kOverloadRamp;
+  stream_options.reads = 400;
+  stream_options.commits = 0;
+  stream_options.population = 8;
+  stream_options.mean_gap_us = 6.0 * service_us;
+  stream_options.overload_factor = 8.0;
+  stream_options.seed = 1700;
+  workload::WorkloadStream stream =
+      workload::GenerateStream(scenario, stream_options);
+
+  options.overload.admission.max_queue_us =
+      static_cast<uint64_t>(8.0 * service_us);
+
+  // Replay the stream's arrival schedule through the queue model.
+  uint64_t clock_us = env.NowMicros();
+  const uint64_t clock_base_us = clock_us;
+  double worker_free_us = 0.0;
+  size_t quartile_served[4] = {0, 0, 0, 0};
+  size_t quartile_shed[4] = {0, 0, 0, 0};
+  engine::ServiceOptions guarded_options = options;
+  engine::RecommendationService guarded(registry, guarded_options);
+  if (!guarded.WarmStart(*sharded, 0, 1).ok()) return;
+  for (size_t i = 0; i < stream.events.size(); ++i) {
+    const workload::StreamEvent& event = stream.events[i];
+    if (event.kind != workload::StreamEvent::Kind::kRead) continue;
+    const double arrival_us = static_cast<double>(event.timestamp_us);
+    const double pickup_us = std::max(arrival_us, worker_free_us);
+    const uint64_t target_us =
+        clock_base_us + static_cast<uint64_t>(pickup_us);
+    if (target_us > clock_us) {
+      env.AdvanceClockMicros(target_us - clock_us);
+      clock_us = target_us;
+    }
+    RequestBudget budget;
+    budget.enqueue_us = clock_base_us + static_cast<uint64_t>(arrival_us);
+    profile::HumanProfile prof = stream.users[event.user];
+    auto list = guarded.Recommend(*sharded, event.before, event.after, prof,
+                                  budget);
+    const size_t quartile =
+        std::min<size_t>(3, i * 4 / std::max<size_t>(1, stream.events.size()));
+    if (list.ok()) {
+      // Charge the calibrated cost, not this serve's wall clock: the
+      // table is about where the ramp places sheds, and a scheduler
+      // hiccup priced at wall clock would smear a burst of sheds
+      // across whichever quartile it happened to land in.
+      worker_free_us = pickup_us + service_us;
+      ++quartile_served[quartile];
+    } else {
+      worker_free_us = pickup_us;
+      ++quartile_shed[quartile];
+    }
+  }
+
+  std::printf("%-18s %10s %10s %10s\n", "ramp quartile", "served", "shed",
+              "shed %");
+  for (int q = 0; q < 4; ++q) {
+    const size_t total = quartile_served[q] + quartile_shed[q];
+    std::printf("%-18d %10zu %10zu %9.1f%%\n", q + 1, quartile_served[q],
+                quartile_shed[q],
+                total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(quartile_shed[q]) /
+                                 static_cast<double>(total));
+  }
+  std::printf(
+      "expected shape: quartile 1 serves nearly everything; the shed "
+      "fraction rises monotonically as the ramp outpaces capacity.\n");
+}
+
+// Timed section — the per-request cost of the control plane.
+
+// One admit + release round trip on the hot path (in-flight limit
+// armed, rate limit off): the overhead every admitted request pays.
+void BM_AdmissionAdmit(benchmark::State& state) {
+  FaultInjectionEnv env;
+  AdmissionOptions options;
+  options.max_in_flight = 64;
+  AdmissionController admission(&env, options);
+  for (auto _ : state) {
+    auto ticket = admission.Admit(AdmissionLane::kBulk, {});
+    benchmark::DoNotOptimize(ticket.ok());
+  }
+  benchmark::DoNotOptimize(admission.stats().admitted_bulk);
+}
+BENCHMARK(BM_AdmissionAdmit)->Unit(benchmark::kNanosecond);
+
+// Admit with the token bucket armed: adds one clock read + refill.
+void BM_AdmissionAdmitWithRateLimit(benchmark::State& state) {
+  FaultInjectionEnv env;
+  AdmissionOptions options;
+  options.max_in_flight = 64;
+  options.bulk_rate_per_sec = 1e9;  // never the binding constraint
+  AdmissionController admission(&env, options);
+  for (auto _ : state) {
+    auto ticket = admission.Admit(AdmissionLane::kBulk, {});
+    benchmark::DoNotOptimize(ticket.ok());
+  }
+}
+BENCHMARK(BM_AdmissionAdmitWithRateLimit)->Unit(benchmark::kNanosecond);
+
+// Closed-breaker Allow + RecordSuccess: the overhead every commit pays
+// while things are healthy.
+void BM_BreakerAllow(benchmark::State& state) {
+  FaultInjectionEnv env;
+  CircuitBreaker breaker(&env, BreakerOptions{});
+  for (auto _ : state) {
+    const Status allowed = breaker.Allow();
+    benchmark::DoNotOptimize(allowed.ok());
+    breaker.RecordSuccess();
+  }
+}
+BENCHMARK(BM_BreakerAllow)->Unit(benchmark::kNanosecond);
+
+// Deadline check at a stage boundary: the cost each pipeline stage
+// adds per request (finite deadline, not expired).
+void BM_DeadlineCheck(benchmark::State& state) {
+  FaultInjectionEnv env;
+  const Deadline deadline = Deadline::After(&env, 1'000'000'000);
+  for (auto _ : state) {
+    const Status alive = deadline.Check("bench");
+    benchmark::DoNotOptimize(alive.ok());
+  }
+}
+BENCHMARK(BM_DeadlineCheck)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace evorec::bench
+
+int main(int argc, char** argv) {
+  evorec::bench::PrintOverloadTable();
+  evorec::bench::PrintRampTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -211,5 +211,59 @@ int main() {
   }
   std::printf("\n[ops] restart recovery:\n%s",
               recovered->report.ToString().c_str());
+
+  // --- 5. Overload: when demand outruns capacity the monitor must
+  // refuse crisply, not let every queue rot until the whole ward's
+  // p99 blows. A front-door service runs the overload stack on the
+  // same scripted clock: rotted requests are shed with a typed
+  // kResourceExhausted, sustained shedding trips a hysteretic
+  // brown-out into a declared cheaper scoring mode (results flagged),
+  // and recovery is automatic once pressure clears
+  // (docs/ARCHITECTURE.md, "Overload control").
+  engine::ServiceOptions front_options;
+  front_options.env = &disk;  // scripted clock — deterministic demo
+  front_options.overload.admission_enabled = true;
+  front_options.overload.admission.max_queue_us = 10;
+  front_options.overload.brownout.enabled = true;
+  front_options.overload.brownout.window_us = 1000;
+  front_options.overload.brownout.enter_sheds_per_window = 2;
+  front_options.overload.brownout.exit_clean_windows = 2;
+  engine::RecommendationService front(registry, front_options);
+  front.AttachAccessPolicy(&scenario.policy);
+
+  const version::VersionId tip = scenario.vkb->head();
+  auto calm = front.Recommend(*scenario.vkb, tip - 1, tip, dpo);
+  std::printf("\n[overload] calm traffic: %s\n",
+              calm.ok() ? "served (exact mode)"
+                        : calm.status().ToString().c_str());
+
+  // A surge: requests arrive having already waited past the queue cap.
+  RequestBudget rotted;
+  rotted.enqueue_us = 0;
+  disk.AdvanceClockMicros(100);
+  for (int i = 0; i < 2; ++i) {
+    auto shed = front.Recommend(*scenario.vkb, tip - 1, tip, dpo, rotted);
+    std::printf("[overload] rotted request: %s\n",
+                shed.ok() ? "served?!" : shed.status().ToString().c_str());
+  }
+  auto brown = front.Recommend(*scenario.vkb, tip - 1, tip, dpo);
+  if (brown.ok()) {
+    std::printf("[overload] under pressure: served, brownout flag: %s\n",
+                brown->brownout ? "true" : "false");
+  }
+  std::printf("[overload] health during surge:\n%s\n",
+              front.health().ToString().c_str());
+
+  // The surge ends; two clean windows later the exact mode is back.
+  disk.AdvanceClockMicros(3000);
+  auto after = front.Recommend(*scenario.vkb, tip - 1, tip, dpo);
+  if (after.ok()) {
+    std::printf(
+        "[overload] pressure cleared: served, brownout flag: %s "
+        "(brown-outs entered: %llu, exited: %llu)\n",
+        after->brownout ? "true" : "false",
+        static_cast<unsigned long long>(front.brownout_stats().entries),
+        static_cast<unsigned long long>(front.brownout_stats().exits));
+  }
   return 0;
 }

@@ -12,8 +12,8 @@
 #   label   optional suffix, e.g. "baseline" -> BENCH_2026-07-26_baseline.json
 #   bench   bench binaries to run (default: bench_delta bench_endtoend
 #           bench_persistence bench_coldpath bench_incremental
-#           bench_concurrent_serving bench_slo, i.e. E1, E10, E12,
-#           E13, E14, E15, E16)
+#           bench_concurrent_serving bench_slo bench_overload, i.e.
+#           E1, E10, E12, E13, E14, E15, E16, E17)
 #
 # Environment:
 #   BENCH_BUILD_DIR   build tree to use (default: build-release, built
@@ -27,7 +27,7 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 label=${1:-}
 [ $# -gt 0 ] && shift
 benches=${*:-"bench_delta bench_endtoend bench_persistence bench_coldpath \
-bench_incremental bench_concurrent_serving bench_slo"}
+bench_incremental bench_concurrent_serving bench_slo bench_overload"}
 build_dir=${BENCH_BUILD_DIR:-"${repo_root}/build-release"}
 
 if [ ! -f "${build_dir}/CMakeCache.txt" ]; then

@@ -3,7 +3,7 @@
 # examples), run the full ctest suite. This is the exact sequence CI
 # runs and the gate every PR must keep green.
 #
-#   scripts/check.sh [--torture|--scenarios] [build-dir]
+#   scripts/check.sh [--torture|--scenarios|--overload] [build-dir]
 #
 #   --torture    run only the fault-injection and crash-recovery
 #                suites (the crash-point matrix) instead of the full
@@ -13,6 +13,10 @@
 #                vs sequential oracle, generator seed stability,
 #                degraded fan-out) — the quick loop while working on
 #                the workload generators or the serving path.
+#   --overload   run only the overload-control suites (deadlines,
+#                admission/shedding, circuit breaker, brownout, the
+#                shed-vs-serve stress race) — the quick loop while
+#                working on the admission layer.
 #
 # Extra CMake arguments can be passed via CMAKE_ARGS, e.g.
 #   CMAKE_ARGS="-DEVOREC_BUILD_BENCHMARKS=OFF" scripts/check.sh
@@ -29,11 +33,13 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
 torture=0
 scenarios=0
+overload=0
 build_dir=""
 for arg in "$@"; do
   case "${arg}" in
     --torture) torture=1 ;;
     --scenarios) scenarios=1 ;;
+    --overload) overload=1 ;;
     *) build_dir="${arg}" ;;
   esac
 done
@@ -59,6 +65,9 @@ if [ "${torture}" -eq 1 ]; then
 elif [ "${scenarios}" -eq 1 ]; then
   ctest --output-on-failure -j "${jobs}" \
     -R 'ScenarioReplay|StreamGenerator|GeneratorSeedStability|Degraded'
+elif [ "${overload}" -eq 1 ]; then
+  ctest --output-on-failure -j "${jobs}" \
+    -R 'Admission|Breaker|Overload|Deadline|Brownout'
 else
   ctest --output-on-failure -j "${jobs}"
 fi

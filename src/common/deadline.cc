@@ -1,0 +1,19 @@
+#include "common/deadline.h"
+
+#include <string>
+
+namespace evorec {
+
+Status Deadline::Check(std::string_view stage) const {
+  if (env_ == nullptr) return OkStatus();
+  const uint64_t now = env_->NowMicros();
+  if (now < deadline_us_) return OkStatus();
+  std::string message("deadline exceeded at stage '");
+  message += stage;
+  message += "' (";
+  message += std::to_string(now - deadline_us_);
+  message += "us past deadline)";
+  return DeadlineExceededError(std::move(message));
+}
+
+}  // namespace evorec

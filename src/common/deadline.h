@@ -1,0 +1,88 @@
+#ifndef EVOREC_COMMON_DEADLINE_H_
+#define EVOREC_COMMON_DEADLINE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace evorec {
+
+/// A point on an Env's monotonic clock by which a request must be
+/// answered. The serving pipeline checks it at its expensive stage
+/// boundaries (admission, context build, per-user scoring) and fails
+/// the request with kDeadlineExceeded early instead of finishing work
+/// nobody is waiting for — a late recommendation is effectively a
+/// wrong one.
+///
+/// A default-constructed Deadline is infinite (never expires) and
+/// carries no clock, so existing call sites pay nothing. Deadlines are
+/// value types: copy them freely into worker lambdas. The Env behind a
+/// finite deadline must outlive every copy.
+class Deadline {
+ public:
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  /// The deadline `budget_us` from now on `env`'s clock.
+  static Deadline After(Env* env, uint64_t budget_us) {
+    return Deadline(env, env->NowMicros() + budget_us);
+  }
+
+  /// The deadline at absolute instant `deadline_us` of `env`'s clock.
+  static Deadline AtMicros(Env* env, uint64_t deadline_us) {
+    return Deadline(env, deadline_us);
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool is_infinite() const { return env_ == nullptr; }
+
+  /// The absolute expiry instant (meaningless when infinite).
+  uint64_t deadline_us() const { return deadline_us_; }
+
+  bool expired() const {
+    return env_ != nullptr && env_->NowMicros() >= deadline_us_;
+  }
+
+  /// Microseconds left before expiry; 0 when expired, UINT64_MAX when
+  /// infinite.
+  uint64_t remaining_us() const {
+    if (env_ == nullptr) return ~uint64_t{0};
+    const uint64_t now = env_->NowMicros();
+    return now >= deadline_us_ ? 0 : deadline_us_ - now;
+  }
+
+  /// OK while time remains; kDeadlineExceeded naming `stage` once the
+  /// deadline has passed — the per-boundary guard of the serving
+  /// pipeline.
+  Status Check(std::string_view stage) const;
+
+ private:
+  Deadline(Env* env, uint64_t deadline_us)
+      : env_(env), deadline_us_(deadline_us) {}
+
+  Env* env_ = nullptr;
+  uint64_t deadline_us_ = ~uint64_t{0};
+};
+
+/// Everything a request carries about its own cost envelope, threaded
+/// through the serving entry points. Default-constructed, it is the
+/// pre-overload-control contract: infinite patience, no queue history.
+struct RequestBudget {
+  /// "Enqueue time unknown" — the admission queue-time cap does not
+  /// apply.
+  static constexpr uint64_t kNoEnqueueTime = ~uint64_t{0};
+
+  Deadline deadline;
+  /// When the request entered the process-level queue, on the same
+  /// Env clock the deadline runs on. The admission controller sheds
+  /// requests that already rotted in queue longer than its cap —
+  /// serving them would only make the requests behind them late too.
+  uint64_t enqueue_us = kNoEnqueueTime;
+};
+
+}  // namespace evorec
+
+#endif  // EVOREC_COMMON_DEADLINE_H_

@@ -210,6 +210,13 @@ class PosixEnv : public Env {
   void SleepForMicroseconds(uint64_t micros) override {
     std::this_thread::sleep_for(std::chrono::microseconds(micros));
   }
+
+  uint64_t NowMicros() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
 };
 
 }  // namespace

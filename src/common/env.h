@@ -101,6 +101,15 @@ class Env {
   /// deterministic and instant.
   virtual void SleepForMicroseconds(uint64_t micros) = 0;
 
+  /// A monotonic microsecond clock — the time source for deadlines,
+  /// admission-control token buckets, circuit-breaker cool-downs and
+  /// the service's latency recorders. Only differences are meaningful
+  /// (the epoch is arbitrary). Test environments script it
+  /// (storage::FaultInjectionEnv advances it on SleepForMicroseconds
+  /// and via AdvanceClockMicros), so deadline and breaker tests run
+  /// instantly with no real sleeps.
+  virtual uint64_t NowMicros() = 0;
+
   /// Reads the entire file at `path` into a string (convenience over
   /// NewReadableFile).
   Result<std::string> ReadFileToString(const std::string& path);

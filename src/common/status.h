@@ -25,6 +25,16 @@ enum class StatusCode {
   /// this code; corruption-class errors (kInvalidArgument,
   /// kFailedPrecondition, kInternal) surface immediately.
   kUnavailable,
+  /// The request's Deadline expired before the work completed. The
+  /// serving pipeline checks at its expensive stage boundaries and
+  /// returns this early instead of burning a shard's worth of work on
+  /// an answer nobody is waiting for (common/deadline.h).
+  kDeadlineExceeded,
+  /// Load was shed: the admission controller refused the request
+  /// (in-flight limit, rate limit, or queue-time cap) to protect the
+  /// latency of the requests it did admit (engine/admission.h). The
+  /// caller may retry after backing off.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NOT_FOUND").
@@ -75,6 +85,8 @@ Status PermissionDeniedError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 /// True iff `status` is a transient failure worth retrying
 /// (kUnavailable). Corruption- and logic-class errors are permanent.

@@ -1,0 +1,285 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+#include <string>
+
+namespace evorec::engine {
+
+namespace {
+
+double BucketCapacity(const AdmissionOptions& options) {
+  return options.bulk_burst > 0.0 ? options.bulk_burst
+                                  : options.bulk_rate_per_sec;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(Env* env, AdmissionOptions options)
+    : env_(env),
+      options_(options),
+      tokens_(BucketCapacity(options)),
+      last_refill_us_(env->NowMicros()) {}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot(lane_);
+    controller_ = nullptr;
+  }
+}
+
+void AdmissionController::ReleaseSlot(AdmissionLane lane) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  if (lane == AdmissionLane::kBulk && bulk_in_flight_ > 0) --bulk_in_flight_;
+}
+
+void AdmissionController::RefillLocked(uint64_t now_us) {
+  if (options_.bulk_rate_per_sec <= 0.0) return;
+  if (now_us <= last_refill_us_) return;
+  // Divide rather than scale by 1e-6: an exact elapsed/rate pair (say
+  // 100ms at 10/s) must earn exactly 1.0 tokens, not 0.999...
+  const double earned = static_cast<double>(now_us - last_refill_us_) *
+                        options_.bulk_rate_per_sec / 1e6;
+  tokens_ = std::min(BucketCapacity(options_), tokens_ + earned);
+  last_refill_us_ = now_us;
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    AdmissionLane lane, const RequestBudget& budget, uint64_t weight) {
+  const uint64_t now = env_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // 1. Queue-time cap: a request that already rotted past the cap is
+  // shed regardless of lane — serving it late only delays the queue
+  // behind it.
+  if (options_.max_queue_us > 0 &&
+      budget.enqueue_us != RequestBudget::kNoEnqueueTime &&
+      now >= budget.enqueue_us &&
+      now - budget.enqueue_us > options_.max_queue_us) {
+    ++stats_.shed_queue;
+    return ResourceExhaustedError(
+        "admission: queued " + std::to_string(now - budget.enqueue_us) +
+        "us exceeds cap of " + std::to_string(options_.max_queue_us) + "us");
+  }
+
+  // 2. Rate limit (bulk only): the token bucket bounds offered
+  // request volume; priority traffic is exempt so commits and group
+  // requests cannot be starved by a bulk-read flood.
+  if (lane == AdmissionLane::kBulk && options_.bulk_rate_per_sec > 0.0) {
+    RefillLocked(now);
+    // Epsilon absorbs accumulated refill rounding; a bucket is never
+    // short by 1e-9 of a request.
+    const double need = static_cast<double>(weight) - 1e-9;
+    if (tokens_ < need) {
+      ++stats_.shed_rate;
+      return ResourceExhaustedError(
+          "admission: bulk rate limit (" +
+          std::to_string(options_.bulk_rate_per_sec) + " req/s) exhausted");
+    }
+    tokens_ -= need;
+  }
+
+  // 3. In-flight limit: the bulk lane's own occupancy saturates
+  // priority_reserve slots early; the total caps both lanes.
+  if (options_.max_in_flight > 0) {
+    const size_t reserve =
+        std::min(options_.priority_reserve, options_.max_in_flight);
+    const size_t bulk_limit = options_.max_in_flight - reserve;
+    if (in_flight_ >= options_.max_in_flight ||
+        (lane == AdmissionLane::kBulk && bulk_in_flight_ >= bulk_limit)) {
+      ++stats_.shed_in_flight;
+      const bool bulk_capped =
+          lane == AdmissionLane::kBulk && bulk_in_flight_ >= bulk_limit &&
+          in_flight_ < options_.max_in_flight;
+      return ResourceExhaustedError(
+          "admission: " +
+          std::to_string(bulk_capped ? bulk_in_flight_ : in_flight_) +
+          " requests in flight (limit " +
+          std::to_string(bulk_capped ? bulk_limit : options_.max_in_flight) +
+          (bulk_capped ? ", bulk lane" : "") + ")");
+    }
+    ++in_flight_;
+    if (lane == AdmissionLane::kBulk) ++bulk_in_flight_;
+    stats_.peak_in_flight =
+        std::max<uint64_t>(stats_.peak_in_flight, in_flight_);
+  }
+
+  if (lane == AdmissionLane::kPriority) {
+    ++stats_.admitted_priority;
+  } else {
+    ++stats_.admitted_bulk;
+  }
+  return Ticket(options_.max_in_flight > 0 ? this : nullptr, lane);
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "CLOSED";
+    case BreakerState::kOpen:
+      return "OPEN";
+    case BreakerState::kHalfOpen:
+      return "HALF_OPEN";
+  }
+  return "UNKNOWN";
+}
+
+CircuitBreaker::CircuitBreaker(Env* env, BreakerOptions options)
+    : env_(env), options_(options) {}
+
+Status CircuitBreaker::Allow() {
+  const uint64_t now = env_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kOpen && now >= open_until_us_) {
+    state_ = BreakerState::kHalfOpen;  // cool-down over: probe time
+  }
+  switch (state_) {
+    case BreakerState::kClosed:
+      return OkStatus();
+    case BreakerState::kOpen: {
+      ++stats_.fast_fails;
+      return UnavailableError(
+          "circuit breaker open after " +
+          std::to_string(stats_.consecutive_failures) +
+          " consecutive transient commit failures (last: " + last_error_ +
+          "); retry in " + std::to_string(open_until_us_ - now) + "us");
+    }
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) {
+        ++stats_.fast_fails;
+        return UnavailableError(
+            "circuit breaker half-open: a probe commit is already in "
+            "flight");
+      }
+      probe_in_flight_ = true;
+      ++stats_.probes;
+      return OkStatus();
+  }
+  return OkStatus();
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_in_flight_ = false;
+  stats_.consecutive_failures = 0;
+  if (state_ != BreakerState::kClosed) {
+    state_ = BreakerState::kClosed;
+    ++stats_.closes;
+  }
+}
+
+void CircuitBreaker::RecordFailure(const Status& cause) {
+  if (!IsTransient(cause)) {
+    // Permanent failures (corruption, logic errors) are not device
+    // sickness: fast-failing future commits would not protect
+    // anything. Release a probe so the next commit tries again.
+    std::lock_guard<std::mutex> lock(mu_);
+    probe_in_flight_ = false;
+    return;
+  }
+  const uint64_t now = env_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_in_flight_ = false;
+  last_error_ = cause.message();
+  ++stats_.consecutive_failures;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe found the device still sick: re-open for a fresh
+    // cool-down.
+    state_ = BreakerState::kOpen;
+    open_until_us_ = now + options_.cooldown_us;
+    ++stats_.reopens;
+  } else if (state_ == BreakerState::kClosed &&
+             stats_.consecutive_failures >= options_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    open_until_us_ = now + options_.cooldown_us;
+    ++stats_.opens;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  const uint64_t now = env_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kOpen && now >= open_until_us_) {
+    return BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
+BreakerStats CircuitBreaker::stats() const {
+  const uint64_t now = env_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  BreakerStats out = stats_;
+  out.state = (state_ == BreakerState::kOpen && now >= open_until_us_)
+                  ? BreakerState::kHalfOpen
+                  : state_;
+  return out;
+}
+
+BrownoutController::BrownoutController(Env* env, BrownoutOptions options)
+    : env_(env), options_(options), window_start_us_(env->NowMicros()) {}
+
+void BrownoutController::RollWindowsLocked(uint64_t now_us) {
+  if (options_.window_us == 0) return;
+  while (now_us >= window_start_us_ + options_.window_us) {
+    // Close the window that just elapsed.
+    if (active_) {
+      if (sheds_this_window_ == 0) {
+        if (++clean_windows_ >= options_.exit_clean_windows) {
+          active_ = false;
+          ++stats_.exits;
+        }
+      } else {
+        clean_windows_ = 0;
+      }
+    }
+    window_start_us_ += options_.window_us;
+    sheds_this_window_ = 0;
+    if (!active_ && now_us >= window_start_us_ + options_.window_us) {
+      // Inactive with an empty backlog of windows: nothing more can
+      // change. Jump to the current window in O(1).
+      const uint64_t behind = now_us - window_start_us_;
+      window_start_us_ += (behind / options_.window_us) * options_.window_us;
+    }
+  }
+}
+
+void BrownoutController::OnShed() {
+  if (!options_.enabled) return;
+  const uint64_t now = env_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  RollWindowsLocked(now);
+  ++stats_.sheds_observed;
+  ++sheds_this_window_;
+  if (!active_ && sheds_this_window_ >= options_.enter_sheds_per_window) {
+    active_ = true;
+    clean_windows_ = 0;
+    ++stats_.entries;
+  }
+}
+
+bool BrownoutController::Active() {
+  if (!options_.enabled) return false;
+  const uint64_t now = env_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  RollWindowsLocked(now);
+  return active_;
+}
+
+BrownoutStats BrownoutController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BrownoutStats out = stats_;
+  out.active = active_;
+  return out;
+}
+
+}  // namespace evorec::engine

@@ -1,0 +1,262 @@
+#ifndef EVOREC_ENGINE_ADMISSION_H_
+#define EVOREC_ENGINE_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/deadline.h"
+#include "common/env.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace evorec::engine {
+
+/// The overload-robustness primitives in front of the serving loop
+/// (docs/ARCHITECTURE.md "Overload control" has the state diagrams):
+///
+///  - AdmissionController — bounded in-flight work + token-bucket rate
+///    limit + queue-time cap; excess load is shed with
+///    kResourceExhausted instead of rotting in queue until every p99
+///    blows.
+///  - CircuitBreaker — wraps the commit path; K consecutive transient
+///    failures open it, commits fast-fail for a cool-down, a half-open
+///    probe closes it again. Stops the retry/backoff loop from
+///    amplifying a sick device into a convoy.
+///  - BrownoutController — hysteretic "cheaper mode" switch: sustained
+///    shed pressure drops the service to a declared degraded quality
+///    (sampled betweenness, smaller pools) until the pressure clears.
+///
+/// All three run on an injectable Env clock, so tests script time.
+
+/// Which lane a request enters admission on. Commits and group
+/// requests ride kPriority: they bypass the rate bucket and may use
+/// the reserved in-flight slots, so a flood of bulk reads can never
+/// starve the write path or the (rarer, more expensive) group serves.
+enum class AdmissionLane {
+  kBulk,
+  kPriority,
+};
+
+struct AdmissionOptions {
+  /// Max concurrently admitted requests (bulk + priority). 0 disables
+  /// the in-flight limit.
+  size_t max_in_flight = 64;
+  /// In-flight slots only the priority lane may occupy (must be
+  /// <= max_in_flight; at most max_in_flight - priority_reserve bulk
+  /// requests run concurrently, however many slots priority holds).
+  size_t priority_reserve = 8;
+  /// Token-bucket refill rate for the bulk lane, requests per second.
+  /// 0 disables rate limiting. Priority traffic is exempt.
+  double bulk_rate_per_sec = 0.0;
+  /// Bucket capacity (burst tolerance), requests. 0 means one second's
+  /// worth of refill (bulk_rate_per_sec).
+  double bulk_burst = 0.0;
+  /// Max time a request may have waited in the caller's queue before
+  /// admission (RequestBudget::enqueue_us) — older requests are shed:
+  /// serving them late only makes the requests behind them late too.
+  /// 0 disables the cap.
+  uint64_t max_queue_us = 0;
+};
+
+/// Per-cause shed counters. sheds() is the pressure signal the
+/// brown-out controller watches.
+struct AdmissionStats {
+  uint64_t admitted_bulk = 0;
+  uint64_t admitted_priority = 0;
+  uint64_t shed_queue = 0;      ///< queue-time cap exceeded
+  uint64_t shed_rate = 0;       ///< bulk token bucket empty
+  uint64_t shed_in_flight = 0;  ///< in-flight limit reached
+  uint64_t peak_in_flight = 0;
+
+  uint64_t admitted() const { return admitted_bulk + admitted_priority; }
+  uint64_t sheds() const { return shed_queue + shed_rate + shed_in_flight; }
+};
+
+/// Admission control for the serving loop: every request asks for a
+/// Ticket before any expensive work; a shed request costs one mutex
+/// acquisition and returns kResourceExhausted naming the cause.
+/// Thread-safe; Tickets may be released from any thread.
+class AdmissionController {
+ public:
+  /// `env` supplies the token-bucket clock and must outlive the
+  /// controller.
+  AdmissionController(Env* env, AdmissionOptions options);
+
+  /// RAII in-flight slot: releases on destruction. Move-only. A
+  /// default-constructed Ticket holds nothing (the admission-disabled
+  /// path).
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept
+        : controller_(std::exchange(other.controller_, nullptr)),
+          lane_(other.lane_) {}
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = std::exchange(other.controller_, nullptr);
+        lane_ = other.lane_;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, AdmissionLane lane)
+        : controller_(controller), lane_(lane) {}
+    AdmissionController* controller_ = nullptr;
+    AdmissionLane lane_ = AdmissionLane::kBulk;
+  };
+
+  /// Admits or sheds. Checks, in order: the queue-time cap (against
+  /// budget.enqueue_us), the bulk rate bucket (kBulk only), the
+  /// in-flight limit. `weight` is the number of logical requests the
+  /// caller represents — a batch of n charges n tokens from the rate
+  /// bucket but occupies one in-flight slot (the slot bounds
+  /// concurrent work, the bucket bounds offered request volume).
+  Result<Ticket> Admit(AdmissionLane lane, const RequestBudget& budget,
+                       uint64_t weight = 1);
+
+  size_t in_flight() const;
+  AdmissionStats stats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  void ReleaseSlot(AdmissionLane lane);
+
+  /// Refills the bucket from elapsed clock time. mu_ held.
+  void RefillLocked(uint64_t now_us);
+
+  Env* env_;
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  double tokens_;
+  uint64_t last_refill_us_;
+  size_t in_flight_ = 0;
+  size_t bulk_in_flight_ = 0;
+  AdmissionStats stats_;
+};
+
+struct BreakerOptions {
+  /// Consecutive transient commit failures that open the breaker.
+  size_t failure_threshold = 3;
+  /// How long an open breaker fast-fails before letting one probe
+  /// through (Env clock).
+  uint64_t cooldown_us = 1'000'000;
+};
+
+enum class BreakerState {
+  kClosed,    ///< commits flow normally
+  kOpen,      ///< commits fast-fail until the cool-down elapses
+  kHalfOpen,  ///< one probe commit in flight decides open vs closed
+};
+
+const char* BreakerStateName(BreakerState state);
+
+struct BreakerStats {
+  BreakerState state = BreakerState::kClosed;
+  uint64_t consecutive_failures = 0;
+  uint64_t opens = 0;       ///< closed -> open transitions
+  uint64_t reopens = 0;     ///< half-open probe failed
+  uint64_t closes = 0;      ///< open/half-open -> closed (probe succeeded)
+  uint64_t fast_fails = 0;  ///< commits rejected without touching storage
+  uint64_t probes = 0;      ///< half-open probes granted
+};
+
+/// Commit-path circuit breaker (closed -> open -> half-open -> closed).
+/// Only *transient* failures (Status IsTransient) count toward opening:
+/// they are the class where retrying against a sick device amplifies
+/// the outage into a convoy of blocked committers. Permanent failures
+/// surface to the caller but leave the breaker alone. Thread-safe.
+class CircuitBreaker {
+ public:
+  /// `env` supplies the cool-down clock and must outlive the breaker.
+  CircuitBreaker(Env* env, BreakerOptions options);
+
+  /// OK when a commit may proceed (closed, or this caller won the
+  /// half-open probe). kUnavailable fast-fail while open or while
+  /// another probe is in flight. A caller that gets OK must report the
+  /// outcome via RecordSuccess/RecordFailure.
+  Status Allow();
+
+  void RecordSuccess();
+  void RecordFailure(const Status& cause);
+
+  /// Current state; an open breaker whose cool-down has elapsed
+  /// reports kHalfOpen (the next Allow() grants the probe).
+  BreakerState state() const;
+  BreakerStats stats() const;
+
+ private:
+  Env* env_;
+  BreakerOptions options_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  bool probe_in_flight_ = false;
+  uint64_t open_until_us_ = 0;
+  std::string last_error_;
+  BreakerStats stats_;
+};
+
+struct BrownoutOptions {
+  bool enabled = false;
+  /// Shed-pressure evaluation window (Env clock).
+  uint64_t window_us = 1'000'000;
+  /// Sheds observed within one window that trip the brown-out.
+  uint64_t enter_sheds_per_window = 16;
+  /// Consecutive shed-free windows required to recover — the
+  /// hysteresis that stops the service from flapping between modes at
+  /// the pressure boundary.
+  uint64_t exit_clean_windows = 2;
+};
+
+struct BrownoutStats {
+  bool active = false;
+  uint64_t entries = 0;
+  uint64_t exits = 0;
+  uint64_t sheds_observed = 0;
+};
+
+/// Hysteretic brown-out switch. The service reports every shed via
+/// OnShed() and asks Active() per request; while active it serves the
+/// declared cheaper mode (the service owns *what* gets cheaper — this
+/// class only decides *when*). Thread-safe; windows roll lazily on the
+/// Env clock, so scripted-clock tests step through transitions
+/// deterministically.
+class BrownoutController {
+ public:
+  /// `env` must outlive the controller.
+  BrownoutController(Env* env, BrownoutOptions options);
+
+  /// Records one shed request at the current clock instant.
+  void OnShed();
+
+  /// Whether the service should serve the cheaper mode right now.
+  bool Active();
+
+  BrownoutStats stats() const;
+
+ private:
+  /// Closes every window that has fully elapsed. mu_ held.
+  void RollWindowsLocked(uint64_t now_us);
+
+  Env* env_;
+  BrownoutOptions options_;
+  mutable std::mutex mu_;
+  bool active_ = false;
+  uint64_t window_start_us_ = 0;
+  uint64_t sheds_this_window_ = 0;
+  uint64_t clean_windows_ = 0;
+  BrownoutStats stats_;
+};
+
+}  // namespace evorec::engine
+
+#endif  // EVOREC_ENGINE_ADMISSION_H_

@@ -3,15 +3,41 @@
 #include <functional>
 #include <utility>
 
-#include "common/stopwatch.h"
-
 namespace evorec::engine {
+
+namespace {
+
+Env* ResolveEnv(const ServiceOptions& options) {
+  return options.env != nullptr ? options.env : Env::Default();
+}
+
+}  // namespace
+
+std::string ServiceHealth::ToString() const {
+  std::string out = "service ";
+  out += state == HealthState::kHealthy ? "HEALTHY" : "DEGRADED";
+  out += "\n  commits: failed=" + std::to_string(failed_commits) +
+         " recoveries=" + std::to_string(recoveries);
+  if (!last_error.empty()) out += " last_error=\"" + last_error + "\"";
+  out += "\n  rejected: shed=" + std::to_string(shed_requests) +
+         " deadline_exceeded=" + std::to_string(deadline_exceeded) +
+         " breaker_fast_fails=" + std::to_string(breaker_fast_fails);
+  out += "\n  served stale/cheap: degraded=" +
+         std::to_string(degraded_serves) +
+         " brownout=" + std::to_string(brownout_serves) +
+         " (brownout " + (brownout_active ? "ACTIVE" : "inactive") + ")";
+  return out;
+}
 
 RecommendationService::RecommendationService(
     const measures::MeasureRegistry& registry, ServiceOptions options)
     : options_(std::move(options)),
+      env_(ResolveEnv(options_)),
       engine_(registry, options_.engine),
-      recommender_(registry, options_.recommender) {}
+      recommender_(registry, options_.recommender),
+      admission_(env_, options_.overload.admission),
+      breaker_(env_, options_.overload.breaker),
+      brownout_(env_, options_.overload.brownout) {}
 
 void RecommendationService::AttachProvenance(
     provenance::ProvenanceStore* store) {
@@ -26,8 +52,9 @@ void RecommendationService::AttachAccessPolicy(
 
 Result<std::shared_ptr<const SharedEvaluation>> RecommendationService::Warm(
     const version::KbView& view, version::VersionId v1, version::VersionId v2,
+    const measures::ContextOptions& context,
     std::shared_ptr<const recommend::SharedRunState>* state) {
-  auto evaluation = engine_.Evaluate(view, v1, v2, options_.context);
+  auto evaluation = engine_.Evaluate(view, v1, v2, context);
   if (!evaluation.ok()) return evaluation.status();
   auto shared = (*evaluation)->SharedStateFor(recommender_);
   if (!shared.ok()) return shared.status();
@@ -38,10 +65,11 @@ Result<std::shared_ptr<const SharedEvaluation>> RecommendationService::Warm(
 Result<std::shared_ptr<const SharedEvaluation>>
 RecommendationService::WarmOrFallback(
     const version::KbView& view, version::VersionId v1, version::VersionId v2,
+    const measures::ContextOptions& context,
     std::shared_ptr<const recommend::SharedRunState>* state,
     bool* degraded) {
   *degraded = health_state() == HealthState::kDegraded;
-  auto evaluation = Warm(view, v1, v2, state);
+  auto evaluation = Warm(view, v1, v2, context, state);
   if (evaluation.ok() || !*degraded) return evaluation;
   // Degraded and unable to serve fresh: answer from the pinned
   // last-good evaluation rather than going dark. The caller sees a
@@ -54,6 +82,46 @@ RecommendationService::WarmOrFallback(
   *state = std::move(shared).value();
   return Result<std::shared_ptr<const SharedEvaluation>>(
       last_good->evaluation);
+}
+
+Result<AdmissionController::Ticket> RecommendationService::AdmitOrShed(
+    AdmissionLane lane, const RequestBudget& budget, uint64_t n) {
+  if (!options_.overload.admission_enabled) {
+    return AdmissionController::Ticket();
+  }
+  auto ticket = admission_.Admit(lane, budget, n);
+  if (!ticket.ok()) {
+    // Every shed feeds the brown-out pressure signal: sustained
+    // shedding is the cue to drop to the cheaper serving mode.
+    brownout_.OnShed();
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_.shed_requests += n;
+  }
+  return ticket;
+}
+
+Deadline RecommendationService::EffectiveDeadline(
+    const RequestBudget& budget) const {
+  if (!budget.deadline.is_infinite()) return budget.deadline;
+  if (options_.overload.default_deadline_us == 0) return Deadline::Infinite();
+  return Deadline::After(env_, options_.overload.default_deadline_us);
+}
+
+Status RecommendationService::CheckDeadline(const Deadline& deadline,
+                                            std::string_view stage,
+                                            uint64_t n) {
+  Status status = deadline.Check(stage);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_.deadline_exceeded += n;
+  }
+  return status;
+}
+
+const measures::ContextOptions& RecommendationService::PickContext(
+    bool* brownout) {
+  *brownout = brownout_.Active();
+  return *brownout ? options_.overload.brownout_context : options_.context;
 }
 
 void RecommendationService::MarkCommitFailed(const Status& status) {
@@ -76,9 +144,19 @@ void RecommendationService::CountDegradedServes(uint64_t n) {
   health_.degraded_serves += n;
 }
 
-ServiceHealth RecommendationService::health() const {
+void RecommendationService::CountBrownoutServes(uint64_t n) {
   std::lock_guard<std::mutex> lock(health_mu_);
-  return health_;
+  health_.brownout_serves += n;
+}
+
+ServiceHealth RecommendationService::health() const {
+  ServiceHealth out;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    out = health_;
+  }
+  out.brownout_active = brownout_.stats().active;
+  return out;
 }
 
 Status RecommendationService::WarmStart(
@@ -92,7 +170,7 @@ Status RecommendationService::WarmStart(const version::KbView& view,
                                         version::VersionId v1,
                                         version::VersionId v2) {
   std::shared_ptr<const recommend::SharedRunState> state;
-  auto evaluation = Warm(view, v1, v2, &state);
+  auto evaluation = Warm(view, v1, v2, options_.context, &state);
   if (!evaluation.ok()) return evaluation.status();
   // Warm() covers the context and the candidate pool; the report memo
   // fills here so even measures outside the candidate pipeline are hot.
@@ -102,16 +180,43 @@ Status RecommendationService::WarmStart(const version::KbView& view,
 
 Result<version::VersionId> RecommendationService::Commit(
     version::VersionedKnowledgeBase& vkb, version::ChangeSet changes,
-    std::string author, std::string message, uint64_t timestamp) {
+    std::string author, std::string message, uint64_t timestamp,
+    const RequestBudget& budget) {
   version::SingleKbView view(vkb);
   return Commit(view, std::move(changes), std::move(author),
-                std::move(message), timestamp);
+                std::move(message), timestamp, budget);
 }
 
 Result<version::VersionId> RecommendationService::Commit(
     version::KbView& view, version::ChangeSet changes, std::string author,
-    std::string message, uint64_t timestamp) {
-  Stopwatch watch;
+    std::string message, uint64_t timestamp, const RequestBudget& budget) {
+  const uint64_t start = env_->NowMicros();
+  const bool breaker_on = options_.overload.breaker_enabled;
+  if (breaker_on) {
+    Status allowed = breaker_.Allow();
+    if (!allowed.ok()) {
+      // Fast-fail: storage was never touched, nothing *new* failed —
+      // the service keeps whatever health state the real failures
+      // already put it in.
+      std::lock_guard<std::mutex> lock(health_mu_);
+      ++health_.breaker_fast_fails;
+      return allowed;
+    }
+  }
+  // A pre-commit bail (shed, expired deadline) is not device sickness:
+  // RecordFailure classifies by IsTransient and merely releases a
+  // half-open probe for these codes.
+  auto ticket = AdmitOrShed(AdmissionLane::kPriority, budget, 1);
+  if (!ticket.ok()) {
+    if (breaker_on) breaker_.RecordFailure(ticket.status());
+    return ticket.status();
+  }
+  const Deadline deadline = EffectiveDeadline(budget);
+  Status alive = CheckDeadline(deadline, "commit", 1);
+  if (!alive.ok()) {
+    if (breaker_on) breaker_.RecordFailure(alive);
+    return alive;
+  }
   auto refreshed =
       engine_.CommitAndRefresh(view, std::move(changes), std::move(author),
                                std::move(message), timestamp, options_.context);
@@ -119,6 +224,7 @@ Result<version::VersionId> RecommendationService::Commit(
     // The commit is not in the history (the WAL is write-ahead: a
     // failed append mutates nothing). Flip to DEGRADED — reads keep
     // flowing from the engine's pinned last-good state, flagged.
+    if (breaker_on) breaker_.RecordFailure(refreshed.status());
     MarkCommitFailed(refreshed.status());
     return refreshed.status();
   }
@@ -126,64 +232,101 @@ Result<version::VersionId> RecommendationService::Commit(
   // so the next request over the head pair is a pure hit.
   auto shared = refreshed->evaluation->SharedStateFor(recommender_);
   if (!shared.ok()) {
+    if (breaker_on) breaker_.RecordFailure(shared.status());
     MarkCommitFailed(shared.status());
     return shared.status();
   }
   auto reports = refreshed->evaluation->AllReports();
   if (!reports.ok()) {
+    if (breaker_on) breaker_.RecordFailure(reports.status());
     MarkCommitFailed(reports.status());
     return reports.status();
   }
+  if (breaker_on) breaker_.RecordSuccess();
   MarkCommitSucceeded();
-  commit_latency_.Record(watch.ElapsedMicros());
+  commit_latency_.Record(env_->NowMicros() - start);
   return refreshed->version;
 }
 
 Result<recommend::RecommendationList> RecommendationService::Recommend(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
-    version::VersionId v2, profile::HumanProfile& prof) {
+    version::VersionId v2, profile::HumanProfile& prof,
+    const RequestBudget& budget) {
   version::SingleKbView view(vkb);
-  return Recommend(view, v1, v2, prof);
+  return Recommend(view, v1, v2, prof, budget);
 }
 
 Result<recommend::RecommendationList> RecommendationService::Recommend(
     const version::KbView& view, version::VersionId v1, version::VersionId v2,
-    profile::HumanProfile& prof) {
-  Stopwatch watch;
+    profile::HumanProfile& prof, const RequestBudget& budget) {
+  const uint64_t start = env_->NowMicros();
+  auto ticket = AdmitOrShed(AdmissionLane::kBulk, budget, 1);
+  if (!ticket.ok()) return ticket.status();
+  const Deadline deadline = EffectiveDeadline(budget);
+  Status alive = CheckDeadline(deadline, "context build", 1);
+  if (!alive.ok()) return alive;
+  bool brownout = false;
+  const measures::ContextOptions& context = PickContext(&brownout);
   std::shared_ptr<const recommend::SharedRunState> state;
   bool degraded = false;
-  auto evaluation = WarmOrFallback(view, v1, v2, &state, &degraded);
+  auto evaluation = WarmOrFallback(view, v1, v2, context, &state, &degraded);
   if (!evaluation.ok()) return evaluation.status();
+  alive = CheckDeadline(deadline, "scoring", 1);
+  if (!alive.ok()) return alive;
   auto list = recommender_.RecommendForUser(*state, prof);
-  if (list.ok() && degraded) {
-    list->degraded = true;
-    CountDegradedServes(1);
+  if (list.ok()) {
+    if (degraded) {
+      list->degraded = true;
+      CountDegradedServes(1);
+    }
+    if (brownout) {
+      list->brownout = true;
+      CountBrownoutServes(1);
+    }
+    read_latency_.Record(env_->NowMicros() - start);
   }
-  if (list.ok()) read_latency_.Record(watch.ElapsedMicros());
   return list;
 }
 
 Result<recommend::RecommendationList> RecommendationService::RecommendGroup(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
-    version::VersionId v2, profile::Group& group) {
+    version::VersionId v2, profile::Group& group,
+    const RequestBudget& budget) {
   version::SingleKbView view(vkb);
-  return RecommendGroup(view, v1, v2, group);
+  return RecommendGroup(view, v1, v2, group, budget);
 }
 
 Result<recommend::RecommendationList> RecommendationService::RecommendGroup(
     const version::KbView& view, version::VersionId v1, version::VersionId v2,
-    profile::Group& group) {
-  Stopwatch watch;
+    profile::Group& group, const RequestBudget& budget) {
+  const uint64_t start = env_->NowMicros();
+  // Group serves ride the priority lane: they are rarer and more
+  // expensive per call, so a bulk-read flood must not starve them.
+  auto ticket = AdmitOrShed(AdmissionLane::kPriority, budget, 1);
+  if (!ticket.ok()) return ticket.status();
+  const Deadline deadline = EffectiveDeadline(budget);
+  Status alive = CheckDeadline(deadline, "context build", 1);
+  if (!alive.ok()) return alive;
+  bool brownout = false;
+  const measures::ContextOptions& context = PickContext(&brownout);
   std::shared_ptr<const recommend::SharedRunState> state;
   bool degraded = false;
-  auto evaluation = WarmOrFallback(view, v1, v2, &state, &degraded);
+  auto evaluation = WarmOrFallback(view, v1, v2, context, &state, &degraded);
   if (!evaluation.ok()) return evaluation.status();
+  alive = CheckDeadline(deadline, "scoring", 1);
+  if (!alive.ok()) return alive;
   auto list = recommender_.RecommendForGroup(*state, group);
-  if (list.ok() && degraded) {
-    list->degraded = true;
-    CountDegradedServes(1);
+  if (list.ok()) {
+    if (degraded) {
+      list->degraded = true;
+      CountDegradedServes(1);
+    }
+    if (brownout) {
+      list->brownout = true;
+      CountBrownoutServes(1);
+    }
+    read_latency_.Record(env_->NowMicros() - start);
   }
-  if (list.ok()) read_latency_.Record(watch.ElapsedMicros());
   return list;
 }
 
@@ -254,26 +397,39 @@ Result<std::vector<recommend::RecommendationList>>
 RecommendationService::RecommendBatch(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
     version::VersionId v2,
-    const std::vector<profile::HumanProfile*>& profiles) {
+    const std::vector<profile::HumanProfile*>& profiles,
+    const RequestBudget& budget) {
   version::SingleKbView view(vkb);
-  return RecommendBatch(view, v1, v2, profiles);
+  return RecommendBatch(view, v1, v2, profiles, budget);
 }
 
 Result<std::vector<recommend::RecommendationList>>
 RecommendationService::RecommendBatch(
     const version::KbView& view, version::VersionId v1, version::VersionId v2,
-    const std::vector<profile::HumanProfile*>& profiles) {
+    const std::vector<profile::HumanProfile*>& profiles,
+    const RequestBudget& budget) {
   for (profile::HumanProfile* prof : profiles) {
     if (prof == nullptr) {
       return InvalidArgumentError("RecommendBatch: null profile");
     }
   }
-  Stopwatch watch;
+  const uint64_t start = env_->NowMicros();
+  const size_t n = profiles.size();
+  // A batch of n is n logical requests to the rate bucket but one
+  // in-flight unit of work.
+  auto ticket = AdmitOrShed(AdmissionLane::kBulk, budget, n);
+  if (!ticket.ok()) return ticket.status();
+  const Deadline deadline = EffectiveDeadline(budget);
+  // Checked before the shared evaluation: an already-expired batch
+  // does zero context builds (EngineStats stays untouched).
+  Status alive = CheckDeadline(deadline, "context build", n);
+  if (!alive.ok()) return alive;
+  bool brownout = false;
+  const measures::ContextOptions& context = PickContext(&brownout);
   std::shared_ptr<const recommend::SharedRunState> state;
   bool degraded = false;
-  auto evaluation = WarmOrFallback(view, v1, v2, &state, &degraded);
+  auto evaluation = WarmOrFallback(view, v1, v2, context, &state, &degraded);
   if (!evaluation.ok()) return evaluation.status();
-  const size_t n = profiles.size();
   Result<std::vector<recommend::RecommendationList>> results =
       InternalError("batch not served");
   if (options_.parallel_batches && provenance_ != nullptr) {
@@ -286,6 +442,11 @@ RecommendationService::RecommendBatch(
         n, Result<recommend::RecommendationList>(
                InternalError("request not served")));
     engine_.pool().ParallelFor(n, [&](size_t i) {
+      Status user_alive = CheckDeadline(deadline, "batch scoring", 1);
+      if (!user_alive.ok()) {
+        slots[i] = user_alive;
+        return;
+      }
       slots[i] =
           recommender_.RecommendForUser(*state, *profiles[i], &scratch[i]);
     });
@@ -303,7 +464,10 @@ RecommendationService::RecommendBatch(
     results = std::move(lists);
   } else {
     results = ServeAll(n, options_.parallel_batches, engine_.pool(),
-                       [&](size_t i) {
+                       [&](size_t i) -> Result<recommend::RecommendationList> {
+                         Status user_alive =
+                             CheckDeadline(deadline, "batch scoring", 1);
+                         if (!user_alive.ok()) return user_alive;
                          return recommender_.RecommendForUser(*state,
                                                               *profiles[i]);
                        });
@@ -314,35 +478,49 @@ RecommendationService::RecommendBatch(
     }
     CountDegradedServes(results->size());
   }
+  if (results.ok() && brownout) {
+    for (recommend::RecommendationList& list : *results) {
+      list.brownout = true;
+    }
+    CountBrownoutServes(results->size());
+  }
   // Every request in the batch completed when the batch did: n samples
   // of the batch's wall time is each request's observed latency.
-  if (results.ok()) read_latency_.RecordN(watch.ElapsedMicros(), n);
+  if (results.ok()) read_latency_.RecordN(env_->NowMicros() - start, n);
   return results;
 }
 
 Result<std::vector<recommend::RecommendationList>>
 RecommendationService::RecommendGroupBatch(
     const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
-    version::VersionId v2, const std::vector<profile::Group*>& groups) {
+    version::VersionId v2, const std::vector<profile::Group*>& groups,
+    const RequestBudget& budget) {
   version::SingleKbView view(vkb);
-  return RecommendGroupBatch(view, v1, v2, groups);
+  return RecommendGroupBatch(view, v1, v2, groups, budget);
 }
 
 Result<std::vector<recommend::RecommendationList>>
 RecommendationService::RecommendGroupBatch(
     const version::KbView& view, version::VersionId v1, version::VersionId v2,
-    const std::vector<profile::Group*>& groups) {
+    const std::vector<profile::Group*>& groups, const RequestBudget& budget) {
   for (profile::Group* group : groups) {
     if (group == nullptr) {
       return InvalidArgumentError("RecommendGroupBatch: null group");
     }
   }
-  Stopwatch watch;
+  const uint64_t start = env_->NowMicros();
+  const size_t n = groups.size();
+  auto ticket = AdmitOrShed(AdmissionLane::kPriority, budget, n);
+  if (!ticket.ok()) return ticket.status();
+  const Deadline deadline = EffectiveDeadline(budget);
+  Status alive = CheckDeadline(deadline, "context build", n);
+  if (!alive.ok()) return alive;
+  bool brownout = false;
+  const measures::ContextOptions& context = PickContext(&brownout);
   std::shared_ptr<const recommend::SharedRunState> state;
   bool degraded = false;
-  auto evaluation = WarmOrFallback(view, v1, v2, &state, &degraded);
+  auto evaluation = WarmOrFallback(view, v1, v2, context, &state, &degraded);
   if (!evaluation.ok()) return evaluation.status();
-  const size_t n = groups.size();
   Result<std::vector<recommend::RecommendationList>> results =
       InternalError("batch not served");
   if (options_.parallel_batches && provenance_ != nullptr) {
@@ -351,6 +529,11 @@ RecommendationService::RecommendGroupBatch(
         n, Result<recommend::RecommendationList>(
                InternalError("request not served")));
     engine_.pool().ParallelFor(n, [&](size_t i) {
+      Status group_alive = CheckDeadline(deadline, "batch scoring", 1);
+      if (!group_alive.ok()) {
+        slots[i] = group_alive;
+        return;
+      }
       slots[i] =
           recommender_.RecommendForGroup(*state, *groups[i], &scratch[i]);
     });
@@ -366,7 +549,10 @@ RecommendationService::RecommendGroupBatch(
     results = std::move(lists);
   } else {
     results = ServeAll(n, options_.parallel_batches, engine_.pool(),
-                       [&](size_t i) {
+                       [&](size_t i) -> Result<recommend::RecommendationList> {
+                         Status group_alive =
+                             CheckDeadline(deadline, "batch scoring", 1);
+                         if (!group_alive.ok()) return group_alive;
                          return recommender_.RecommendForGroup(*state,
                                                                *groups[i]);
                        });
@@ -377,7 +563,13 @@ RecommendationService::RecommendGroupBatch(
     }
     CountDegradedServes(results->size());
   }
-  if (results.ok()) read_latency_.RecordN(watch.ElapsedMicros(), n);
+  if (results.ok() && brownout) {
+    for (recommend::RecommendationList& list : *results) {
+      list.brownout = true;
+    }
+    CountBrownoutServes(results->size());
+  }
+  if (results.ok()) read_latency_.RecordN(env_->NowMicros() - start, n);
   return results;
 }
 

@@ -7,8 +7,11 @@
 #include <vector>
 
 #include "anonymity/access_policy.h"
+#include "common/deadline.h"
+#include "common/env.h"
 #include "common/percentile.h"
 #include "common/result.h"
+#include "engine/admission.h"
 #include "engine/evaluation_engine.h"
 #include "measures/measure_context.h"
 #include "measures/registry.h"
@@ -20,6 +23,37 @@
 #include "version/versioned_kb.h"
 
 namespace evorec::engine {
+
+/// The service's overload-robustness layer (engine/admission.h has the
+/// primitives, docs/ARCHITECTURE.md the state diagrams). Everything
+/// defaults off: an unconfigured service behaves exactly as before.
+struct OverloadOptions {
+  /// Run every request through the AdmissionController; shed requests
+  /// return kResourceExhausted before any expensive work. Commits and
+  /// group requests enter on the priority lane.
+  bool admission_enabled = false;
+  AdmissionOptions admission;
+  /// Wrap Commit in the CircuitBreaker: after
+  /// breaker.failure_threshold consecutive transient commit failures,
+  /// commits fast-fail (kUnavailable) for breaker.cooldown_us instead
+  /// of hammering a sick device; a half-open probe closes it again.
+  /// Serving stays in the existing DEGRADED machinery throughout.
+  bool breaker_enabled = false;
+  BreakerOptions breaker;
+  /// Hysteretic brown-out: under sustained shed pressure, serve
+  /// brownout_context instead of ServiceOptions::context, flagged
+  /// RecommendationList::brownout (brownout.enabled arms it).
+  BrownoutOptions brownout;
+  /// The declared cheaper mode served while browned out. Defaults to
+  /// pivot-sampled betweenness — the knob ContextOptions already
+  /// exposes with the biggest cost lever.
+  measures::ContextOptions brownout_context{
+      .betweenness_mode = measures::BetweennessMode::kSampled,
+      .betweenness_pivots = 16};
+  /// Deadline applied to requests whose RequestBudget carries none;
+  /// 0 = infinite (no implicit deadline).
+  uint64_t default_deadline_us = 0;
+};
 
 /// Service configuration: the recommender pipeline, the engine's
 /// cache/threading, and how contexts are built.
@@ -33,6 +67,12 @@ struct ServiceOptions {
   /// scratches into the attached store in request order, so the audit
   /// trail is byte-identical to a sequential run.
   bool parallel_batches = true;
+  /// The clock/environment behind the latency recorders, deadlines,
+  /// admission control and the commit circuit breaker. nullptr means
+  /// Env::Default(); tests inject a FaultInjectionEnv so time is
+  /// scripted and no test ever sleeps. Must outlive the service.
+  Env* env = nullptr;
+  OverloadOptions overload;
 };
 
 /// The service's explicit health state machine (docs/ARCHITECTURE.md
@@ -53,7 +93,13 @@ enum class HealthState {
   kDegraded,
 };
 
-/// Health counters and the evidence behind the current state.
+/// Health counters and the evidence behind the current state. The
+/// rejection counters keep the failure taxonomy honest: a *shed*
+/// request was refused before any work (admission), a
+/// *deadline-exceeded* one was abandoned at a stage boundary, a
+/// *breaker fast-fail* is a commit refused while the circuit breaker
+/// is open — none of them are degraded serves (those are successful
+/// answers from stale state).
 struct ServiceHealth {
   HealthState state = HealthState::kHealthy;
   uint64_t failed_commits = 0;
@@ -61,9 +107,27 @@ struct ServiceHealth {
   uint64_t degraded_serves = 0;
   /// kDegraded -> kHealthy transitions (a commit succeeded again).
   uint64_t recoveries = 0;
+  /// Requests refused by admission control (kResourceExhausted),
+  /// summed over causes — AdmissionStats has the per-cause split.
+  uint64_t shed_requests = 0;
+  /// Requests abandoned past their deadline (kDeadlineExceeded), at
+  /// whichever stage boundary caught it.
+  uint64_t deadline_exceeded = 0;
+  /// Commits fast-failed by the open circuit breaker — the device was
+  /// never touched, nothing new failed.
+  uint64_t breaker_fast_fails = 0;
+  /// Results served in the brown-out cheaper mode (flagged
+  /// RecommendationList::brownout).
+  uint64_t brownout_serves = 0;
+  /// Whether brown-out is active right now.
+  bool brownout_active = false;
   /// Message of the failure that caused the current (or most recent)
   /// degradation.
   std::string last_error;
+
+  /// Multi-line operator summary (health state, rejection taxonomy,
+  /// brown-out state) — what the health_monitor example prints.
+  std::string ToString() const;
 };
 
 /// The serving loop of the ROADMAP's many-users vision: N users (or
@@ -96,7 +160,8 @@ class RecommendationService {
   /// the cached shared evaluation when warm.
   Result<recommend::RecommendationList> Recommend(
       const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
-      version::VersionId v2, profile::HumanProfile& prof);
+      version::VersionId v2, profile::HumanProfile& prof,
+      const RequestBudget& budget = {});
 
   /// KbView flavour — every vkb entry point below has one; serving a
   /// version::ShardedKnowledgeBase through these runs snapshot pins
@@ -104,17 +169,20 @@ class RecommendationService {
   /// Commit lands.
   Result<recommend::RecommendationList> Recommend(
       const version::KbView& view, version::VersionId v1,
-      version::VersionId v2, profile::HumanProfile& prof);
+      version::VersionId v2, profile::HumanProfile& prof,
+      const RequestBudget& budget = {});
 
   /// Recommends one shared package to a group.
   Result<recommend::RecommendationList> RecommendGroup(
       const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
-      version::VersionId v2, profile::Group& group);
+      version::VersionId v2, profile::Group& group,
+      const RequestBudget& budget = {});
 
   /// KbView flavour of RecommendGroup.
   Result<recommend::RecommendationList> RecommendGroup(
       const version::KbView& view, version::VersionId v1,
-      version::VersionId v2, profile::Group& group);
+      version::VersionId v2, profile::Group& group,
+      const RequestBudget& budget = {});
 
   /// Serves many users against one version pair: the shared evaluation
   /// is built (or fetched) once, then the per-user stages run — in
@@ -125,23 +193,27 @@ class RecommendationService {
   Result<std::vector<recommend::RecommendationList>> RecommendBatch(
       const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
       version::VersionId v2,
-      const std::vector<profile::HumanProfile*>& profiles);
+      const std::vector<profile::HumanProfile*>& profiles,
+      const RequestBudget& budget = {});
 
   /// KbView flavour of RecommendBatch.
   Result<std::vector<recommend::RecommendationList>> RecommendBatch(
       const version::KbView& view, version::VersionId v1,
       version::VersionId v2,
-      const std::vector<profile::HumanProfile*>& profiles);
+      const std::vector<profile::HumanProfile*>& profiles,
+      const RequestBudget& budget = {});
 
   /// Group flavour of RecommendBatch.
   Result<std::vector<recommend::RecommendationList>> RecommendGroupBatch(
       const version::VersionedKnowledgeBase& vkb, version::VersionId v1,
-      version::VersionId v2, const std::vector<profile::Group*>& groups);
+      version::VersionId v2, const std::vector<profile::Group*>& groups,
+      const RequestBudget& budget = {});
 
   /// KbView flavour of RecommendGroupBatch.
   Result<std::vector<recommend::RecommendationList>> RecommendGroupBatch(
       const version::KbView& view, version::VersionId v1,
-      version::VersionId v2, const std::vector<profile::Group*>& groups);
+      version::VersionId v2, const std::vector<profile::Group*>& groups,
+      const RequestBudget& budget = {});
 
   /// Warm-start: pre-builds the full shared evaluation of (v1, v2) —
   /// context, every registered measure report, the recommender's
@@ -172,7 +244,8 @@ class RecommendationService {
   Result<version::VersionId> Commit(version::VersionedKnowledgeBase& vkb,
                                     version::ChangeSet changes,
                                     std::string author, std::string message,
-                                    uint64_t timestamp = 0);
+                                    uint64_t timestamp = 0,
+                                    const RequestBudget& budget = {});
 
   /// KbView flavour of Commit. With an internally synchronised view
   /// (a ShardedKnowledgeBase) the commit never takes the engine's vkb
@@ -181,7 +254,8 @@ class RecommendationService {
   Result<version::VersionId> Commit(version::KbView& view,
                                     version::ChangeSet changes,
                                     std::string author, std::string message,
-                                    uint64_t timestamp = 0);
+                                    uint64_t timestamp = 0,
+                                    const RequestBudget& budget = {});
 
   /// Snapshot of the current health state and counters. Thread-safe.
   ServiceHealth health() const;
@@ -206,10 +280,20 @@ class RecommendationService {
   EngineStats engine_stats() const { return engine_.stats(); }
   const ServiceOptions& options() const { return options_; }
 
+  /// Overload-control observability (zeros while the corresponding
+  /// feature is disabled). Thread-safe.
+  AdmissionStats admission_stats() const { return admission_.stats(); }
+  BreakerStats breaker_stats() const { return breaker_.stats(); }
+  BrownoutStats brownout_stats() const { return brownout_.stats(); }
+
+  /// The clock everything here runs on (ServiceOptions::env, or
+  /// Env::Default()).
+  Env* env() const { return env_; }
+
  private:
   Result<std::shared_ptr<const SharedEvaluation>> Warm(
       const version::KbView& view, version::VersionId v1,
-      version::VersionId v2,
+      version::VersionId v2, const measures::ContextOptions& context,
       std::shared_ptr<const recommend::SharedRunState>* state);
 
   /// Warm(), plus the degraded-mode fallback: when Warm fails *and*
@@ -220,9 +304,34 @@ class RecommendationService {
   /// `degraded` reports whether results must carry the flag.
   Result<std::shared_ptr<const SharedEvaluation>> WarmOrFallback(
       const version::KbView& view, version::VersionId v1,
-      version::VersionId v2,
+      version::VersionId v2, const measures::ContextOptions& context,
       std::shared_ptr<const recommend::SharedRunState>* state,
       bool* degraded);
+
+  /// Admission front door shared by every entry point: no-op Ticket
+  /// when admission is disabled; on shed, counts `n` shed requests,
+  /// feeds the brown-out pressure signal, and returns the
+  /// kResourceExhausted error.
+  Result<AdmissionController::Ticket> AdmitOrShed(AdmissionLane lane,
+                                                  const RequestBudget& budget,
+                                                  uint64_t n);
+
+  /// Resolves the effective deadline: the budget's own, or a fresh one
+  /// from OverloadOptions::default_deadline_us when the budget carries
+  /// none.
+  Deadline EffectiveDeadline(const RequestBudget& budget) const;
+
+  /// Deadline check at a stage boundary; counts `n` abandoned requests
+  /// in health() when expired.
+  Status CheckDeadline(const Deadline& deadline, std::string_view stage,
+                       uint64_t n);
+
+  /// Picks the context options for this serve: the brown-out cheaper
+  /// mode while browned out, ServiceOptions::context otherwise.
+  /// `brownout` reports which one, so results get flagged.
+  const measures::ContextOptions& PickContext(bool* brownout);
+
+  void CountBrownoutServes(uint64_t n);
 
   /// Splices per-request scratch provenance stores into the attached
   /// store in request order, rebasing record ids — byte-identical to
@@ -236,9 +345,13 @@ class RecommendationService {
   void CountDegradedServes(uint64_t n);
 
   ServiceOptions options_;
+  Env* env_;  ///< options_.env, or Env::Default(); never nullptr
   EvaluationEngine engine_;
   recommend::Recommender recommender_;
   provenance::ProvenanceStore* provenance_ = nullptr;
+  AdmissionController admission_;
+  CircuitBreaker breaker_;
+  BrownoutController brownout_;
   mutable std::mutex health_mu_;
   ServiceHealth health_;
   LatencyRecorder read_latency_;

@@ -32,6 +32,7 @@
 #include "anonymity/generalization.h"
 #include "anonymity/kanonymity.h"
 #include "common/binary_io.h"
+#include "common/deadline.h"
 #include "common/env.h"
 #include "common/percentile.h"
 #include "common/random.h"
@@ -46,6 +47,7 @@
 #include "delta/delta_io.h"
 #include "delta/high_level_delta.h"
 #include "delta/low_level_delta.h"
+#include "engine/admission.h"
 #include "engine/artefact_cache.h"
 #include "engine/evaluation_engine.h"
 #include "engine/recommendation_service.h"

@@ -85,6 +85,11 @@ struct RecommendationList {
   /// successfully committed version rather than the requested one
   /// (engine::RecommendationService, docs/STORAGE.md).
   bool degraded = false;
+  /// Set by the serving layer while it is browned out under sustained
+  /// overload: the list was served in the declared cheaper mode
+  /// (sampled betweenness) rather than the configured one
+  /// (engine::RecommendationService overload control).
+  bool brownout = false;
 };
 
 /// The paper's processing model: generate measure candidates for a

@@ -324,6 +324,17 @@ void FaultInjectionEnv::SleepForMicroseconds(uint64_t micros) {
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.sleeps;
   sleeps_.push_back(micros);  // recorded, never slept — tests stay fast
+  clock_us_ += micros;        // scripted time still passes
+}
+
+uint64_t FaultInjectionEnv::NowMicros() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_us_;
+}
+
+void FaultInjectionEnv::AdvanceClockMicros(uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_us_ += micros;
 }
 
 Status FaultInjectionEnv::DoAppend(const std::string& path, uint64_t epoch,

@@ -116,6 +116,12 @@ class FaultInjectionEnv : public Env {
   /// order — the evidence backoff tests assert exponential spacing on.
   std::vector<uint64_t> recorded_sleeps() const;
 
+  /// Advances the scripted NowMicros() clock. The clock starts at 0
+  /// and moves only here and in SleepForMicroseconds (a recorded sleep
+  /// still advances scripted time), so deadline-expiry, token-bucket
+  /// refill and breaker cool-down tests control time exactly.
+  void AdvanceClockMicros(uint64_t micros);
+
   // ---- Test helpers ----
 
   /// XORs `mask` into the byte at `offset` of `path` (live and
@@ -138,6 +144,7 @@ class FaultInjectionEnv : public Env {
   Result<std::vector<std::string>> ListDir(const std::string& path) override;
   Status SyncDir(const std::string& path) override;
   void SleepForMicroseconds(uint64_t micros) override;
+  uint64_t NowMicros() override;
 
  private:
   friend class FaultWritableFile;
@@ -178,6 +185,7 @@ class FaultInjectionEnv : public Env {
   FaultPlan plan_;
   FaultCounters counters_;
   std::vector<uint64_t> sleeps_;
+  uint64_t clock_us_ = 0;  ///< scripted NowMicros clock
   std::mt19937_64 rng_;
   uint64_t epoch_ = 0;  ///< bumped per crash; stale handles are dead
   bool down_ = false;

@@ -134,6 +134,8 @@ version::ChangeSet BuildCommit(StreamMode mode, size_t commit_index,
       evo.mix = ChangeMix::SchemaHeavy();
       crafted = ReparentWave(working, options, rng);
       break;
+    case StreamMode::kOverloadRamp:
+      break;  // plain payload — the ramp lives in the arrival gaps
   }
 
   EvolutionOutcome noise = GenerateEvolution(working, dictionary, evo);
@@ -211,6 +213,8 @@ const char* StreamModeName(StreamMode mode) {
       return "adversarial-churn";
     case StreamMode::kSchemaShockwave:
       return "schema-shockwave";
+    case StreamMode::kOverloadRamp:
+      return "overload-ramp";
   }
   return "unknown";
 }
@@ -250,12 +254,23 @@ WorkloadStream GenerateStream(Scenario& scenario,
   uint64_t now_us = 0;
   size_t commit_index = 0;
   bool in_storm = false;
-  for (const bool is_commit : schedule) {
+  for (size_t slot = 0; slot < schedule.size(); ++slot) {
+    const bool is_commit = schedule[slot];
     // Storm commits arrive back-to-back: compress their gaps.
-    const double gap_scale =
+    double gap_scale =
         (is_commit && options.mode == StreamMode::kBurstyCommits && in_storm)
             ? 0.125
             : 1.0;
+    if (options.mode == StreamMode::kOverloadRamp && schedule.size() > 1) {
+      // Arrival rate ramps linearly with stream progress from 1x to
+      // overload_factor x the base rate, so the gap shrinks as its
+      // reciprocal.
+      const double progress = static_cast<double>(slot) /
+                              static_cast<double>(schedule.size() - 1);
+      const double rate_multiple =
+          1.0 + progress * (std::max(options.overload_factor, 1.0) - 1.0);
+      gap_scale = 1.0 / rate_multiple;
+    }
     now_us += ExponentialGap(rng, options.mean_gap_us * gap_scale);
     in_storm = is_commit;
 

@@ -28,6 +28,11 @@ enum class StreamMode {
   /// of the class hierarchy (plus schema-heavy noise), forcing the
   /// engine through its full-frontier refresh path.
   kSchemaShockwave,
+  /// Offered load ramps linearly from the base arrival rate
+  /// (1/mean_gap_us) up to overload_factor times it by the end of the
+  /// stream — the E17 pattern that deliberately drives a server past
+  /// capacity so admission control has something to shed.
+  kOverloadRamp,
 };
 
 const char* StreamModeName(StreamMode mode);
@@ -60,6 +65,9 @@ struct StreamOptions {
   double shockwave_fraction = 0.3;
   /// Mean virtual inter-arrival gap (exponential), microseconds.
   double mean_gap_us = 250.0;
+  /// kOverloadRamp: how many times the base arrival rate the stream
+  /// reaches by its final event.
+  double overload_factor = 8.0;
   ProfileGenOptions profile;
   uint64_t seed = 17;
 };

@@ -32,6 +32,19 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(PermissionDeniedError("").code(), StatusCode::kPermissionDenied);
   EXPECT_EQ(UnimplementedError("").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnavailableError("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DeadlineExceededError("").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ResourceExhaustedError("").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, OnlyUnavailableIsTransient) {
+  // The circuit breaker and retry policies key off this split: shed
+  // (kResourceExhausted) and expired (kDeadlineExceeded) requests are
+  // deliberate refusals, not device sickness.
+  EXPECT_TRUE(IsTransient(UnavailableError("eio")));
+  EXPECT_FALSE(IsTransient(ResourceExhaustedError("shed")));
+  EXPECT_FALSE(IsTransient(DeadlineExceededError("late")));
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -44,6 +57,10 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeName(StatusCode::kPermissionDenied),
             "PERMISSION_DENIED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DEADLINE_EXCEEDED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
 }
 
 Status FailsWhenNegative(int x) {
